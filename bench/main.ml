@@ -1,0 +1,1164 @@
+(* Reproduction harness: regenerates every table and figure of
+   "Formalizing Dependence of Web Infrastructure" (SIGCOMM 2025) from the
+   calibrated synthetic world, prints the same rows/series the paper
+   reports (with the paper's value alongside where it quotes one), and
+   finishes with Bechamel timings — one Test.make per table/figure — and
+   the DESIGN.md ablations.
+
+   Environment:
+     WEBDEP_BENCH_C     toplist size per country (default 10000)
+     WEBDEP_BENCH_SEED  world seed                (default 2024)
+     WEBDEP_BENCH_SKIP_TIMINGS  set to skip the Bechamel section *)
+
+module World = Webdep_worldgen.World
+module Measure = Webdep_pipeline.Measure
+module D = Webdep.Dataset
+module Metrics = Webdep.Metrics
+module R = Webdep.Regionalization
+module Classify = Webdep.Classify
+module Report = Webdep.Report
+module Scores = Webdep_reference.Paper_scores
+module Anecdotes = Webdep_reference.Anecdotes
+module Correlation = Webdep_stats.Correlation
+module Region = Webdep_geo.Region
+module Country = Webdep_geo.Country
+
+let env_int name default =
+  match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
+
+let c = env_int "WEBDEP_BENCH_C" 10_000
+let seed = env_int "WEBDEP_BENCH_SEED" 2024
+
+let section id title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "== %s: %s\n" id title;
+  Printf.printf "================================================================\n"
+
+let pct x = 100.0 *. x
+
+(* --- the measured world ------------------------------------------------- *)
+
+let () = Printf.printf "webdep bench: c=%d seed=%d — generating and measuring...\n%!" c seed
+let t_start = Unix.gettimeofday ()
+let world = World.create ~c ~seed ()
+let ds = Measure.measure_all world
+
+let () =
+  Printf.printf "measured %d (country, site) records in %.1fs\n%!" (D.size ds)
+    (Unix.gettimeofday () -. t_start);
+  Format.printf "%a%!" Webdep.Toolkit.pp (Webdep.Toolkit.summarize ds)
+
+let all_ccs = D.countries ds
+let layers = Scores.all_layers
+
+let score layer cc = Metrics.centralization ds layer cc
+let scores_arr layer ccs = Array.of_list (List.map (score layer) ccs)
+
+let hosting_classification = lazy (Classify.classify ds Hosting)
+let dns_classification = lazy (Classify.classify ds Dns)
+let ca_classification = lazy (Classify.classify ds Ca)
+
+(* ========================================================================
+   Section 3: metric definitions
+   ======================================================================== *)
+
+let fig1 () =
+  section "Figure 1" "Top-N metric shortcoming (AZ, HK, TH, IR rank curves)";
+  Printf.printf "cumulative %% of sites by provider rank (hosting):\n";
+  Printf.printf "%-4s %6s %6s %6s %6s %6s %8s %8s\n" "cc" "r=1" "r=2" "r=5" "r=10" "r=100"
+    "S" "paper S";
+  List.iter
+    (fun cc ->
+      let cum = Metrics.cumulative_rank_curve ds Hosting cc in
+      let at r = if r - 1 < Array.length cum then pct cum.(r - 1) else 100.0 in
+      Printf.printf "%-4s %5.1f%% %5.1f%% %5.1f%% %5.1f%% %5.1f%% %8.4f %8.4f\n" cc (at 1)
+        (at 2) (at 5) (at 10) (at 100) (score Hosting cc) (Scores.score_exn Hosting cc))
+    [ "AZ"; "HK"; "TH"; "IR" ];
+  Printf.printf
+    "paper's point: AZ and HK share a ~59%% top-5 share but AZ's steeper head\n\
+     yields a higher S; TH and IR are the extremes.\n";
+  Printf.printf "top-5 share: AZ = %.1f%%  HK = %.1f%%\n"
+    (pct (Metrics.top_n_share ds Hosting "AZ" 5))
+    (pct (Metrics.top_n_share ds Hosting "HK" 5));
+  Printf.printf "\ncumulative rank curve, TH (most centralized):\n%s"
+    (Webdep.Render.rank_curve (Metrics.cumulative_rank_curve ds Hosting "TH"));
+  Printf.printf "cumulative rank curve, IR (least centralized):\n%s"
+    (Webdep.Render.rank_curve (Metrics.cumulative_rank_curve ds Hosting "IR"))
+
+let fig2 () =
+  section "Figure 2" "Worked EMD example (country A = 0.28, country B = 0.32)";
+  let a = [| 5; 3; 2 |] and b = [| 6; 2; 1; 1 |] in
+  let show name counts =
+    let d = Webdep_emd.Dist.of_counts counts in
+    Printf.printf
+      "country %s: counts (%s) over C=10 sites -> S closed form = %.4f, via transportation \
+       solver = %.4f\n"
+      name
+      (String.concat "," (List.map string_of_int (Array.to_list counts)))
+      (Webdep_emd.Centralization.score d)
+      (Webdep_emd.Centralization.via_transport d)
+  in
+  show "A" a;
+  show "B" b;
+  Printf.printf "paper: EMD(A) = 0.28 < EMD(B) = 0.32 — B is more centralized.\n"
+
+let fig3 () =
+  section "Figure 3" "Example S values for synthetic distributions";
+  Printf.printf "%-8s %10s %14s %20s\n" "target" "achieved" "providers" "for 90% of sites";
+  List.iter
+    (fun target ->
+      let n = if target > 0.4 then 50 else if target > 0.1 then 500 else 5000 in
+      let n = min n (c / 2) in
+      let floor = (1.0 /. float_of_int n) -. (1.0 /. float_of_int c) in
+      if target <= floor then
+        Printf.printf "%-8.3f (unattainable at c=%d: needs more providers than c/2)\n" target c
+      else
+      let r = Webdep_worldgen.Calibrate.counts ~c ~n_providers:n ~target () in
+      let dist = Webdep_emd.Dist.of_counts r.Webdep_worldgen.Calibrate.counts in
+      let cum = ref 0.0 and k = ref 0 and total = Webdep_emd.Dist.total dist in
+      Array.iter
+        (fun m ->
+          if !cum < 0.9 *. total then begin
+            cum := !cum +. m;
+            incr k
+          end)
+        (Webdep_emd.Dist.sorted_desc dist);
+      Printf.printf "%-8.3f %10.4f %14d %20d\n" target r.Webdep_worldgen.Calibrate.achieved
+        (Array.length r.Webdep_worldgen.Calibrate.counts)
+        !k)
+    [ 0.818; 0.481; 0.25; 0.111; 0.026; 0.005; 0.001 ]
+
+let fig4 () =
+  section "Figure 4" "Usage and endemicity (global vs regional provider)";
+  Printf.printf "%-18s %9s %10s %8s %8s   top of usage curve (%%)\n" "provider" "usage U"
+    "endem. E" "E_R" "peak";
+  List.iter
+    (fun name ->
+      match R.usage_curve ds Hosting ~name with
+      | u ->
+          Printf.printf "%-18s %9.1f %10.1f %8.3f %7.1f%%  " name u.R.usage u.R.endemicity
+            u.R.endemicity_ratio u.R.curve.(0);
+          Array.iteri (fun i v -> if i < 8 then Printf.printf "%5.1f" v) u.R.curve;
+          print_newline ()
+      | exception Not_found -> Printf.printf "%-18s (absent)\n" name)
+    [ "Cloudflare"; "Amazon"; "OVH"; "Beget LLC"; "SuperHosting.BG" ];
+  Printf.printf
+    "paper: the global provider has larger usage; the regional provider a higher\n\
+     endemicity ratio (Beget-style curve concentrated on CIS countries).\n"
+
+(* ========================================================================
+   Section 5: hosting
+   ======================================================================== *)
+
+let show_class_table title (cl : Classify.classification) paper =
+  Printf.printf "%s (raw affinity-propagation clusters: %d; paper found %d on hosting)\n"
+    title cl.Classify.raw_clusters Anecdotes.hosting_cluster_count;
+  Printf.printf "%-10s %9s %10s   example\n" "class" "measured" "paper";
+  List.iter
+    (fun (k, n) ->
+      let paper_n =
+        Option.value ~default:0 (List.assoc_opt (Classify.klass_name k) paper)
+      in
+      let example =
+        List.find_map
+          (fun ((s : R.usage_stats), k') ->
+            if k' = k then Some s.R.entity.D.name else None)
+          cl.Classify.providers
+      in
+      Printf.printf "%-10s %9d %10d   %s\n" (Classify.klass_name k) n paper_n
+        (Option.value ~default:"-" example))
+    cl.Classify.table
+
+let table1 () =
+  section "Table 1" "Classes of hosting providers";
+  show_class_table "hosting provider classes" (Lazy.force hosting_classification)
+    Anecdotes.hosting_classes;
+  Printf.printf
+    "note: the global classes match the paper's counts; our synthetic tail mints\n\
+     more XS-RP identities than the real world's 11,548 (see DESIGN.md).\n"
+
+let fig5 () =
+  section "Figure 5" "Hosting centralization by country";
+  let ranked = Report.ranked_scores ds Hosting in
+  Printf.printf "most centralized:\n";
+  List.iteri
+    (fun i r ->
+      if i < 10 then
+        Printf.printf "  #%-3d %-4s S = %.4f (paper %.4f)\n" r.Report.rank r.Report.country
+          r.Report.value
+          (Scores.score_exn Hosting r.Report.country))
+    ranked;
+  Printf.printf "least centralized:\n";
+  let n = List.length ranked in
+  List.iteri
+    (fun i r ->
+      if i >= n - 10 then
+        Printf.printf "  #%-3d %-4s S = %.4f (paper %.4f)\n" r.Report.rank r.Report.country
+          r.Report.value
+          (Scores.score_exn Hosting r.Report.country))
+    ranked;
+  Printf.printf "\nsubregion means (paper: SE Asia most centralized 0.2403, Central Asia least 0.0788):\n";
+  List.iter
+    (fun (sr, m) -> Printf.printf "  %-22s %.4f\n" (Region.subregion_name sr) m)
+    (Report.subregion_means ds Hosting (score Hosting));
+  Printf.printf "\nglobal: mean S = %.4f (paper %.4f), var = %.4f (paper %.3f)\n"
+    (Report.layer_mean ds Hosting) Anecdotes.hosting_mean_centralization
+    (Report.layer_variance ds Hosting) Anecdotes.hosting_centralization_variance;
+  Printf.printf "90%% of websites hosted by fewer than %d providers in every country (paper: %d)\n"
+    (List.fold_left
+       (fun acc cc -> max acc (Metrics.providers_for_share ds Hosting cc 0.9))
+       0 all_ccs)
+    Anecdotes.providers_for_90pct_max;
+  Printf.printf "\nbootstrap 95%% confidence intervals (toplist sampling noise):\n";
+  List.iter
+    (fun cc ->
+      let lo, hi = Metrics.centralization_interval ~iterations:200 ~seed ds Hosting cc in
+      Printf.printf "  %-4s S = %.4f  [%.4f, %.4f]\n" cc (score Hosting cc) lo hi)
+    [ "TH"; "US"; "IR" ]
+
+let fig6 () =
+  section "Figure 6" "Classification of providers (usage x endemicity plane)";
+  let cl = Lazy.force hosting_classification in
+  Printf.printf "%-10s %9s %12s %12s %10s\n" "class" "providers" "mean U/ctry" "mean peak" "mean E_R";
+  List.iter
+    (fun k ->
+      let members = List.filter (fun (_, k') -> k' = k) cl.Classify.providers in
+      if members <> [] then begin
+        let n = float_of_int (List.length members) in
+        let avg f = List.fold_left (fun acc (s, _) -> acc +. f s) 0.0 members /. n in
+        Printf.printf "%-10s %9d %11.2f%% %11.2f%% %10.3f\n" (Classify.klass_name k)
+          (List.length members)
+          (avg (fun (s : R.usage_stats) -> s.R.usage /. 150.0))
+          (avg (fun (s : R.usage_stats) ->
+               if Array.length s.R.curve = 0 then 0.0 else s.R.curve.(0)))
+          (avg (fun (s : R.usage_stats) -> s.R.endemicity_ratio))
+      end)
+    Classify.all_klasses
+
+let class_breakdown layer (cl : Classify.classification) countries =
+  Printf.printf "%-4s %8s" "cc" "S";
+  List.iter (fun k -> Printf.printf " %8s" (Classify.klass_name k)) Classify.all_klasses;
+  print_newline ();
+  List.iter
+    (fun cc ->
+      Printf.printf "%-4s %8.4f" cc (score layer cc);
+      List.iter
+        (fun (_, share) -> Printf.printf " %7.1f%%" (pct share))
+        (Classify.class_shares cl ds layer cc);
+      print_newline ())
+    countries
+
+let spread_sample () =
+  (* Every 10th country by hosting rank: a readable slice of the 150. *)
+  let ranked = List.map (fun r -> r.Report.country) (Report.ranked_scores ds Hosting) in
+  List.filteri (fun i _ -> i mod 10 = 0 || i = List.length ranked - 1) ranked
+
+let fig7 () =
+  section "Figure 7" "Breakdown of hosting provider types per country (sorted by S)";
+  class_breakdown Hosting (Lazy.force hosting_classification) (spread_sample ());
+  let cf_top =
+    List.filter
+      (fun cc ->
+        match D.counts_by_entity ds Hosting cc with
+        | (top, _) :: _ -> top.D.name = "Cloudflare"
+        | [] -> false)
+      all_ccs
+  in
+  Printf.printf "\nCloudflare is the top provider in %d/150 countries (paper: all but Japan)\n"
+    (List.length cf_top)
+
+let continent_matrix title rows =
+  Printf.printf "%s\n%-14s" title "";
+  List.iter (fun ct -> Printf.printf " %7s" (Region.continent_code ct)) Region.all_continents;
+  Printf.printf " %7s\n" "anycast";
+  List.iter
+    (fun (ct, row, anycast) ->
+      Printf.printf "%-14s" (Region.continent_name ct);
+      List.iter (fun (_, v) -> Printf.printf " %6.1f%%" (pct v)) row;
+      Printf.printf " %6.1f%%\n" (pct anycast))
+    rows
+
+(* Continent x continent matrix from a per-site field. *)
+let geo_matrix field anycast_field =
+  List.map
+    (fun ct ->
+      let members =
+        List.filter
+          (fun cc ->
+            match Country.of_code cc with
+            | Some country -> Country.continent country = ct
+            | None -> false)
+          all_ccs
+      in
+      let totals = Hashtbl.create 8 in
+      let anycast_total = ref 0.0 in
+      List.iter
+        (fun cc ->
+          let cd = D.country_exn ds cc in
+          let n = float_of_int (List.length cd.D.sites) in
+          List.iter
+            (fun site ->
+              if anycast_field site then anycast_total := !anycast_total +. (1.0 /. n)
+              else
+                match field site with
+                | None -> ()
+                | Some code -> (
+                    match Country.of_code code with
+                    | None -> ()
+                    | Some country ->
+                        let target = Country.continent country in
+                        Hashtbl.replace totals target
+                          ((1.0 /. n)
+                          +. Option.value ~default:0.0 (Hashtbl.find_opt totals target))))
+            cd.D.sites)
+        members;
+      let n = Float.max 1.0 (float_of_int (List.length members)) in
+      ( ct,
+        List.map
+          (fun target ->
+            (target, Option.value ~default:0.0 (Hashtbl.find_opt totals target) /. n))
+          Region.all_continents,
+        !anycast_total /. n ))
+    Region.all_continents
+
+let fig8 () =
+  section "Figure 8" "Regional dependencies on other continents";
+  let hq = List.map (fun (ct, row) -> (ct, row, 0.0)) (R.dependence_matrix ds Hosting) in
+  continent_matrix "(a) hosting provider HQ continent:" hq;
+  print_newline ();
+  continent_matrix "(b) hosting IP geolocation continent (anycast separate):"
+    (geo_matrix (fun s -> s.D.hosting_geo) (fun s -> s.D.hosting_anycast));
+  print_newline ();
+  continent_matrix "(c) DNS nameserver geolocation continent (anycast separate):"
+    (geo_matrix (fun s -> s.D.ns_geo) (fun s -> s.D.ns_anycast));
+  Printf.printf
+    "\npaper: strong reliance on North America everywhere; Europe and Eastern Asia\n\
+     mostly self-reliant; anycast far more common for nameservers than hosting.\n"
+
+let fig9 () =
+  section "Figure 9" "Centralization across layers and subregions";
+  Printf.printf "%-22s" "subregion";
+  List.iter (fun l -> Printf.printf " %9s" (Scores.layer_name l)) layers;
+  print_newline ();
+  List.iter
+    (fun sr ->
+      let members =
+        List.filter (fun cc -> (Country.of_code_exn cc).Country.subregion = sr) all_ccs
+      in
+      if members <> [] then begin
+        Printf.printf "%-22s" (Region.subregion_name sr);
+        List.iter
+          (fun layer ->
+            let mean = Webdep_stats.Descriptive.mean (scores_arr layer members) in
+            Printf.printf " %9.4f" mean)
+          layers;
+        print_newline ()
+      end)
+    Region.all_subregions;
+  Printf.printf "\nhosting-layer spread per subregion (the figure's distributions):\n";
+  Printf.printf "%-22s %7s %7s %7s %7s %7s\n" "" "min" "q1" "median" "q3" "max";
+  List.iter
+    (fun (sr, s) ->
+      Printf.printf "%-22s %7.4f %7.4f %7.4f %7.4f %7.4f\n" (Region.subregion_name sr)
+        s.Report.min s.Report.q1 s.Report.median s.Report.q3 s.Report.max)
+    (Report.subregion_spread ds Hosting (score Hosting))
+
+let fig10 () =
+  section "Figure 10" "Insularity across layers and subregions";
+  Printf.printf "%-22s" "subregion";
+  List.iter (fun l -> Printf.printf " %9s" (Scores.layer_name l)) layers;
+  print_newline ();
+  List.iter
+    (fun sr ->
+      let members =
+        List.filter (fun cc -> (Country.of_code_exn cc).Country.subregion = sr) all_ccs
+      in
+      if members <> [] then begin
+        Printf.printf "%-22s" (Region.subregion_name sr);
+        List.iter
+          (fun layer ->
+            let mean =
+              Webdep_stats.Descriptive.mean
+                (Array.of_list (List.map (R.insularity ds layer) members))
+            in
+            Printf.printf " %8.1f%%" (pct mean))
+          layers;
+        print_newline ()
+      end)
+    Region.all_subregions
+
+let fig11 () =
+  section "Figure 11" "CDF of insularity across layers";
+  Printf.printf "%-8s" "percent";
+  List.iter (fun l -> Printf.printf " %9s" (Scores.layer_name l)) layers;
+  print_newline ();
+  let cdfs = List.map (fun l -> Report.insularity_cdf ds l) layers in
+  List.iter
+    (fun q ->
+      Printf.printf "p%-7d" q;
+      List.iter
+        (fun cdf ->
+          let idx = min (Array.length cdf - 1) (q * Array.length cdf / 100) in
+          Printf.printf " %8.1f%%" (pct (fst cdf.(idx))))
+        cdfs;
+      print_newline ())
+    [ 10; 25; 50; 75; 90; 99 ];
+  Printf.printf
+    "paper: countries are most insular at the TLD layer; hosting and DNS track\n\
+     each other; CA insularity is near zero almost everywhere.\n"
+
+let fig12 () =
+  section "Figure 12" "Centralization histograms by layer + Global Top marker";
+  List.iter
+    (fun layer ->
+      let h = Report.score_histogram ds layer ~bins:12 () in
+      Printf.printf "%-8s |" (Scores.layer_name layer);
+      Array.iter (fun k -> Printf.printf " %3d" k) h.Webdep_stats.Histogram.counts;
+      Printf.printf "|  global-top marker S = %.4f\n" (Metrics.global_score ds layer))
+    layers;
+  Printf.printf "(bins of width 0.05 over [0, 0.6])\n";
+  Printf.printf "\nhosting layer histogram:\n%s"
+    (Webdep.Render.histogram (Report.score_histogram ds Hosting ~bins:12 ()));
+  Printf.printf "TLD layer histogram:\n%s"
+    (Webdep.Render.histogram (Report.score_histogram ds Tld ~bins:12 ()));
+  Printf.printf
+    "paper: hosting/DNS similar; CA has tiny variance; TLD shifted right; the\n\
+     pooled global-top S is representative for hosting/DNS/CA but not TLD.\n"
+
+let fig13 () =
+  section "Figure 13" "CA insularity by country";
+  let ranked = Report.ranked_insularity ds Ca in
+  List.iteri
+    (fun i r ->
+      if i < 10 then
+        Printf.printf "  #%-3d %-4s %5.1f%%\n" r.Report.rank r.Report.country
+          (pct r.Report.value))
+    ranked;
+  let with_local = List.length (List.filter (fun r -> r.Report.value > 0.0) ranked) in
+  Printf.printf "countries using any CA based in their own country: %d (paper: %d)\n" with_local
+    Anecdotes.ca_insular_countries
+
+(* ========================================================================
+   Section 6/7: DNS and CAs
+   ======================================================================== *)
+
+let table2 () =
+  section "Table 2" "Classes of DNS infrastructure providers";
+  show_class_table "dns provider classes" (Lazy.force dns_classification) Anecdotes.dns_classes
+
+let table3 () =
+  section "Table 3" "Classes of certificate authorities";
+  let cl = Lazy.force ca_classification in
+  show_class_table "certificate authority classes" cl Anecdotes.ca_classes;
+  let distinct = List.length cl.Classify.providers in
+  Printf.printf "distinct CAs observed: %d (paper: %d)\n" distinct Anecdotes.ca_total;
+  let global7 =
+    [ "Let's Encrypt"; "DigiCert"; "Sectigo"; "Google Trust Services";
+      "Amazon Trust Services"; "GlobalSign"; "GoDaddy" ]
+  in
+  let shares =
+    List.map
+      (fun cc ->
+        List.fold_left (fun acc n -> acc +. D.entity_share ds Ca cc ~name:n) 0.0 global7)
+      all_ccs
+  in
+  Printf.printf
+    "seven large global CAs cover %.1f%%-%.1f%% of websites per country (paper: 80-99.7%%)\n"
+    (pct (List.fold_left Float.min 1.0 shares))
+    (pct (List.fold_left Float.max 0.0 shares))
+
+let fig14 () =
+  section "Figure 14" "DNS provider-type breakdown per country";
+  class_breakdown Dns (Lazy.force dns_classification) (spread_sample ())
+
+let fig15 () =
+  section "Figure 15" "CA breakdown per country (seven global CAs vs rest)";
+  let global7 =
+    [ "Let's Encrypt"; "DigiCert"; "Sectigo"; "Google Trust Services";
+      "Amazon Trust Services"; "GlobalSign"; "GoDaddy" ]
+  in
+  Printf.printf "%-4s %8s %8s %9s %8s\n" "cc" "S" "LE" "DigiCert" "top7";
+  List.iter
+    (fun cc ->
+      let share n = D.entity_share ds Ca cc ~name:n in
+      let top7 = List.fold_left (fun acc n -> acc +. share n) 0.0 global7 in
+      Printf.printf "%-4s %8.4f %7.1f%% %8.1f%% %7.1f%%\n" cc (score Ca cc)
+        (pct (share "Let's Encrypt")) (pct (share "DigiCert")) (pct top7))
+    [ "SK"; "CZ"; "EE"; "IR"; "RU"; "PL"; "US"; "DE"; "FR"; "IN"; "KR"; "VN"; "JP"; "TW" ]
+
+let fig16 () =
+  section "Figure 16" "TLD breakdown per country (.com / local ccTLD / external ccTLDs / global)";
+  Printf.printf "%-4s %8s %8s %9s %8s %8s\n" "cc" "S" ".com" "local cc" "ext cc" "global";
+  List.iter
+    (fun cc ->
+      let cd = D.country_exn ds cc in
+      let n = float_of_int (List.length cd.D.sites) in
+      let com = ref 0.0 and local = ref 0.0 and external_cc = ref 0.0 and global = ref 0.0 in
+      let own = Country.ccTLD (Country.of_code_exn cc) in
+      List.iter
+        (fun s ->
+          let tld = s.D.tld.D.name in
+          if tld = ".com" then com := !com +. 1.0
+          else if tld = own then local := !local +. 1.0
+          else if Country.mem s.D.tld.D.country && s.D.tld.D.country <> "US" then
+            external_cc := !external_cc +. 1.0
+          else global := !global +. 1.0)
+        cd.D.sites;
+      Printf.printf "%-4s %8.4f %7.1f%% %8.1f%% %7.1f%% %7.1f%%\n" cc (score Tld cc)
+        (pct (!com /. n)) (pct (!local /. n)) (pct (!external_cc /. n)) (pct (!global /. n)))
+    [ "US"; "PR"; "CZ"; "HU"; "PL"; "TH"; "DE"; "AT"; "KG"; "TM"; "BY"; "RE"; "BF"; "JP" ]
+
+let ranked_layer_figure id layer =
+  section id (Printf.sprintf "%s centralization, sorted (named ranks)" (Scores.layer_name layer));
+  let ranked = Report.ranked_scores ds layer in
+  let n = List.length ranked in
+  List.iteri
+    (fun i r ->
+      if i < 5 || i >= n - 5 then
+        Printf.printf "  #%-3d %-4s S = %.4f (paper %.4f, paper rank %d)\n" r.Report.rank
+          r.Report.country r.Report.value
+          (Scores.score_exn layer r.Report.country)
+          (Option.get (Scores.rank layer r.Report.country)))
+    ranked;
+  let measured = scores_arr layer all_ccs in
+  let paper = Scores.scores_in_country_order layer all_ccs in
+  let rho = (Correlation.pearson measured paper).Correlation.rho in
+  Printf.printf "paper-vs-measured over all 150 countries: rho = %.4f\n" rho
+
+let fig17 () = ranked_layer_figure "Figure 17" Dns
+let fig18 () = ranked_layer_figure "Figure 18" Ca
+let fig19 () = ranked_layer_figure "Figure 19" Tld
+
+let insularity_figure id layer note =
+  section id (Printf.sprintf "%s insularity, sorted" (Scores.layer_name layer));
+  let ranked = Report.ranked_insularity ds layer in
+  let n = List.length ranked in
+  List.iteri
+    (fun i r ->
+      if i < 6 || i >= n - 3 then
+        Printf.printf "  #%-3d %-4s %5.1f%%\n" r.Report.rank r.Report.country (pct r.Report.value))
+    ranked;
+  print_endline note
+
+let fig20 () =
+  insularity_figure "Figure 20" Hosting
+    "paper: US most insular (92.1%), then IR (64.8%), CZ (54.5%), RU (51.1%)."
+
+let fig21 () =
+  insularity_figure "Figure 21" Dns "paper: DNS tracks hosting: US, CZ, IR, RU lead."
+
+let fig22 () =
+  insularity_figure "Figure 22" Tld
+    "paper: US (via .com), CZ, HU, PL lead; French territories at the bottom."
+
+let table_appendix id layer =
+  section id
+    (Printf.sprintf "Country x %s centralization scores (all 150 rows)"
+       (String.uppercase_ascii (Scores.layer_name layer)));
+  Printf.printf "%-5s %-4s %10s %10s %8s\n" "rank" "cc" "measured" "paper" "diff";
+  let ranked = Report.ranked_scores ds layer in
+  List.iter
+    (fun r ->
+      let paper = Scores.score_exn layer r.Report.country in
+      Printf.printf "%-5d %-4s %10.4f %10.4f %+8.4f\n" r.Report.rank r.Report.country
+        r.Report.value paper (r.Report.value -. paper))
+    ranked;
+  let measured = scores_arr layer all_ccs in
+  let paper = Scores.scores_in_country_order layer all_ccs in
+  let rho = (Correlation.pearson measured paper).Correlation.rho in
+  let max_diff =
+    List.fold_left
+      (fun acc cc -> Float.max acc (Float.abs (score layer cc -. Scores.score_exn layer cc)))
+      0.0 all_ccs
+  in
+  Printf.printf
+    "summary: rho = %.4f, max |diff| = %.4f, mean measured = %.4f, mean paper = %.4f\n" rho
+    max_diff (Report.layer_mean ds layer) (Scores.mean layer)
+
+let table5 () = table_appendix "Table 5" Hosting
+let table6 () = table_appendix "Table 6" Dns
+let table7 () = table_appendix "Table 7" Ca
+let table8 () = table_appendix "Table 8" Tld
+
+(* ========================================================================
+   Experiments from the text
+   ======================================================================== *)
+
+let vantage () =
+  section "Sec 3.4" "Vantage-point validation (RIPE-style probes)";
+  let home = List.map (fun cc -> (cc, score Hosting cc)) all_ccs in
+  let probes = Measure.measure_with_probes ~per_country_probes:5 ~seed world all_ccs in
+  let v = Webdep.Validate.correlate ~home ~probes in
+  Printf.printf "rho(home vantage, in-country probes) = %.4f (paper: %.2f), p = %.2g\n"
+    v.Webdep.Validate.rho.Correlation.rho Anecdotes.rho_vantage_points
+    v.Webdep.Validate.rho.Correlation.p_value;
+  Printf.printf "max per-country gap = %.4f over %d countries\n" v.Webdep.Validate.max_gap
+    (List.length v.Webdep.Validate.pairs)
+
+let longitudinal () =
+  section "Sec 5.4" "Longitudinal change, May 2023 -> May 2025";
+  let t0 = Unix.gettimeofday () in
+  let ds25 = Measure.measure_all ~epoch:World.May_2025 world in
+  Printf.printf "(2025 world measured in %.1fs)\n" (Unix.gettimeofday () -. t0);
+  let cmp = Webdep.Longitudinal.compare ~focus:"Cloudflare" ~old_ds:ds ~new_ds:ds25 Hosting in
+  Printf.printf "rho(S 2023, S 2025) = %.4f (paper: %.2f)\n"
+    cmp.Webdep.Longitudinal.rho.Correlation.rho Anecdotes.rho_longitudinal;
+  let ru = List.find (fun d -> d.Webdep.Longitudinal.country = "RU") cmp.Webdep.Longitudinal.deltas in
+  Printf.printf "mean toplist Jaccard = %.3f (paper: ~%.2f); Russia = %.3f (paper: ~%.1f)\n"
+    cmp.Webdep.Longitudinal.mean_jaccard Anecdotes.longitudinal_jaccard_mean
+    ru.Webdep.Longitudinal.jaccard Anecdotes.longitudinal_jaccard_ru;
+  (match cmp.Webdep.Longitudinal.focus_mean_delta with
+  | Some d ->
+      Printf.printf "mean Cloudflare change = %+.1f pts (paper: +%.1f)\n" (pct d)
+        (pct Anecdotes.cloudflare_mean_increase)
+  | None -> ());
+  let br = List.find (fun d -> d.Webdep.Longitudinal.country = "BR") cmp.Webdep.Longitudinal.deltas in
+  let paper_br = Anecdotes.brazil_old_new and paper_ru = Anecdotes.russia_old_new in
+  Printf.printf "Brazil: %.4f -> %.4f (paper: %.4f -> %.4f) — largest increase\n"
+    br.Webdep.Longitudinal.old_score br.Webdep.Longitudinal.new_score (fst paper_br)
+    (snd paper_br);
+  Printf.printf "Russia: %.4f -> %.4f (paper: %.4f -> %.4f) — largest decrease\n"
+    ru.Webdep.Longitudinal.old_score ru.Webdep.Longitudinal.new_score (fst paper_ru)
+    (snd paper_ru);
+  let inc = Webdep.Longitudinal.largest_increase cmp in
+  Printf.printf "largest measured increase: %s (%+.4f)\n" inc.Webdep.Longitudinal.country
+    inc.Webdep.Longitudinal.delta
+
+let correlations () =
+  section "Sec 5.2/5.3" "Class-share and insularity correlations with S (hosting)";
+  let cl = Lazy.force hosting_classification in
+  let s = scores_arr Hosting all_ccs in
+  let class_share k =
+    Array.of_list (List.map (fun cc -> Classify.share_of_class cl ds Hosting cc k) all_ccs)
+  in
+  let perm_rng = Webdep_stats.Rng.create (seed + 7) in
+  let report name arr paper =
+    let r = Correlation.pearson arr s in
+    let perm = Correlation.permutation_p ~iterations:500 perm_rng arr s in
+    Printf.printf "%-38s rho = %+.3f (paper: %+.2f), p = %.2g (perm p = %.2g) [%s]\n" name
+      r.Correlation.rho paper r.Correlation.p_value perm
+      (Correlation.strength_to_string (Correlation.strength r.Correlation.rho))
+  in
+  report "XL-GP share vs centralization" (class_share Classify.XL_GP)
+    Anecdotes.rho_xlgp_centralization;
+  report "L-GP share vs centralization" (class_share Classify.L_GP)
+    Anecdotes.rho_lgp_centralization;
+  report "L-RP share vs centralization" (class_share Classify.L_RP)
+    Anecdotes.rho_lrp_centralization;
+  let ins = Array.of_list (List.map (R.insularity ds Hosting) all_ccs) in
+  report "hosting insularity vs centralization" ins Anecdotes.rho_insularity_centralization;
+  let tld_ins = Array.of_list (List.map (R.insularity ds Tld) all_ccs) in
+  let r = Correlation.pearson ins tld_ins in
+  Printf.printf "%-38s rho = %+.3f (paper: %+.2f), p = %.2g [%s]\n"
+    "hosting vs TLD insularity" r.Correlation.rho Anecdotes.rho_hosting_tld_insularity
+    r.Correlation.p_value
+    (Correlation.strength_to_string (Correlation.strength r.Correlation.rho));
+  (* Rank-based agreement: Spearman should tell the same story. *)
+  let xl = class_share Classify.XL_GP in
+  let rp = Correlation.pearson xl s and rs = Correlation.spearman xl s in
+  let lo, hi = Correlation.fisher_interval rp in
+  Printf.printf
+    "\nXL-GP vs S — pearson %.3f (95%% CI [%.3f, %.3f]), spearman %.3f: rank-based\n\
+     and linear agreement coincide.\n"
+    rp.Correlation.rho lo hi rs.Correlation.rho;
+  Printf.printf "\nregional case studies (share of hosting on partner-country providers):\n";
+  List.iter
+    (fun (cc, partner, paper_share) ->
+      let dep =
+        Option.value ~default:0.0
+          (List.assoc_opt partner (R.foreign_dependence ds Hosting cc))
+      in
+      Printf.printf "  %s -> %s: %5.1f%% (paper: %5.1f%%)\n" cc partner (pct dep)
+        (pct paper_share))
+    Anecdotes.cross_country_hosting
+
+let language_case_study () =
+  section "Sec 5.3.3 (lang)" "Language and cross-border hosting: Afghanistan and Iran";
+  let fa_share = Webdep.Language_analysis.share_of_language ds "AF" "fa" in
+  let fa_in_ir = Webdep.Language_analysis.hosted_in ds "AF" ~language:"fa" ~home:"IR" in
+  Printf.printf "Persian share of Afghan top sites: %.1f%% (paper: 31.4%%)\n" (pct fa_share);
+  Printf.printf "of those, hosted in Iran:          %.1f%% (paper: 60.8%%)\n" (pct fa_in_ir);
+  Printf.printf "Afghan language breakdown: %s\n"
+    (String.concat ", "
+       (List.filteri (fun i _ -> i < 4)
+          (List.map
+             (fun (lang, s) -> Printf.sprintf "%s %.1f%%" lang (pct s))
+             (Webdep.Language_analysis.language_breakdown ds "AF"))));
+  Printf.printf "Persian sites by provider home: %s\n"
+    (String.concat ", "
+       (List.filteri (fun i _ -> i < 4)
+          (List.map
+             (fun (home, s) -> Printf.sprintf "%s %.1f%%" home (pct s))
+             (Webdep.Language_analysis.language_home_crosstab ds "AF" ~language:"fa"))))
+
+let redundancy_study () =
+  section "Sec 3.2 (ext)" "Provider redundancy: sites that require a single provider";
+  Printf.printf "%-4s %14s %14s %12s\n" "cc" "single-homed" "top critical" "SPOF score";
+  List.iter
+    (fun cc ->
+      let input =
+        Measure.discover_redundancy ~vantages:[ "US"; cc; "DE"; "JP"; "BR" ] world cc
+      in
+      let r = Webdep.Redundancy.analyze input in
+      let top =
+        match r.Webdep.Redundancy.critical_counts with
+        | (name, k) :: _ -> Printf.sprintf "%s (%d)" name k
+        | [] -> "-"
+      in
+      Printf.printf "%-4s %13.1f%% %14s %12.4f\n" cc
+        (pct (Webdep.Redundancy.single_homed_fraction r))
+        top r.Webdep.Redundancy.spof_score)
+    [ "TH"; "US"; "IR"; "DE" ];
+  Printf.printf
+    "multi-CDN sites (%.0f%% of the world) surface a secondary provider from some\n\
+     vantages and stop counting as single points of failure.\n"
+    (pct World.multi_cdn_fraction)
+
+let external_tlds () =
+  section "App. B (ext)" "External ccTLD dependence";
+  Printf.printf "countries where an external ccTLD outranks the local one:\n";
+  let over =
+    List.filter_map
+      (fun cc ->
+        Option.map (fun tld -> (cc, tld)) (Webdep.Tld_analysis.uses_external_over_local ds cc))
+      all_ccs
+  in
+  List.iter (fun (cc, tld) -> Printf.printf "  %-4s -> %s\n" cc tld) over;
+  Printf.printf "(paper: .fr outranks the local ccTLD in 14 countries)\n\n";
+  Printf.printf "%-4s  top external ccTLDs\n" "cc";
+  List.iter
+    (fun cc ->
+      let ext = Webdep.Tld_analysis.external_cctlds ds cc in
+      Printf.printf "%-4s  %s\n" cc
+        (String.concat ", "
+           (List.filteri (fun i _ -> i < 3)
+              (List.map (fun (tld, s) -> Printf.sprintf "%s %.1f%%" tld (pct s)) ext))))
+    [ "KG"; "TM"; "BY"; "AT"; "CH"; "BF"; "RE"; "SK" ]
+
+let baselines () =
+  section "Baselines" "S vs the measures prior work used (top-N, HHI, Gini)";
+  let module B = Webdep_emd.Baselines in
+  Printf.printf "%-4s %8s %8s %8s %8s %10s\n" "cc" "S" "top-5" "gini" "evenness" "eff. prov";
+  List.iter
+    (fun cc ->
+      let d = D.distribution ds Hosting cc in
+      Printf.printf "%-4s %8.4f %7.1f%% %8.3f %8.3f %10.1f\n" cc (score Hosting cc)
+        (pct (B.top_n d 5)) (B.gini d) (B.shannon_evenness d) (B.effective_providers d))
+    [ "TH"; "AZ"; "HK"; "US"; "CZ"; "IR" ];
+  let labelled = List.map (fun cc -> (cc, D.distribution ds Hosting cc)) all_ccs in
+  let dis = B.compare_with_top_n labelled in
+  Printf.printf
+    "\nover all %d country pairs: top-5 ties %d pairs that S separates, and\n\
+     orders %d pairs opposite to S — the Figure 1 shortcoming at scale.\n"
+    dis.B.pairs_compared dis.B.topn_ties_s_separates dis.B.rank_inversions
+
+let weighted_and_pairwise () =
+  section "Sec 3.2 (ext)" "Customizable EMD: traffic weighting and pairwise comparison";
+  (* Traffic weighting: give sites Zipf traffic weights, heaviest traffic
+     on the sites of the biggest providers (popular sites sit on the big
+     CDNs), and compare against the unweighted score. *)
+  let cc = "TH" in
+  let groups = D.counts_by_entity ds Hosting cc in
+  let total_sites = List.fold_left (fun acc (_, k) -> acc + k) 0 groups in
+  let zipf = Webdep_stats.Sample.zipf_weights ~s:1.0 total_sites in
+  let _, weighted_groups =
+    List.fold_left
+      (fun (offset, acc) (_, k) ->
+        let k = min k (total_sites - offset) in
+        (offset + k, Array.sub zipf offset k :: acc))
+      (0, []) groups
+  in
+  let unweighted = score Hosting cc in
+  let weighted = Webdep_emd.Extensions.weighted_score weighted_groups in
+  Printf.printf "%s hosting: unweighted S = %.4f, traffic-weighted S_w = %.4f\n" cc unweighted
+    weighted;
+  Printf.printf
+    "(weighting by Zipf traffic increases concentration: popular sites sit on the\n\
+     biggest providers)\n\n";
+  (* Pairwise: which countries have the most similar hosting shapes?
+     Exact pairwise EMD runs on the top-40 buckets (the solver is
+     polynomial); the closed-form L1 companion uses the full vectors. *)
+  let truncate d =
+    let top = Array.sub (Webdep_emd.Dist.sorted_desc d) 0 (min 40 (Webdep_emd.Dist.size d)) in
+    Webdep_emd.Dist.of_masses top
+  in
+  let pairs = [ ("AZ", "HK"); ("TH", "ID"); ("TH", "IR"); ("CZ", "RU"); ("US", "GB") ] in
+  Printf.printf "%-10s %16s %14s\n" "pair" "EMD(top-40)" "sorted-L1/2";
+  List.iter
+    (fun (a, b) ->
+      let da = D.distribution ds Hosting a and db = D.distribution ds Hosting b in
+      Printf.printf "%-4s/%-5s %16.4f %14.4f\n" a b
+        (Webdep_emd.Extensions.pairwise (truncate da) (truncate db))
+        (Webdep_emd.Extensions.sorted_share_l1 da db))
+    pairs
+
+(* ========================================================================
+   Ablations (DESIGN.md)
+   ======================================================================== *)
+
+let shape_similarity () =
+  section "Maps (ext)" "Distribution-shape similarity and subregional coherence";
+  let coherence = Webdep.Similarity_analysis.subregional_coherence ds Hosting in
+  Printf.printf
+    "mean shape distance within subregions = %.4f, across = %.4f (ratio %.2f)\n\
+     — countries resemble their subregion, the pattern behind the Figure 5 map.\n\n"
+    coherence.Webdep.Similarity_analysis.within coherence.Webdep.Similarity_analysis.across
+    coherence.Webdep.Similarity_analysis.ratio;
+  List.iter
+    (fun cc ->
+      Printf.printf "%-4s nearest shapes: %s\n" cc
+        (String.concat ", "
+           (List.map
+              (fun (other, d) -> Printf.sprintf "%s (%.3f)" other d)
+              (Webdep.Similarity_analysis.nearest_neighbours ds Hosting ~k:4 cc))))
+    [ "TH"; "IR"; "CZ"; "US" ]
+
+let state_ca () =
+  section "Sec 7.2 (ext)" "The browser-rejected state CA";
+  let snap = World.snapshot world "RU" in
+  let measured = Measure.measure_snapshot world snap in
+  let assigned_state, labelled_state =
+    List.fold_left
+      (fun (a, l) s ->
+        match Hashtbl.find_opt snap.Webdep_worldgen.World.assigned s.D.domain with
+        | Some (_, _, ca)
+          when ca.Webdep_worldgen.Provider.name = "Russian Trusted Root CA" ->
+            ((a + 1), if s.D.ca <> None then l + 1 else l)
+        | _ -> (a, l))
+      (0, 0) measured.D.sites
+  in
+  Printf.printf
+    "Russian sites serving certificates from the state root CA: %d (%.1f%%); the\n\
+     pipeline labels %d of them — CCADB has no entry for a CA outside the browser\n\
+     root programs, exactly the paper's account of the 2022 state CA.\n"
+    assigned_state
+    (pct (float_of_int assigned_state /. float_of_int (List.length measured.D.sites)))
+    labelled_state
+
+let crux_coverage () =
+  section "Sec 3.4 (CrUX)" "Country coverage: the 10K-website eligibility cut";
+  let rng = Webdep_stats.Rng.create seed in
+  let es = Webdep_crux.Coverage.simulate rng () in
+  Printf.printf
+    "simulated CrUX country lists: %d of %d countries have >= %d websites (%.1f%%);\n\
+     the paper keeps 150 of 237 (63.3%%).\n"
+    (Webdep_crux.Coverage.eligible_count es)
+    (List.length es) Webdep_crux.Coverage.threshold
+    (pct (Webdep_crux.Coverage.eligible_fraction es));
+  let lengths =
+    Array.of_list (List.map (fun e -> float_of_int e.Webdep_crux.Coverage.list_length) es)
+  in
+  Printf.printf "list-length quartiles: p25 = %.0f, median = %.0f, p75 = %.0f\n"
+    (Webdep_stats.Descriptive.percentile lengths 25.0)
+    (Webdep_stats.Descriptive.median lengths)
+    (Webdep_stats.Descriptive.percentile lengths 75.0)
+
+let substrate_validation () =
+  section "Substrates" "Pipeline substrate self-checks (ZDNS / RouteViews parity)";
+  (* Iterative DNS over the delegation hierarchy vs the flat resolver. *)
+  let stats = Measure.iterative_resolution_stats world "FR" in
+  Printf.printf
+    "iterative DNS (root -> TLD -> authoritative) over France's %d domains:\n\
+    \  agreement with flat resolution = %.1f%%, %.2f queries/domain, %d failures\n"
+    stats.Measure.domains (pct stats.Measure.agreement) stats.Measure.mean_queries
+    stats.Measure.failures;
+  (* RouteViews-style origin derivation vs the direct pfx2as table. *)
+  let internet = World.internet world in
+  let bgp = Webdep_netsim.Internet.bgp internet in
+  let derived = Webdep_netsim.Bgp.derive_pfx2as bgp in
+  let sampled = ref 0 and agree = ref 0 in
+  Webdep_netsim.Prefix_table.fold
+    (fun prefix _asn () ->
+      if !sampled < 2000 then begin
+        incr sampled;
+        let a = Webdep_netsim.Ipv4.nth_addr prefix 1 in
+        (* The derivation must agree with the Internet's own direct
+           pfx2as table. *)
+        if Webdep_netsim.Prefix_table.lookup derived a
+           = Webdep_netsim.Internet.origin_as internet a
+        then incr agree
+      end)
+    derived ();
+  Printf.printf
+    "BGP: %d announcements over %d prefixes; derived pfx2as self-consistent on %d/%d \
+     samples; MOAS conflicts: %d\n"
+    (Webdep_netsim.Bgp.announcement_count bgp)
+    (Webdep_netsim.Bgp.prefix_count bgp)
+    !agree !sampled
+    (List.length (Webdep_netsim.Bgp.moas bgp))
+
+let ablation_fdiv () =
+  section "Ablation A" "f-divergences vs EMD on disjoint supports (Sec 3.1)";
+  let module Div = Webdep_emd.Divergence in
+  let obs1 = [| 0.9; 0.1 |] and obs2 = [| 0.6; 0.4 |] in
+  let reference = Array.append [| 0.0; 0.0 |] (Array.make 8 0.125) in
+  let pad v = fst (Div.align v reference) in
+  Printf.printf "%-22s %12s %12s\n" "metric" "skewed(9:1)" "flat(6:4)";
+  Printf.printf "%-22s %12.4f %12.4f   <- saturated, cannot rank\n" "Hellinger"
+    (Div.hellinger (pad obs1) reference)
+    (Div.hellinger (pad obs2) reference);
+  Printf.printf "%-22s %12.4f %12.4f   <- saturated\n" "total variation"
+    (Div.total_variation (pad obs1) reference)
+    (Div.total_variation (pad obs2) reference);
+  Printf.printf "%-22s %12.4f %12.4f   <- saturated at ln 2\n" "Jensen-Shannon"
+    (Div.jensen_shannon (pad obs1) reference)
+    (Div.jensen_shannon (pad obs2) reference);
+  Printf.printf "%-22s %12s %12s   <- infinite on disjoint support\n" "KL" "inf" "inf";
+  Printf.printf "%-22s %12.4f %12.4f   <- EMD-based S ranks them\n" "centralization S"
+    (Webdep_emd.Centralization.score_of_counts [| 9; 1 |])
+    (Webdep_emd.Centralization.score_of_counts [| 6; 4 |])
+
+let ablation_c_sensitivity () =
+  section "Ablation E" "Toplist-size sensitivity: S under different C (req. 3, Sec 3.2)";
+  Printf.printf "%-4s" "cc";
+  List.iter (fun c' -> Printf.printf " %10s" (Printf.sprintf "C=%d" c')) [ 1000; 2500; 5000; 10000 ];
+  Printf.printf " %10s\n" "paper";
+  List.iter
+    (fun cc ->
+      Printf.printf "%-4s" cc;
+      List.iter
+        (fun c' ->
+          let m = Webdep_worldgen.Mix.build ~c:c' Hosting cc in
+          Printf.printf " %10.4f" m.Webdep_worldgen.Mix.achieved_score)
+        [ 1000; 2500; 5000; 10000 ];
+      Printf.printf " %10.4f\n" (Scores.score_exn Hosting cc))
+    [ "TH"; "US"; "CZ"; "IR" ];
+  Printf.printf
+    "the score is stable in C once C dominates the provider count — the paper's\n\
+     requirement that comparisons hold C constant is conservative but cheap.\n"
+
+let ablation_emd () =
+  section "Ablation B" "Closed-form S vs general transportation solver (App. A)";
+  let rng = Webdep_stats.Rng.create 99 in
+  let max_gap = ref 0.0 in
+  let trials = 50 in
+  for _ = 1 to trials do
+    let n = 2 + Webdep_stats.Rng.int rng 6 in
+    let counts = Array.init n (fun _ -> 1 + Webdep_stats.Rng.int rng 8) in
+    let d = Webdep_emd.Dist.of_counts counts in
+    let gap =
+      Float.abs
+        (Webdep_emd.Centralization.score d -. Webdep_emd.Centralization.via_transport d)
+    in
+    max_gap := Float.max !max_gap gap
+  done;
+  Printf.printf "%d random instances: max |closed form - solver| = %.2e\n" trials !max_gap;
+  let counts = [| 20; 10; 5; 3; 2 |] in
+  let d = Webdep_emd.Dist.of_counts counts in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let iters = ref 0 in
+    while Unix.gettimeofday () -. t0 < 0.2 do
+      ignore (f ());
+      incr iters
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int !iters
+  in
+  let closed = time (fun () -> Webdep_emd.Centralization.score d) in
+  let solver = time (fun () -> Webdep_emd.Centralization.via_transport d) in
+  Printf.printf "closed form: %.2e s/call, solver (C=40): %.2e s/call (x%.0f slower)\n" closed
+    solver (solver /. closed)
+
+let ablation_endemicity () =
+  section "Ablation C" "Endemicity ratio vs raw endemicity (size confound, Sec 3.3)";
+  let usage = R.all_usage ds Hosting in
+  let big = List.filteri (fun i _ -> i < 200) usage in
+  let arr f = Array.of_list (List.map f big) in
+  let u = arr (fun (s : R.usage_stats) -> s.R.usage) in
+  let e_raw = arr (fun (s : R.usage_stats) -> s.R.endemicity) in
+  let e_ratio = arr (fun (s : R.usage_stats) -> s.R.endemicity_ratio) in
+  let r_raw = (Correlation.pearson u e_raw).Correlation.rho in
+  let r_ratio = (Correlation.pearson u e_ratio).Correlation.rho in
+  Printf.printf "corr(usage, raw endemicity)   = %+.3f   <- raw E confounded with size\n" r_raw;
+  Printf.printf "corr(usage, endemicity ratio) = %+.3f   <- E_R removes the size effect\n"
+    r_ratio
+
+let ablation_clustering () =
+  section "Ablation D" "Affinity propagation vs k-means for provider classes";
+  let usage = R.all_usage ds Hosting in
+  let head = Array.of_list (List.filteri (fun i _ -> i < 300) usage) in
+  let points =
+    Webdep_stats.Scaling.min_max_columns
+      (Array.map (fun (s : R.usage_stats) -> [| log1p s.R.usage; s.R.endemicity_ratio |]) head)
+  in
+  let ap = Webdep_cluster.Affinity.cluster_points points in
+  let ap_sil = Webdep_cluster.Silhouette.score points ap.Webdep_cluster.Affinity.assignment in
+  let k = List.length ap.Webdep_cluster.Affinity.exemplars in
+  let km = Webdep_cluster.Kmeans.run (Webdep_stats.Rng.create 42) ~k points in
+  let km_sil = Webdep_cluster.Silhouette.score points km.Webdep_cluster.Kmeans.assignment in
+  Printf.printf "affinity propagation: %d clusters, silhouette = %.3f (converged: %b)\n" k ap_sil
+    ap.Webdep_cluster.Affinity.converged;
+  Printf.printf "k-means (same k):     %d clusters, silhouette = %.3f\n" k km_sil
+
+(* ========================================================================
+   Bechamel timings: one Test.make per table/figure
+   ======================================================================== *)
+
+let timings () =
+  let open Bechamel in
+  let open Toolkit in
+  section "Timings" "Bechamel (one Test.make per table/figure)";
+  let cl = Lazy.force hosting_classification in
+  let small_counts = [| 20; 10; 5; 3; 2 |] in
+  let small_dist = Webdep_emd.Dist.of_counts small_counts in
+  let hosting_dist = D.distribution ds Hosting "TH" in
+  let usage_head =
+    Array.of_list (List.filteri (fun i _ -> i < 120) (R.all_usage ds Hosting))
+  in
+  let cluster_points =
+    Webdep_stats.Scaling.min_max_columns
+      (Array.map
+         (fun (s : R.usage_stats) -> [| log1p s.R.usage; s.R.endemicity_ratio |])
+         usage_head)
+  in
+  let home_scores = List.map (fun cc -> (cc, score Hosting cc)) all_ccs in
+  let domains_a = List.init 2000 (fun i -> Printf.sprintf "a%05d.example" i) in
+  let domains_b =
+    List.init 2000 (fun i ->
+        Printf.sprintf "%s%05d.example" (if i mod 2 = 0 then "a" else "b") i)
+  in
+  let stage = Staged.stage in
+  let tests =
+    [
+      Test.make ~name:"fig1_rank_curves" (stage (fun () -> Metrics.rank_curve ds Hosting "AZ"));
+      Test.make ~name:"fig2_emd_transport"
+        (stage (fun () -> Webdep_emd.Centralization.via_transport small_dist));
+      Test.make ~name:"fig3_calibration"
+        (stage (fun () ->
+             Webdep_worldgen.Calibrate.counts ~c:2000 ~n_providers:200 ~target:0.111 ()));
+      Test.make ~name:"fig4_usage_curve"
+        (stage (fun () -> R.usage_curve ds Hosting ~name:"Cloudflare"));
+      Test.make ~name:"table1_classify"
+        (stage (fun () -> Classify.classify ~cluster_cap:60 ds Hosting));
+      Test.make ~name:"fig5_all_scores" (stage (fun () -> Metrics.all_scores ds Hosting));
+      Test.make ~name:"fig6_affinity_propagation"
+        (stage (fun () -> Webdep_cluster.Affinity.cluster_points ~max_iter:60 cluster_points));
+      Test.make ~name:"fig7_class_shares"
+        (stage (fun () -> Classify.class_shares cl ds Hosting "TH"));
+      Test.make ~name:"fig8_dependence_matrix" (stage (fun () -> R.dependence_matrix ds Hosting));
+      Test.make ~name:"fig9_subregion_means"
+        (stage (fun () -> Report.subregion_means ds Hosting (score Hosting)));
+      Test.make ~name:"fig10_insularity_means"
+        (stage (fun () -> Report.subregion_means ds Hosting (R.insularity ds Hosting)));
+      Test.make ~name:"fig11_insularity_cdf" (stage (fun () -> Report.insularity_cdf ds Hosting));
+      Test.make ~name:"fig12_histogram" (stage (fun () -> Report.score_histogram ds Hosting ()));
+      Test.make ~name:"fig13_ca_insularity" (stage (fun () -> R.all_insularity ds Ca));
+      Test.make ~name:"table2_dns_usage_stats" (stage (fun () -> R.all_usage ds Dns));
+      Test.make ~name:"table3_ca_usage_stats" (stage (fun () -> R.all_usage ds Ca));
+      Test.make ~name:"fig14_dns_scores" (stage (fun () -> Metrics.all_scores ds Dns));
+      Test.make ~name:"fig15_ca_scores" (stage (fun () -> Metrics.all_scores ds Ca));
+      Test.make ~name:"fig16_tld_scores" (stage (fun () -> Metrics.all_scores ds Tld));
+      Test.make ~name:"fig17_dns_ranked" (stage (fun () -> Report.ranked_scores ds Dns));
+      Test.make ~name:"fig18_ca_ranked" (stage (fun () -> Report.ranked_scores ds Ca));
+      Test.make ~name:"fig19_tld_ranked" (stage (fun () -> Report.ranked_scores ds Tld));
+      Test.make ~name:"fig20_hosting_insularity"
+        (stage (fun () -> R.all_insularity ds Hosting));
+      Test.make ~name:"fig21_dns_insularity" (stage (fun () -> R.all_insularity ds Dns));
+      Test.make ~name:"fig22_tld_insularity" (stage (fun () -> R.all_insularity ds Tld));
+      Test.make ~name:"table5_hosting_score"
+        (stage (fun () -> Webdep_emd.Centralization.score hosting_dist));
+      Test.make ~name:"table6_dns_distribution" (stage (fun () -> D.distribution ds Dns "TH"));
+      Test.make ~name:"table7_ca_distribution" (stage (fun () -> D.distribution ds Ca "TH"));
+      Test.make ~name:"table8_tld_distribution" (stage (fun () -> D.distribution ds Tld "TH"));
+      Test.make ~name:"vantage_correlate"
+        (stage (fun () -> Webdep.Validate.correlate ~home:home_scores ~probes:home_scores));
+      Test.make ~name:"longitudinal_jaccard"
+        (stage (fun () -> Webdep_stats.Similarity.jaccard_strings domains_a domains_b));
+      Test.make ~name:"ablation_closed_form"
+        (stage (fun () -> Webdep_emd.Centralization.score small_dist));
+      Test.make ~name:"ablation_transport"
+        (stage (fun () -> Webdep_emd.Centralization.via_transport small_dist));
+      Test.make ~name:"ext_language_crosstab"
+        (stage (fun () -> Webdep.Language_analysis.language_breakdown ds "AF"));
+      Test.make ~name:"ext_baselines_gini"
+        (stage (fun () -> Webdep_emd.Baselines.gini hosting_dist));
+      Test.make ~name:"ext_weighted_score"
+        (stage (fun () ->
+             Webdep_emd.Extensions.weighted_score [ [| 3.0; 2.0 |]; [| 1.0 |] ]));
+      Test.make ~name:"ext_export_scores_csv"
+        (stage (fun () -> Webdep.Export.scores_csv ds Hosting));
+      Test.make ~name:"ext_tld_breakdown"
+        (stage (fun () -> Webdep.Tld_analysis.breakdown ds "AT"));
+    ]
+  in
+  let cfg = Benchmark.cfg ~limit:60 ~quota:(Time.second 0.15) ~kde:None () in
+  let raw =
+    Benchmark.all cfg Instance.[ monotonic_clock ] (Test.make_grouped ~name:"webdep" tests)
+  in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name est acc ->
+        match Analyze.OLS.estimates est with
+        | Some [ ns ] -> (name, ns) :: acc
+        | _ -> (name, nan) :: acc)
+      results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  Printf.printf "%-48s %16s\n" "benchmark" "time per run";
+  List.iter
+    (fun (name, ns) ->
+      let pretty =
+        if Float.is_nan ns then "n/a"
+        else if ns > 1e9 then Printf.sprintf "%8.2f s" (ns /. 1e9)
+        else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+        else Printf.sprintf "%8.0f ns" ns
+      in
+      Printf.printf "%-48s %16s\n" name pretty)
+    rows
+
+(* ========================================================================
+   main
+   ======================================================================== *)
+
+let () =
+  fig1 ();
+  fig2 ();
+  fig3 ();
+  fig4 ();
+  table1 ();
+  fig5 ();
+  fig6 ();
+  fig7 ();
+  fig8 ();
+  fig9 ();
+  fig10 ();
+  fig11 ();
+  fig12 ();
+  fig13 ();
+  table2 ();
+  table3 ();
+  fig14 ();
+  fig15 ();
+  fig16 ();
+  fig17 ();
+  fig18 ();
+  fig19 ();
+  fig20 ();
+  fig21 ();
+  fig22 ();
+  table5 ();
+  table6 ();
+  table7 ();
+  table8 ();
+  vantage ();
+  longitudinal ();
+  correlations ();
+  language_case_study ();
+  redundancy_study ();
+  external_tlds ();
+  baselines ();
+  weighted_and_pairwise ();
+  shape_similarity ();
+  state_ca ();
+  crux_coverage ();
+  substrate_validation ();
+  ablation_fdiv ();
+  ablation_emd ();
+  ablation_endemicity ();
+  ablation_clustering ();
+  ablation_c_sensitivity ();
+  if Sys.getenv_opt "WEBDEP_BENCH_SKIP_TIMINGS" = None then timings ();
+  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t_start)

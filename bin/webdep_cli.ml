@@ -1,0 +1,366 @@
+(* webdep — command-line interface to the dependence toolkit.
+
+   Subcommands:
+     scores       per-country centralization scores for a layer
+     report       full dependence report for one country
+     insularity   per-country insularity for a layer
+     classify     provider classes (Tables 1-3)
+     usage        usage/endemicity statistics for one provider
+     longitudinal 2023 vs 2025 comparison
+     validate     vantage-point validation sweep
+     paper        print the embedded Appendix-F reference table
+     countries    list the 150 dataset countries *)
+
+open Cmdliner
+
+module World = Webdep_worldgen.World
+module Measure = Webdep_pipeline.Measure
+module D = Webdep.Dataset
+module Scores = Webdep_reference.Paper_scores
+
+(* --- shared arguments -------------------------------------------------- *)
+
+let layer_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "hosting" -> Ok Scores.Hosting
+    | "dns" -> Ok Scores.Dns
+    | "ca" -> Ok Scores.Ca
+    | "tld" -> Ok Scores.Tld
+    | other -> Error (`Msg (Printf.sprintf "unknown layer %S (hosting|dns|ca|tld)" other))
+  in
+  Arg.conv (parse, fun fmt l -> Format.pp_print_string fmt (Scores.layer_name l))
+
+let layer_arg =
+  Arg.(value & opt layer_conv Scores.Hosting & info [ "l"; "layer" ] ~docv:"LAYER"
+         ~doc:"Infrastructure layer: hosting, dns, ca or tld.")
+
+let seed_arg =
+  Arg.(value & opt int 2024 & info [ "seed" ] ~docv:"SEED" ~doc:"World seed.")
+
+let c_arg =
+  Arg.(value & opt int 2000 & info [ "c"; "toplist" ] ~docv:"N"
+         ~doc:"Websites per country (the paper uses 10000).")
+
+let countries_arg =
+  Arg.(value & opt (list string) [] & info [ "countries" ] ~docv:"CC,CC,..."
+         ~doc:"Restrict to these country codes (default: all 150).")
+
+let top_arg =
+  Arg.(value & opt int 20 & info [ "top" ] ~docv:"N" ~doc:"Rows to print.")
+
+let normalize_countries = function
+  | [] -> None
+  | ccs -> Some (List.map String.uppercase_ascii ccs)
+
+let measure ~seed ~c ?countries () =
+  let world = World.create ~c ~seed () in
+  (world, Measure.measure_all ?countries world)
+
+(* --- scores ------------------------------------------------------------- *)
+
+let run_scores layer seed c countries top =
+  let _, ds = measure ~seed ~c ?countries:(normalize_countries countries) () in
+  Printf.printf "%-5s %-4s %10s %10s %8s\n" "rank" "cc" "S" "paper" "diff";
+  List.iteri
+    (fun i (cc, s) ->
+      if i < top then
+        let paper = Scores.score_exn layer cc in
+        Printf.printf "%-5d %-4s %10.4f %10.4f %+8.4f\n" (i + 1) cc s paper (s -. paper))
+    (Webdep.Metrics.all_scores ds layer)
+
+let scores_cmd =
+  let doc = "Per-country centralization scores for a layer (Tables 5-8)." in
+  Cmd.v (Cmd.info "scores" ~doc)
+    Term.(const run_scores $ layer_arg $ seed_arg $ c_arg $ countries_arg $ top_arg)
+
+(* --- report -------------------------------------------------------------- *)
+
+let cc_pos =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"CC" ~doc:"Country code.")
+
+let run_report cc seed c =
+  let cc = String.uppercase_ascii cc in
+  if not (Webdep_geo.Country.mem cc) then begin
+    Printf.eprintf "unknown country code %s\n" cc;
+    exit 1
+  end;
+  let _, ds = measure ~seed ~c ~countries:[ cc ] () in
+  List.iter
+    (fun layer ->
+      Printf.printf "--- %s ---\n" (Scores.layer_name layer);
+      Printf.printf "S = %.4f (paper %.4f), insularity = %.1f%%, providers = %d\n"
+        (Webdep.Metrics.centralization ds layer cc)
+        (Scores.score_exn layer cc)
+        (100.0 *. Webdep.Regionalization.insularity ds layer cc)
+        (Webdep.Metrics.provider_count ds layer cc);
+      List.iteri
+        (fun i ((e : D.entity), k) ->
+          if i < 5 then
+            Printf.printf "  %d. %-28s [%s] %5.1f%%\n" (i + 1) e.D.name e.D.country
+              (100.0 *. float_of_int k /. float_of_int c))
+        (D.counts_by_entity ds layer cc);
+      print_newline ())
+    Scores.all_layers
+
+let report_cmd =
+  let doc = "Full four-layer dependence report for one country." in
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run_report $ cc_pos $ seed_arg $ c_arg)
+
+(* --- insularity ------------------------------------------------------------ *)
+
+let run_insularity layer seed c countries top =
+  let _, ds = measure ~seed ~c ?countries:(normalize_countries countries) () in
+  Printf.printf "%-5s %-4s %12s\n" "rank" "cc" "insularity";
+  List.iteri
+    (fun i (cc, v) ->
+      if i < top then Printf.printf "%-5d %-4s %11.1f%%\n" (i + 1) cc (100.0 *. v))
+    (Webdep.Regionalization.all_insularity ds layer)
+
+let insularity_cmd =
+  let doc = "Per-country insularity for a layer (Figures 13, 20-22)." in
+  Cmd.v (Cmd.info "insularity" ~doc)
+    Term.(const run_insularity $ layer_arg $ seed_arg $ c_arg $ countries_arg $ top_arg)
+
+(* --- classify ---------------------------------------------------------------- *)
+
+let run_classify layer seed c =
+  let _, ds = measure ~seed ~c () in
+  let cl = Webdep.Classify.classify ds layer in
+  Printf.printf "raw affinity-propagation clusters: %d\n" cl.Webdep.Classify.raw_clusters;
+  Printf.printf "%-10s %8s\n" "class" "count";
+  List.iter
+    (fun (k, n) -> Printf.printf "%-10s %8d\n" (Webdep.Classify.klass_name k) n)
+    cl.Webdep.Classify.table
+
+let classify_cmd =
+  let doc = "Provider classes by usage and endemicity (Tables 1-3)." in
+  Cmd.v (Cmd.info "classify" ~doc) Term.(const run_classify $ layer_arg $ seed_arg $ c_arg)
+
+(* --- usage ---------------------------------------------------------------------- *)
+
+let provider_pos =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"PROVIDER" ~doc:"Provider name.")
+
+let run_usage provider layer seed c =
+  let _, ds = measure ~seed ~c () in
+  match Webdep.Regionalization.usage_curve ds layer ~name:provider with
+  | exception Not_found ->
+      Printf.eprintf "provider %S not present in the %s layer\n" provider
+        (Scores.layer_name layer);
+      exit 1
+  | u ->
+      Printf.printf "provider: %s [%s]\n" provider
+        u.Webdep.Regionalization.entity.D.country;
+      Printf.printf "usage U = %.1f, endemicity E = %.1f, ratio E_R = %.3f\n"
+        u.Webdep.Regionalization.usage u.Webdep.Regionalization.endemicity
+        u.Webdep.Regionalization.endemicity_ratio;
+      Printf.printf "usage curve (top 10 countries): ";
+      Array.iteri
+        (fun i v -> if i < 10 then Printf.printf "%.1f%% " v)
+        u.Webdep.Regionalization.curve;
+      print_newline ()
+
+let usage_cmd =
+  let doc = "Usage and endemicity of one provider (Figure 4)." in
+  Cmd.v (Cmd.info "usage" ~doc)
+    Term.(const run_usage $ provider_pos $ layer_arg $ seed_arg $ c_arg)
+
+(* --- longitudinal ------------------------------------------------------------------ *)
+
+let run_longitudinal seed c countries top =
+  let countries = normalize_countries countries in
+  let world = World.create ~c ~seed () in
+  let ds23 = Measure.measure_all ?countries world in
+  let ds25 = Measure.measure_all ~epoch:World.May_2025 ?countries world in
+  let cmp = Webdep.Longitudinal.compare ~focus:"Cloudflare" ~old_ds:ds23 ~new_ds:ds25 Hosting in
+  Printf.printf "rho = %.3f, mean jaccard = %.3f, Cloudflare %+.1f pts\n"
+    cmp.Webdep.Longitudinal.rho.Webdep_stats.Correlation.rho
+    cmp.Webdep.Longitudinal.mean_jaccard
+    (100.0 *. Option.value ~default:0.0 cmp.Webdep.Longitudinal.focus_mean_delta);
+  Printf.printf "%-4s %9s %9s %8s\n" "cc" "2023" "2025" "delta";
+  List.iteri
+    (fun i d ->
+      if i < top then
+        Printf.printf "%-4s %9.4f %9.4f %+8.4f\n" d.Webdep.Longitudinal.country
+          d.Webdep.Longitudinal.old_score d.Webdep.Longitudinal.new_score
+          d.Webdep.Longitudinal.delta)
+    cmp.Webdep.Longitudinal.deltas
+
+let longitudinal_cmd =
+  let doc = "Compare May-2023 and May-2025 measurements (§5.4)." in
+  Cmd.v (Cmd.info "longitudinal" ~doc)
+    Term.(const run_longitudinal $ seed_arg $ c_arg $ countries_arg $ top_arg)
+
+(* --- validate ----------------------------------------------------------------------- *)
+
+let run_validate seed c countries =
+  let countries =
+    match normalize_countries countries with
+    | Some ccs -> ccs
+    | None -> List.map (fun x -> x.Webdep_geo.Country.code) Webdep_geo.Country.all
+  in
+  let world = World.create ~c ~seed () in
+  let ds = Measure.measure_all ~countries world in
+  let home = List.map (fun cc -> (cc, Webdep.Metrics.centralization ds Hosting cc)) countries in
+  let probes = Measure.measure_with_probes ~per_country_probes:5 ~seed world countries in
+  let v = Webdep.Validate.correlate ~home ~probes in
+  Printf.printf "rho(home, probes) = %.4f over %d countries, max gap %.4f\n"
+    v.Webdep.Validate.rho.Webdep_stats.Correlation.rho
+    (List.length v.Webdep.Validate.pairs)
+    v.Webdep.Validate.max_gap
+
+let validate_cmd =
+  let doc = "Vantage-point validation sweep (§3.4)." in
+  Cmd.v (Cmd.info "validate" ~doc) Term.(const run_validate $ seed_arg $ c_arg $ countries_arg)
+
+(* --- paper ------------------------------------------------------------------------- *)
+
+let run_paper layer top =
+  Printf.printf "%-5s %-4s %10s\n" "rank" "cc" "S";
+  List.iteri
+    (fun i (cc, s) -> if i < top then Printf.printf "%-5d %-4s %10.4f\n" (i + 1) cc s)
+    (Scores.table layer)
+
+let paper_cmd =
+  let doc = "Print the embedded Appendix-F reference table for a layer." in
+  Cmd.v (Cmd.info "paper" ~doc) Term.(const run_paper $ layer_arg $ top_arg)
+
+(* --- export -------------------------------------------------------------------------- *)
+
+let out_dir_arg =
+  Arg.(value & opt string "webdep-data" & info [ "o"; "out" ] ~docv:"DIR"
+         ~doc:"Output directory for the CSV files.")
+
+let run_export layer seed c out_dir =
+  let _, ds = measure ~seed ~c () in
+  (try Unix.mkdir out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let name = Scores.layer_name layer in
+  let put file doc =
+    let path = Filename.concat out_dir file in
+    Webdep.Export.write_file path doc;
+    Printf.printf "wrote %s\n" path
+  in
+  put (Printf.sprintf "scores_%s.csv" name) (Webdep.Export.scores_csv ds layer);
+  put (Printf.sprintf "insularity_%s.csv" name) (Webdep.Export.insularity_csv ds layer);
+  put (Printf.sprintf "usage_%s.csv" name) (Webdep.Export.usage_csv ds layer)
+
+let export_cmd =
+  let doc = "Export scores, insularity and provider usage as CSV (data release)." in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(const run_export $ layer_arg $ seed_arg $ c_arg $ out_dir_arg)
+
+(* --- language -------------------------------------------------------------------------- *)
+
+let run_language cc seed c =
+  let cc = String.uppercase_ascii cc in
+  let _, ds = measure ~seed ~c ~countries:[ cc ] () in
+  Printf.printf "content languages of %s's top sites:\n" cc;
+  List.iteri
+    (fun i (lang, share) ->
+      if i < 8 then begin
+        Printf.printf "  %-4s %5.1f%%   hosted in: " lang (100.0 *. share);
+        List.iteri
+          (fun j (home, s) ->
+            if j < 3 then Printf.printf "%s %.0f%% " home (100.0 *. s))
+          (Webdep.Language_analysis.language_home_crosstab ds cc ~language:lang);
+        print_newline ()
+      end)
+    (Webdep.Language_analysis.language_breakdown ds cc)
+
+let language_cmd =
+  let doc = "Content-language breakdown and cross-border hosting (§5.3.3)." in
+  Cmd.v (Cmd.info "language" ~doc) Term.(const run_language $ cc_pos $ seed_arg $ c_arg)
+
+(* --- redundancy -------------------------------------------------------------------------- *)
+
+let run_redundancy cc seed c =
+  let cc = String.uppercase_ascii cc in
+  let world = World.create ~c ~seed () in
+  let input =
+    Measure.discover_redundancy ~vantages:[ "US"; cc; "DE"; "JP"; "BR" ] world cc
+  in
+  let r = Webdep.Redundancy.analyze input in
+  Printf.printf "%s: %d sites, %.1f%% single-homed, SPOF score %.4f\n" cc
+    r.Webdep.Redundancy.total_sites
+    (100.0 *. Webdep.Redundancy.single_homed_fraction r)
+    r.Webdep.Redundancy.spof_score;
+  print_endline "most critical providers (sites that require them):";
+  List.iteri
+    (fun i (name, k) -> if i < 8 then Printf.printf "  %-28s %d\n" name k)
+    r.Webdep.Redundancy.critical_counts
+
+let redundancy_cmd =
+  let doc = "Single-provider dependence via multi-vantage measurement (§3.2 ext)." in
+  Cmd.v (Cmd.info "redundancy" ~doc) Term.(const run_redundancy $ cc_pos $ seed_arg $ c_arg)
+
+(* --- tld ---------------------------------------------------------------------------------- *)
+
+let run_tld cc seed c =
+  let cc = String.uppercase_ascii cc in
+  let _, ds = measure ~seed ~c ~countries:[ cc ] () in
+  Printf.printf "TLD usage of %s (S = %.4f):\n" cc (Webdep.Metrics.centralization ds Tld cc);
+  List.iter
+    (fun (cat, share) ->
+      Printf.printf "  %-16s %5.1f%%\n" (Webdep.Tld_analysis.category_name cat)
+        (100.0 *. share))
+    (Webdep.Tld_analysis.breakdown ds cc);
+  (match Webdep.Tld_analysis.external_cctlds ds cc with
+  | [] -> ()
+  | ext ->
+      print_endline "external ccTLDs:";
+      List.iteri
+        (fun i (tld, share) ->
+          if i < 6 then Printf.printf "  %-6s %5.1f%%\n" tld (100.0 *. share))
+        ext);
+  match Webdep.Tld_analysis.uses_external_over_local ds cc with
+  | Some tld -> Printf.printf "note: %s outranks the local ccTLD\n" tld
+  | None -> ()
+
+let tld_cmd =
+  let doc = "TLD-layer breakdown for one country (Appendix B)." in
+  Cmd.v (Cmd.info "tld" ~doc) Term.(const run_tld $ cc_pos $ seed_arg $ c_arg)
+
+(* --- report-md -------------------------------------------------------------------------- *)
+
+let md_out_arg =
+  Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
+         ~doc:"Write the Markdown report to FILE instead of stdout.")
+
+let run_report_md seed c countries out =
+  let _, ds = measure ~seed ~c ?countries:(normalize_countries countries) () in
+  let doc = Webdep.Report_md.generate ds in
+  match out with
+  | Some path ->
+      Webdep.Export.write_file path doc;
+      Printf.printf "wrote %s\n" path
+  | None -> print_string doc
+
+let report_md_cmd =
+  let doc = "Generate a paper-style Markdown report of the measured dataset." in
+  Cmd.v (Cmd.info "report-md" ~doc)
+    Term.(const run_report_md $ seed_arg $ c_arg $ countries_arg $ md_out_arg)
+
+(* --- countries ------------------------------------------------------------------------ *)
+
+let run_countries () =
+  List.iter
+    (fun c ->
+      Printf.printf "%-4s %-28s %-20s %s\n" c.Webdep_geo.Country.code c.Webdep_geo.Country.name
+        (Webdep_geo.Region.subregion_name c.Webdep_geo.Country.subregion)
+        (Webdep_geo.Region.continent_code (Webdep_geo.Country.continent c)))
+    Webdep_geo.Country.all
+
+let countries_cmd =
+  let doc = "List the 150 dataset countries (Appendix E)." in
+  Cmd.v (Cmd.info "countries" ~doc) Term.(const run_countries $ const ())
+
+let () =
+  let doc = "quantify centralization and regionalization of web infrastructure" in
+  let info = Cmd.info "webdep" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ scores_cmd; report_cmd; insularity_cmd; classify_cmd; usage_cmd;
+            longitudinal_cmd; validate_cmd; paper_cmd; countries_cmd; export_cmd;
+            language_cmd; redundancy_cmd; tld_cmd; report_md_cmd ]))

@@ -1,0 +1,72 @@
+(* Full dependence report for one country: generate the calibrated
+   world, run the §3.4 measurement pipeline, and print centralization,
+   insularity, top providers and cross-border dependence for all four
+   layers.
+
+   Run with: dune exec examples/country_report.exe -- [CC] [c]
+   (default country TH, toplist size 3000) *)
+
+module World = Webdep_worldgen.World
+module Measure = Webdep_pipeline.Measure
+module D = Webdep.Dataset
+module Scores = Webdep_reference.Paper_scores
+
+let () =
+  let cc = if Array.length Sys.argv > 1 then String.uppercase_ascii Sys.argv.(1) else "TH" in
+  let c = if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 3000 in
+  (match Webdep_geo.Country.of_code cc with
+  | None ->
+      Printf.eprintf "unknown country code %s (use one of the 150 dataset countries)\n" cc;
+      exit 1
+  | Some country ->
+      Printf.printf "== dependence report: %s (%s) ==\n" country.Webdep_geo.Country.name cc;
+      Printf.printf "   subregion: %s, toplist size: %d\n\n"
+        (Webdep_geo.Region.subregion_name country.Webdep_geo.Country.subregion)
+        c);
+  let world = World.create ~c ~seed:2024 () in
+  let ds = Measure.measure_all ~countries:[ cc ] world in
+  List.iter
+    (fun layer ->
+      let s = Webdep.Metrics.centralization ds layer cc in
+      let paper = Scores.score_exn layer cc in
+      let insularity = Webdep.Regionalization.insularity ds layer cc in
+      Printf.printf "--- %s ---\n" (String.uppercase_ascii (Scores.layer_name layer));
+      Printf.printf "  centralization S = %.4f (paper: %.4f, rank %d/150)  [%s]\n" s paper
+        (Option.get (Scores.rank layer cc))
+        (Webdep_emd.Centralization.doj_band_to_string (Webdep_emd.Centralization.doj_band s));
+      Printf.printf "  insularity       = %.1f%%\n" (100.0 *. insularity);
+      Printf.printf "  providers        = %d (top 10 cover %.1f%%)\n"
+        (Webdep.Metrics.provider_count ds layer cc)
+        (100.0 *. Webdep.Metrics.top_n_share ds layer cc 10);
+      print_endline "  top 5 providers:";
+      List.iteri
+        (fun i ((e : D.entity), k) ->
+          if i < 5 then
+            Printf.printf "    %d. %-28s [%s] %5.1f%%\n" (i + 1) e.D.name e.D.country
+              (100.0 *. float_of_int k /. float_of_int c))
+        (D.counts_by_entity ds layer cc);
+      print_endline "  dependence by provider home country:";
+      List.iteri
+        (fun i (home, share) ->
+          if i < 5 then Printf.printf "    %-3s %5.1f%%\n" home (100.0 *. share))
+        (Webdep.Regionalization.foreign_dependence ds layer cc);
+      print_endline "")
+    Scores.all_layers;
+  (* Toplist-sampling uncertainty on the hosting score. *)
+  let lo, hi = Webdep.Metrics.centralization_interval ~seed:2024 ds Hosting cc in
+  Printf.printf "--- uncertainty ---\n  hosting S 95%% bootstrap CI: [%.4f, %.4f]\n\n" lo hi;
+  (* Content languages and the TLD picture. *)
+  print_endline "--- content languages ---";
+  List.iteri
+    (fun i (lang, share) ->
+      if i < 5 then Printf.printf "  %-4s %5.1f%%\n" lang (100.0 *. share))
+    (Webdep.Language_analysis.language_breakdown ds cc);
+  print_endline "\n--- TLD categories ---";
+  List.iter
+    (fun (cat, share) ->
+      Printf.printf "  %-16s %5.1f%%\n" (Webdep.Tld_analysis.category_name cat)
+        (100.0 *. share))
+    (Webdep.Tld_analysis.breakdown ds cc);
+  match Webdep.Tld_analysis.uses_external_over_local ds cc with
+  | Some tld -> Printf.printf "  note: %s outranks the local ccTLD\n" tld
+  | None -> ()

@@ -1,0 +1,47 @@
+(* The §5.4 longitudinal experiment: measure the May-2023 world and the
+   May-2025 world, compare centralization, Cloudflare adoption and
+   toplist churn.
+
+   Run with: dune exec examples/longitudinal_study.exe *)
+
+module World = Webdep_worldgen.World
+module Measure = Webdep_pipeline.Measure
+module L = Webdep.Longitudinal
+
+let () =
+  let c = 2000 in
+  let countries =
+    [ "BR"; "RU"; "TM"; "BY"; "UZ"; "MM"; "US"; "TH"; "DE"; "FR"; "JP"; "IN"; "GB"; "PL";
+      "KZ"; "CZ"; "IR"; "NG"; "MX"; "AU" ]
+  in
+  Printf.printf "measuring %d countries at c=%d in both epochs...\n%!"
+    (List.length countries) c;
+  let world = World.create ~c ~seed:2024 () in
+  let ds23 = Measure.measure_all ~countries world in
+  let ds25 = Measure.measure_all ~epoch:World.May_2025 ~countries world in
+  let cmp = L.compare ~focus:"Cloudflare" ~old_ds:ds23 ~new_ds:ds25 Hosting in
+
+  Printf.printf "\nS(2023) vs S(2025): rho = %.3f (paper: 0.98)\n"
+    cmp.L.rho.Webdep_stats.Correlation.rho;
+  Printf.printf "mean toplist Jaccard: %.3f (paper: ~0.37)\n" cmp.L.mean_jaccard;
+  (match cmp.L.focus_mean_delta with
+  | Some d -> Printf.printf "mean Cloudflare change: %+.1f pts (paper: +3.8)\n" (100.0 *. d)
+  | None -> ());
+
+  print_endline "\nlargest movers:";
+  Printf.printf "%-4s %9s %9s %8s %9s %s\n" "cc" "S 2023" "S 2025" "delta" "jaccard" "cloudflare";
+  List.iteri
+    (fun i d ->
+      if i < 8 then
+        Printf.printf "%-4s %9.4f %9.4f %+8.4f %9.3f %+9.1f pts\n" d.L.country d.L.old_score
+          d.L.new_score d.L.delta d.L.jaccard
+          (match d.L.top_entity_delta with Some (_, x) -> 100.0 *. x | None -> 0.0))
+    cmp.L.deltas;
+
+  let br = List.find (fun d -> d.L.country = "BR") cmp.L.deltas in
+  let ru = List.find (fun d -> d.L.country = "RU") cmp.L.deltas in
+  Printf.printf
+    "\nBrazil: %.4f -> %.4f (paper: 0.1446 -> 0.2354, driven by Cloudflare adoption)\n"
+    br.L.old_score br.L.new_score;
+  Printf.printf "Russia: %.4f -> %.4f (paper: 0.0554 -> 0.0499, moving onto local providers)\n"
+    ru.L.old_score ru.L.new_score

@@ -1,0 +1,58 @@
+(* Provider classification (§5.2, Table 1): usage and endemicity ratio
+   per provider, affinity-propagation clustering, and the 8-class
+   taxonomy — plus the usage-curve contrast of Figure 4 (a global
+   provider vs a regional one).
+
+   Run with: dune exec examples/provider_classes.exe *)
+
+module World = Webdep_worldgen.World
+module Measure = Webdep_pipeline.Measure
+module R = Webdep.Regionalization
+module Classify = Webdep.Classify
+
+let () =
+  let c = 1000 in
+  Printf.printf "measuring 150 countries at c=%d (reduced for example speed)...\n%!" c;
+  let world = World.create ~c ~seed:2024 () in
+  let ds = Measure.measure_all world in
+
+  (* Figure 4: usage vs endemicity for a global and a regional provider. *)
+  print_endline "\n== usage curves (Figure 4) ==";
+  List.iter
+    (fun name ->
+      let u = R.usage_curve ds Hosting ~name in
+      Printf.printf "%-16s usage U = %7.1f   peak = %5.1f%%   endemicity ratio = %.3f\n" name
+        u.R.usage u.R.curve.(0) u.R.endemicity_ratio)
+    [ "Cloudflare"; "Amazon"; "OVH"; "Beget LLC"; "SuperHosting.BG" ];
+  print_endline "  (low ratio = global reach; high ratio = regional concentration)";
+
+  (* Table 1: the classes. *)
+  print_endline "\n== provider classes (Table 1) ==";
+  let cl = Classify.classify ds Hosting in
+  Printf.printf "affinity propagation raw clusters: %d\n" cl.Classify.raw_clusters;
+  Printf.printf "%-10s %8s   example\n" "class" "count";
+  List.iter
+    (fun (k, n) ->
+      let example =
+        List.find_map
+          (fun ((s : R.usage_stats), k') ->
+            if k' = k then Some s.R.entity.Webdep.Dataset.name else None)
+          cl.Classify.providers
+      in
+      Printf.printf "%-10s %8d   %s\n" (Classify.klass_name k) n
+        (Option.value ~default:"-" example))
+    cl.Classify.table;
+
+  (* Figure 7: how classes split a few contrasting countries. *)
+  print_endline "\n== class shares by country (Figure 7 extract) ==";
+  Printf.printf "%-4s" "";
+  List.iter (fun k -> Printf.printf " %9s" (Classify.klass_name k)) Classify.all_klasses;
+  print_newline ();
+  List.iter
+    (fun cc ->
+      Printf.printf "%-4s" cc;
+      List.iter
+        (fun (_, share) -> Printf.printf " %8.1f%%" (100.0 *. share))
+        (Classify.class_shares cl ds Hosting cc);
+      print_newline ())
+    [ "TH"; "US"; "DE"; "RU"; "IR" ]

@@ -1,0 +1,34 @@
+(* The §3.4 vantage-point validation: centralization computed from the
+   single home vantage (the paper's Stanford server, modelled as a US
+   vantage) against scores recomputed through RIPE-Atlas-style probes in
+   each country.
+
+   Run with: dune exec examples/vantage_validation.exe *)
+
+module World = Webdep_worldgen.World
+module Measure = Webdep_pipeline.Measure
+
+let () =
+  let c = 2000 in
+  let countries =
+    [ "TH"; "ID"; "IR"; "US"; "TM"; "CZ"; "RU"; "SK"; "JP"; "DE"; "FR"; "PL"; "KG"; "BG";
+      "LT"; "TW"; "BR"; "GB"; "NG"; "AF"; "IN"; "MX"; "AU"; "SE"; "GR" ]
+  in
+  Printf.printf "home-vantage measurement of %d countries at c=%d...\n%!"
+    (List.length countries) c;
+  let world = World.create ~c ~seed:2024 () in
+  let ds = Measure.measure_all ~countries world in
+  let home = List.map (fun cc -> (cc, Webdep.Metrics.centralization ds Hosting cc)) countries in
+  Printf.printf "probe-based remeasurement (5 probes per country)...\n%!";
+  let probes = Measure.measure_with_probes ~per_country_probes:5 ~seed:7 world countries in
+  let v = Webdep.Validate.correlate ~home ~probes in
+  Printf.printf "\nrho(home, probes) = %.4f (paper: 0.96)  max gap = %.4f\n\n"
+    v.Webdep.Validate.rho.Webdep_stats.Correlation.rho v.Webdep.Validate.max_gap;
+  Printf.printf "%-4s %12s %12s %8s\n" "cc" "S home" "S probes" "gap";
+  List.iter
+    (fun (cc, h, p) -> Printf.printf "%-4s %12.4f %12.4f %8.4f\n" cc h p (Float.abs (h -. p)))
+    v.Webdep.Validate.pairs;
+  print_endline
+    "\nThe residual gaps come from multi-CDN sites answering with their\n\
+     secondary provider from some vantages — the same effect that keeps\n\
+     the paper's RIPE correlation below 1.0."

@@ -1,0 +1,136 @@
+type result = {
+  exemplars : int list;
+  assignment : int array;
+  iterations : int;
+  converged : bool;
+}
+
+let negative_sq_euclidean x y =
+  let n = Array.length x in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    let d = x.(i) -. y.(i) in
+    acc := !acc -. (d *. d)
+  done;
+  !acc
+
+module Descriptive = Webdep_stats.Descriptive
+
+let median_off_diagonal similarity n =
+  let values = ref [] in
+  for i = 0 to n - 1 do
+    for k = 0 to n - 1 do
+      if i <> k then values := similarity i k :: !values
+    done
+  done;
+  match !values with
+  | [] -> 0.0
+  | vs -> Descriptive.median (Array.of_list vs)
+
+let run ?(damping = 0.7) ?(max_iter = 300) ?(convergence_iter = 20) ?preference ~similarity n =
+  if n <= 0 then invalid_arg "Affinity.run: n must be positive";
+  if damping < 0.5 || damping >= 1.0 then invalid_arg "Affinity.run: damping outside [0.5, 1)";
+  let pref =
+    match preference with Some p -> p | None -> median_off_diagonal similarity n
+  in
+  (* Similarity matrix with preferences on the diagonal; tiny deterministic
+     jitter breaks ties exactly as scikit-learn does (scaled by index). *)
+  let s = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for k = 0 to n - 1 do
+      let base = if i = k then pref else similarity i k in
+      s.(i).(k) <- base +. (1e-12 *. float_of_int (((i * 31) + k) mod 97))
+    done
+  done;
+  let r = Array.make_matrix n n 0.0 in
+  let a = Array.make_matrix n n 0.0 in
+  let exemplar_of = Array.make n (-1) in
+  let stable = ref 0 and iter = ref 0 and converged = ref false in
+  while !iter < max_iter && not !converged do
+    incr iter;
+    (* Responsibilities: r(i,k) <- s(i,k) - max_{k'≠k} (a(i,k') + s(i,k')). *)
+    for i = 0 to n - 1 do
+      (* Track best and second-best of a+s over k to get max excluding k. *)
+      let best = ref neg_infinity and second = ref neg_infinity and best_k = ref (-1) in
+      for k = 0 to n - 1 do
+        let v = a.(i).(k) +. s.(i).(k) in
+        if v > !best then begin
+          second := !best;
+          best := v;
+          best_k := k
+        end
+        else if v > !second then second := v
+      done;
+      for k = 0 to n - 1 do
+        let max_other = if k = !best_k then !second else !best in
+        let fresh = s.(i).(k) -. max_other in
+        r.(i).(k) <- (damping *. r.(i).(k)) +. ((1.0 -. damping) *. fresh)
+      done
+    done;
+    (* Availabilities:
+       a(i,k) <- min(0, r(k,k) + Σ_{i'∉{i,k}} max(0, r(i',k)))   for i≠k
+       a(k,k) <- Σ_{i'≠k} max(0, r(i',k)). *)
+    for k = 0 to n - 1 do
+      let pos_sum = ref 0.0 in
+      for i' = 0 to n - 1 do
+        if i' <> k then pos_sum := !pos_sum +. Float.max 0.0 r.(i').(k)
+      done;
+      for i = 0 to n - 1 do
+        let fresh =
+          if i = k then !pos_sum
+          else
+            let without_i = !pos_sum -. Float.max 0.0 r.(i).(k) in
+            Float.min 0.0 (r.(k).(k) +. without_i)
+        in
+        a.(i).(k) <- (damping *. a.(i).(k)) +. ((1.0 -. damping) *. fresh)
+      done
+    done;
+    (* Current exemplar choice per point. *)
+    let changed = ref false in
+    for i = 0 to n - 1 do
+      let best = ref neg_infinity and best_k = ref 0 in
+      for k = 0 to n - 1 do
+        let v = a.(i).(k) +. r.(i).(k) in
+        if v > !best then begin
+          best := v;
+          best_k := k
+        end
+      done;
+      if exemplar_of.(i) <> !best_k then changed := true;
+      exemplar_of.(i) <- !best_k
+    done;
+    if !changed then stable := 0
+    else begin
+      incr stable;
+      if !stable >= convergence_iter then converged := true
+    end
+  done;
+  (* Final assignment: exemplars are the self-chosen points; every other
+     point joins its most similar exemplar. *)
+  let is_exemplar = Array.init n (fun i -> exemplar_of.(i) = i) in
+  let exemplars =
+    List.filter (fun i -> is_exemplar.(i)) (List.init n Fun.id)
+  in
+  let exemplars = if exemplars = [] then [ 0 ] else exemplars in
+  let assignment =
+    Array.init n (fun i ->
+        if is_exemplar.(i) then i
+        else
+          List.fold_left
+            (fun best k -> if s.(i).(k) > s.(i).(best) then k else best)
+            (List.hd exemplars) exemplars)
+  in
+  { exemplars; assignment; iterations = !iter; converged = !converged }
+
+let cluster_points ?damping ?max_iter ?convergence_iter ?preference points =
+  let n = Array.length points in
+  let similarity i k = negative_sq_euclidean points.(i) points.(k) in
+  run ?damping ?max_iter ?convergence_iter ?preference ~similarity n
+
+let cluster_sizes result =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun e -> Hashtbl.replace tbl e (1 + Option.value ~default:0 (Hashtbl.find_opt tbl e)))
+    result.assignment;
+  Hashtbl.fold (fun e c acc -> (e, c) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

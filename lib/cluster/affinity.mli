@@ -1,0 +1,49 @@
+(** Affinity propagation clustering (Frey & Dueck, Science 2007).
+
+    The paper clusters providers on min–max-scaled (usage, endemicity
+    ratio) pairs with affinity propagation, then manually coalesces the
+    resulting ~305 clusters into 8 named classes (§5.2, Table 1).  This
+    module implements the message-passing algorithm: responsibilities
+    r(i,k) and availabilities a(i,k) exchanged between points until the
+    exemplar set stabilizes. *)
+
+type result = {
+  exemplars : int list;  (** indices chosen as cluster exemplars *)
+  assignment : int array;  (** [assignment.(i)] = exemplar index of point i *)
+  iterations : int;  (** iterations executed *)
+  converged : bool;  (** exemplar set stable for [convergence_iter] rounds *)
+}
+
+val negative_sq_euclidean : float array -> float array -> float
+(** The conventional similarity: −‖x − y‖². *)
+
+val run :
+  ?damping:float ->
+  ?max_iter:int ->
+  ?convergence_iter:int ->
+  ?preference:float ->
+  similarity:(int -> int -> float) ->
+  int ->
+  result
+(** [run ~similarity n] clusters points [0..n-1].
+
+    @param damping message damping λ in [0.5, 1), default 0.7
+    @param max_iter default 300
+    @param convergence_iter rounds of stable exemplars to declare
+           convergence, default 20
+    @param preference self-similarity s(k,k); default the median of the
+           off-diagonal similarities (the standard choice yielding a
+           moderate number of clusters)
+    @raise Invalid_argument if [n <= 0] or damping outside [0.5, 1). *)
+
+val cluster_points :
+  ?damping:float ->
+  ?max_iter:int ->
+  ?convergence_iter:int ->
+  ?preference:float ->
+  float array array ->
+  result
+(** {!run} on row vectors with {!negative_sq_euclidean} similarity. *)
+
+val cluster_sizes : result -> (int * int) list
+(** [(exemplar, member count)] per cluster, largest first. *)

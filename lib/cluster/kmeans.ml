@@ -1,0 +1,86 @@
+type result = {
+  centroids : float array array;
+  assignment : int array;
+  inertia : float;
+  iterations : int;
+}
+
+let sq_dist x y =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let d = x.(i) -. y.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  !acc
+
+(* k-means++: first centroid uniform, then proportional to squared distance
+   from the nearest chosen centroid. *)
+let seed rng ~k points =
+  let n = Array.length points in
+  let centroids = Array.make k points.(0) in
+  centroids.(0) <- points.(Webdep_stats.Rng.int rng n);
+  let d2 = Array.map (fun p -> sq_dist p centroids.(0)) points in
+  for c = 1 to k - 1 do
+    let sampler = Webdep_stats.Sample.categorical (Array.map (fun d -> d +. 1e-12) d2) in
+    let pick = Webdep_stats.Sample.draw sampler rng in
+    centroids.(c) <- points.(pick);
+    Array.iteri (fun i p -> d2.(i) <- Float.min d2.(i) (sq_dist p centroids.(c))) points
+  done;
+  Array.map Array.copy centroids
+
+let run rng ~k ?(max_iter = 100) points =
+  let n = Array.length points in
+  if n = 0 then invalid_arg "Kmeans.run: no points";
+  if k <= 0 || k > n then invalid_arg "Kmeans.run: k outside [1, n]";
+  let dim = Array.length points.(0) in
+  Array.iter (fun p -> if Array.length p <> dim then invalid_arg "Kmeans.run: ragged matrix") points;
+  let centroids = seed rng ~k points in
+  let assignment = Array.make n 0 in
+  let assign () =
+    let moved = ref false in
+    Array.iteri
+      (fun i p ->
+        let best = ref 0 and best_d = ref (sq_dist p centroids.(0)) in
+        for c = 1 to k - 1 do
+          let d = sq_dist p centroids.(c) in
+          if d < !best_d then begin
+            best_d := d;
+            best := c
+          end
+        done;
+        if assignment.(i) <> !best then moved := true;
+        assignment.(i) <- !best)
+      points;
+    !moved
+  in
+  let recenter () =
+    let sums = Array.make_matrix k dim 0.0 and counts = Array.make k 0 in
+    Array.iteri
+      (fun i p ->
+        let c = assignment.(i) in
+        counts.(c) <- counts.(c) + 1;
+        for d = 0 to dim - 1 do
+          sums.(c).(d) <- sums.(c).(d) +. p.(d)
+        done)
+      points;
+    for c = 0 to k - 1 do
+      if counts.(c) > 0 then
+        centroids.(c) <- Array.map (fun s -> s /. float_of_int counts.(c)) sums.(c)
+      (* An emptied cluster keeps its previous centroid. *)
+    done
+  in
+  let iterations = ref 0 in
+  let moved = ref (assign ()) in
+  ignore !moved;
+  moved := true;
+  while !moved && !iterations < max_iter do
+    incr iterations;
+    recenter ();
+    moved := assign ()
+  done;
+  let inertia =
+    Array.to_list points
+    |> List.mapi (fun i p -> sq_dist p centroids.(assignment.(i)))
+    |> List.fold_left ( +. ) 0.0
+  in
+  { centroids; assignment; inertia; iterations = !iterations }

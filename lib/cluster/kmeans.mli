@@ -1,0 +1,14 @@
+(** Lloyd's k-means with k-means++ seeding — the baseline clustering method
+    the ablation bench compares against affinity propagation. *)
+
+type result = {
+  centroids : float array array;
+  assignment : int array;
+  inertia : float;  (** sum of squared distances to assigned centroid *)
+  iterations : int;
+}
+
+val run : Webdep_stats.Rng.t -> k:int -> ?max_iter:int -> float array array -> result
+(** [run rng ~k points] clusters row vectors into [k] clusters.
+    @raise Invalid_argument if [k <= 0] or [k] exceeds the number of
+    points, or the matrix is empty/ragged. *)

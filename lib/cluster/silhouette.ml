@@ -1,0 +1,44 @@
+let euclidean x y =
+  let acc = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    let d = x.(i) -. y.(i) in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+let score points assignment =
+  let n = Array.length points in
+  if n <> Array.length assignment then invalid_arg "Silhouette.score: length mismatch";
+  let clusters = List.sort_uniq compare (Array.to_list assignment) in
+  if List.length clusters < 2 then invalid_arg "Silhouette.score: need at least 2 clusters";
+  let members c =
+    List.filter (fun i -> assignment.(i) = c) (List.init n Fun.id)
+  in
+  let by_cluster = List.map (fun c -> (c, members c)) clusters in
+  let mean_dist i js =
+    let js = List.filter (fun j -> j <> i) js in
+    match js with
+    | [] -> 0.0
+    | _ ->
+        List.fold_left (fun acc j -> acc +. euclidean points.(i) points.(j)) 0.0 js
+        /. float_of_int (List.length js)
+  in
+  let point_score i =
+    let own = assignment.(i) in
+    let own_members = List.assoc own by_cluster in
+    if List.length own_members <= 1 then 0.0
+    else begin
+      let a = mean_dist i own_members in
+      let b =
+        List.fold_left
+          (fun best (c, ms) -> if c = own then best else Float.min best (mean_dist i ms))
+          infinity by_cluster
+      in
+      if Float.max a b = 0.0 then 0.0 else (b -. a) /. Float.max a b
+    end
+  in
+  let total = ref 0.0 in
+  for i = 0 to n - 1 do
+    total := !total +. point_score i
+  done;
+  !total /. float_of_int n

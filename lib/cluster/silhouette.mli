@@ -1,0 +1,10 @@
+(** Silhouette coefficient for judging clustering quality — used by the
+    ablation bench to compare affinity propagation against k-means on the
+    provider-classification task. *)
+
+val score : float array array -> int array -> float
+(** [score points assignment] is the mean silhouette over all points:
+    (b − a) / max(a, b), where [a] is the mean intra-cluster distance and
+    [b] the smallest mean distance to another cluster.  Points in
+    singleton clusters contribute 0, per convention.
+    @raise Invalid_argument on length mismatch or fewer than 2 clusters. *)

@@ -1,0 +1,107 @@
+type klass = XL_GP | L_GP | L_GP_R | M_GP | S_GP | L_RP | S_RP | XS_RP
+
+let klass_name = function
+  | XL_GP -> "XL-GP"
+  | L_GP -> "L-GP"
+  | L_GP_R -> "L-GP (R)"
+  | M_GP -> "M-GP"
+  | S_GP -> "S-GP"
+  | L_RP -> "L-RP"
+  | S_RP -> "S-RP"
+  | XS_RP -> "XS-RP"
+
+let all_klasses = [ XL_GP; L_GP; L_GP_R; M_GP; S_GP; L_RP; S_RP; XS_RP ]
+
+type classification = {
+  providers : (Regionalization.usage_stats * klass) list;
+  raw_clusters : int;
+  table : (klass * int) list;
+}
+
+(* The encoded version of the paper's manual cluster labelling.  Inputs
+   are a provider's mean per-country usage (percent), peak single-country
+   usage (percent), and endemicity ratio.  The endemicity bands are
+   empirical over 150-country usage curves: truly global providers land
+   near 0.4–0.7, the Europe-concentrated global pair (OVH/Hetzner style)
+   near 0.72–0.90, and regional providers above 0.90 (their usage is one
+   or a few spikes, so E_R → 1). *)
+let rule ~u_mean ~peak ~e_r =
+  let global = e_r < 0.72 in
+  let global_regional = e_r >= 0.72 && e_r < 0.90 && u_mean >= 0.4 in
+  if global then begin
+    if u_mean >= 8.0 then XL_GP
+    else if u_mean >= 0.8 then L_GP
+    else if u_mean >= 0.12 then M_GP
+    else S_GP
+  end
+  else if global_regional then L_GP_R
+  else if e_r < 0.90 && u_mean >= 0.012 then S_GP
+  else if peak >= 1.2 then L_RP
+  else if peak >= 0.35 then S_RP
+  else XS_RP
+
+let classify_one (s : Regionalization.usage_stats) =
+  let u_mean = s.usage /. float_of_int (Stdlib.max 1 (Array.length s.curve)) in
+  let peak = if Array.length s.curve = 0 then 0.0 else s.curve.(0) in
+  rule ~u_mean ~peak ~e_r:s.endemicity_ratio
+
+(* Affinity propagation on the min–max scaled (log usage, endemicity
+   ratio) plane — the §5.2 clustering step that backs Figure 6.  Classes
+   are then assigned per provider (the automated stand-in for the paper's
+   manual examination of the ~305 clusters). *)
+let raw_cluster_count head_arr =
+  let n = Array.length head_arr in
+  if n <= 1 then n
+  else begin
+    let points =
+      Webdep_stats.Scaling.min_max_columns
+        (Array.map
+           (fun (s : Regionalization.usage_stats) ->
+             [| log1p s.usage; s.endemicity_ratio |])
+           head_arr)
+    in
+    let result = Webdep_cluster.Affinity.cluster_points points in
+    List.length (List.sort_uniq compare (Array.to_list result.assignment))
+  end
+
+let classify ?(cluster_cap = 600) ds layer =
+  let stats = Regionalization.all_usage ds layer in
+  let head = List.filteri (fun i _ -> i < cluster_cap) stats in
+  let raw_clusters = raw_cluster_count (Array.of_list head) in
+  let providers = List.map (fun s -> (s, classify_one s)) stats in
+  let table =
+    List.map
+      (fun k -> (k, List.length (List.filter (fun (_, k') -> k' = k) providers)))
+      all_klasses
+  in
+  { providers; raw_clusters; table }
+
+let klass_of classification name =
+  List.find_map
+    (fun ((s : Regionalization.usage_stats), k) ->
+      if String.equal s.entity.Dataset.name name then Some k else None)
+    classification.providers
+
+let class_shares classification ds layer cc =
+  let by_name = Hashtbl.create 4096 in
+  List.iter
+    (fun ((s : Regionalization.usage_stats), k) ->
+      Hashtbl.replace by_name s.entity.Dataset.name k)
+    classification.providers;
+  let counts = Dataset.counts_by_entity ds layer cc in
+  let total = float_of_int (List.fold_left (fun acc (_, k) -> acc + k) 0 counts) in
+  let acc = Hashtbl.create 8 in
+  List.iter
+    (fun ((e : Dataset.entity), k) ->
+      match Hashtbl.find_opt by_name e.Dataset.name with
+      | None -> ()
+      | Some klass ->
+          Hashtbl.replace acc klass
+            (float_of_int k +. Option.value ~default:0.0 (Hashtbl.find_opt acc klass)))
+    counts;
+  List.map
+    (fun k -> (k, Option.value ~default:0.0 (Hashtbl.find_opt acc k) /. total))
+    all_klasses
+
+let share_of_class classification ds layer cc klass =
+  List.assoc klass (class_shares classification ds layer cc)

@@ -1,0 +1,39 @@
+(** Provider classification (§5.2, Tables 1–3, Figures 6/7/14/15).
+
+    Following the paper: compute (usage, endemicity ratio) per provider,
+    min–max scale, cluster with affinity propagation, then coalesce
+    clusters into the 8 named classes.  The paper coalesces manually; we
+    encode the manual judgement as centroid rules (global vs regional by
+    endemicity ratio, then size bands by mean per-country usage or peak
+    country usage).
+
+    Affinity propagation is O(n²) space, so only the [cluster_cap]
+    largest providers by usage enter the message-passing step; the long
+    tail below the cap is — as in the paper's own taxonomy — XS-RP by
+    definition. *)
+
+type klass = XL_GP | L_GP | L_GP_R | M_GP | S_GP | L_RP | S_RP | XS_RP
+
+val klass_name : klass -> string
+(** Paper spelling: "XL-GP", "L-GP (R)", … *)
+
+val all_klasses : klass list
+
+type classification = {
+  providers : (Regionalization.usage_stats * klass) list;
+      (** every provider in the layer with its class, descending usage *)
+  raw_clusters : int;  (** affinity-propagation cluster count before coalescing *)
+  table : (klass * int) list;  (** provider count per class (Table 1/2/3) *)
+}
+
+val classify : ?cluster_cap:int -> Dataset.t -> Dataset.layer -> classification
+(** [cluster_cap] defaults to 600. *)
+
+val klass_of : classification -> string -> klass option
+(** Class of a provider by name. *)
+
+val class_shares : classification -> Dataset.t -> Dataset.layer -> string -> (klass * float) list
+(** Fraction of a country's websites served by each class (Figure 7's
+    stacked bars), all classes present (0 when unused). *)
+
+val share_of_class : classification -> Dataset.t -> Dataset.layer -> string -> klass -> float

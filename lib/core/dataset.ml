@@ -1,0 +1,92 @@
+type layer = Webdep_reference.Paper_scores.layer = Hosting | Dns | Ca | Tld
+
+type entity = { name : string; country : string }
+
+type site = {
+  domain : string;
+  hosting : entity option;
+  dns : entity option;
+  ca : entity option;
+  tld : entity;
+  hosting_geo : string option;
+  ns_geo : string option;
+  hosting_anycast : bool;
+  ns_anycast : bool;
+  language : string option;
+}
+
+type country_data = { country : string; sites : site list }
+
+type t = { by_country : (string, country_data) Hashtbl.t; order : string list }
+
+let of_country_data data =
+  let by_country = Hashtbl.create (List.length data) in
+  List.iter (fun cd -> Hashtbl.replace by_country cd.country cd) data;
+  { by_country; order = List.map (fun cd -> cd.country) data }
+
+let countries t = t.order
+let country t cc = Hashtbl.find_opt t.by_country cc
+
+let country_exn t cc =
+  match country t cc with Some cd -> cd | None -> raise Not_found
+
+let size t =
+  Hashtbl.fold (fun _ cd acc -> acc + List.length cd.sites) t.by_country 0
+
+let entity_of site = function
+  | Hosting -> site.hosting
+  | Dns -> site.dns
+  | Ca -> site.ca
+  | Tld -> Some site.tld
+
+let counts_table sites layer =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun s ->
+      match entity_of s layer with
+      | None -> ()
+      | Some e ->
+          let key = (e.name, e.country) in
+          Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    sites;
+  tbl
+
+let counts_by_entity t layer cc =
+  let cd = country_exn t cc in
+  let tbl = counts_table cd.sites layer in
+  Hashtbl.fold (fun (name, country) k acc -> ({ name; country }, k) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let distribution t layer cc =
+  let counts = List.map snd (counts_by_entity t layer cc) in
+  if counts = [] then raise Not_found;
+  Webdep_emd.Dist.of_counts (Array.of_list counts)
+
+let merged_distribution t layer =
+  let tbl = Hashtbl.create 4096 in
+  Hashtbl.iter
+    (fun _ cd ->
+      let local = counts_table cd.sites layer in
+      Hashtbl.iter
+        (fun key k ->
+          Hashtbl.replace tbl key (k + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+        local)
+    t.by_country;
+  let counts = Hashtbl.fold (fun _ k acc -> k :: acc) tbl [] in
+  Webdep_emd.Dist.of_counts (Array.of_list counts)
+
+let entity_share t layer cc ~name =
+  let cd = country_exn t cc in
+  let total = List.length cd.sites in
+  if total = 0 then 0.0
+  else begin
+    let hits =
+      List.fold_left
+        (fun acc s ->
+          match entity_of s layer with
+          | Some e when String.equal e.name name -> acc + 1
+          | Some _ | None -> acc)
+        0 cd.sites
+    in
+    float_of_int hits /. float_of_int total
+  end

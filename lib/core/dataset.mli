@@ -1,0 +1,55 @@
+(** The enriched measurement dataset the toolkit analyzes — one record per
+    (country, website) with the per-layer provider labels recovered by the
+    measurement pipeline (§3.4): AS organization of the hosting IP, AS
+    organization of the nameserver IP, CCADB owner of the leaf
+    certificate's CA, and the TLD. *)
+
+type layer = Webdep_reference.Paper_scores.layer = Hosting | Dns | Ca | Tld
+
+type entity = {
+  name : string;  (** organization / CA owner / TLD label *)
+  country : string;  (** the entity's home country (AS WHOIS, CA HQ, ccTLD) *)
+}
+
+type site = {
+  domain : string;
+  hosting : entity option;  (** None when resolution failed *)
+  dns : entity option;
+  ca : entity option;
+  tld : entity;
+  hosting_geo : string option;  (** geolocated country of the hosting IP *)
+  ns_geo : string option;
+  hosting_anycast : bool;
+  ns_anycast : bool;
+  language : string option;  (** LangDetect label of the page content *)
+}
+
+type country_data = { country : string; sites : site list }
+
+type t
+(** A dataset: one {!country_data} per country. *)
+
+val of_country_data : country_data list -> t
+val countries : t -> string list
+val country : t -> string -> country_data option
+val country_exn : t -> string -> country_data
+val size : t -> int
+(** Total number of (country, site) records. *)
+
+val entity_of : site -> layer -> entity option
+(** The site's label in a layer ([Some] always for [Tld]). *)
+
+val distribution : t -> layer -> string -> Webdep_emd.Dist.t
+(** Provider distribution (website counts per entity name) of a country
+    in a layer; sites with a missing label are skipped.
+    @raise Not_found if the country is absent or has no labelled site. *)
+
+val counts_by_entity : t -> layer -> string -> (entity * int) list
+(** Per-entity website counts, descending. *)
+
+val merged_distribution : t -> layer -> Webdep_emd.Dist.t
+(** All countries pooled — the paper's "Global Top 10k" marker uses the
+    pooled view. *)
+
+val entity_share : t -> layer -> string -> name:string -> float
+(** Share of a country's websites labelled with entity [name]. *)

@@ -1,0 +1,116 @@
+let escape_field s =
+  let needs_quoting =
+    String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+  in
+  if not needs_quoting then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+
+let row fields = String.concat "," (List.map escape_field fields) ^ "\n"
+
+let scores_csv ds layer =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (row [ "rank"; "country"; "score" ]);
+  List.iteri
+    (fun i (cc, s) ->
+      Buffer.add_string buf (row [ string_of_int (i + 1); cc; Printf.sprintf "%.6f" s ]))
+    (Metrics.all_scores ds layer);
+  Buffer.contents buf
+
+let insularity_csv ds layer =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (row [ "rank"; "country"; "insularity" ]);
+  List.iteri
+    (fun i (cc, v) ->
+      Buffer.add_string buf (row [ string_of_int (i + 1); cc; Printf.sprintf "%.6f" v ]))
+    (Regionalization.all_insularity ds layer);
+  Buffer.contents buf
+
+let distribution_csv ds layer cc =
+  let counts = Dataset.counts_by_entity ds layer cc in
+  let total = float_of_int (List.fold_left (fun acc (_, k) -> acc + k) 0 counts) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (row [ "rank"; "provider"; "home"; "sites"; "share" ]);
+  List.iteri
+    (fun i ((e : Dataset.entity), k) ->
+      Buffer.add_string buf
+        (row
+           [ string_of_int (i + 1); e.Dataset.name; e.Dataset.country; string_of_int k;
+             Printf.sprintf "%.6f" (float_of_int k /. total) ]))
+    counts;
+  Buffer.contents buf
+
+let usage_csv ds layer =
+  let buf = Buffer.create 65536 in
+  Buffer.add_string buf
+    (row [ "provider"; "home"; "usage"; "endemicity"; "endemicity_ratio"; "peak" ]);
+  List.iter
+    (fun (u : Regionalization.usage_stats) ->
+      let peak = if Array.length u.curve = 0 then 0.0 else u.curve.(0) in
+      Buffer.add_string buf
+        (row
+           [ u.entity.Dataset.name; u.entity.Dataset.country;
+             Printf.sprintf "%.4f" u.usage; Printf.sprintf "%.4f" u.endemicity;
+             Printf.sprintf "%.6f" u.endemicity_ratio; Printf.sprintf "%.4f" peak ]))
+    (Regionalization.all_usage ds layer);
+  Buffer.contents buf
+
+(* A tiny CSV line parser sufficient for our own dialect. *)
+let parse_line line =
+  let fields = ref [] and buf = Buffer.create 32 in
+  let in_quotes = ref false in
+  let n = String.length line in
+  let i = ref 0 in
+  while !i < n do
+    let c = line.[!i] in
+    if !in_quotes then begin
+      if c = '"' then
+        if !i + 1 < n && line.[!i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          incr i
+        end
+        else in_quotes := false
+      else Buffer.add_char buf c
+    end
+    else if c = '"' then in_quotes := true
+    else if c = ',' then begin
+      fields := Buffer.contents buf :: !fields;
+      Buffer.clear buf
+    end
+    else Buffer.add_char buf c;
+    incr i
+  done;
+  fields := Buffer.contents buf :: !fields;
+  List.rev !fields
+
+let scores_of_csv doc =
+  let lines =
+    List.filter (fun l -> String.trim l <> "") (String.split_on_char '\n' doc)
+  in
+  match lines with
+  | [] -> invalid_arg "Export.scores_of_csv: empty document"
+  | header :: rows ->
+      (match parse_line header with
+      | [ "rank"; "country"; "score" ] -> ()
+      | _ -> invalid_arg "Export.scores_of_csv: unexpected header");
+      List.map
+        (fun line ->
+          match parse_line line with
+          | [ _rank; cc; s ] -> (
+              match float_of_string_opt s with
+              | Some v -> (cc, v)
+              | None -> invalid_arg ("Export.scores_of_csv: bad score " ^ s))
+          | _ -> invalid_arg ("Export.scores_of_csv: bad row " ^ line))
+        rows
+
+let write_file path doc =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc doc)

@@ -1,0 +1,30 @@
+(** Data release — CSV serialization of the analysis outputs, mirroring
+    the paper's published dataset (scores, insularity, per-country
+    provider distributions, provider usage statistics).
+
+    The CSV dialect is minimal: comma separator, fields containing
+    commas/quotes/newlines are double-quoted with quote doubling, one
+    header row.  {!scores_of_csv} round-trips {!scores_csv}. *)
+
+val scores_csv : Dataset.t -> Dataset.layer -> string
+(** "rank,country,score" rows, descending score. *)
+
+val insularity_csv : Dataset.t -> Dataset.layer -> string
+(** "rank,country,insularity" rows. *)
+
+val distribution_csv : Dataset.t -> Dataset.layer -> string -> string
+(** "rank,provider,home,sites,share" rows for one country. *)
+
+val usage_csv : Dataset.t -> Dataset.layer -> string
+(** "provider,home,usage,endemicity,endemicity_ratio,peak" rows,
+    descending usage. *)
+
+val scores_of_csv : string -> (string * float) list
+(** Parse a {!scores_csv} document back into (country, score) pairs.
+    @raise Invalid_argument on malformed input. *)
+
+val write_file : string -> string -> unit
+(** Write a document to a path. *)
+
+val escape_field : string -> string
+(** CSV field quoting (exposed for tests). *)

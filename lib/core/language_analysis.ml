@@ -1,0 +1,48 @@
+let sites ds cc = (Dataset.country_exn ds cc).Dataset.sites
+
+let share_of_language ds cc lang =
+  let ss = sites ds cc in
+  let total = List.length ss in
+  if total = 0 then 0.0
+  else
+    float_of_int
+      (List.length (List.filter (fun s -> s.Dataset.language = Some lang) ss))
+    /. float_of_int total
+
+let in_language ds cc language =
+  List.filter (fun s -> s.Dataset.language = Some language) (sites ds cc)
+
+let hosted_in ds cc ~language ~home =
+  match in_language ds cc language with
+  | [] -> 0.0
+  | matching ->
+      let hits =
+        List.length
+          (List.filter
+             (fun s ->
+               match s.Dataset.hosting with
+               | Some e -> String.equal e.Dataset.country home
+               | None -> false)
+             matching)
+      in
+      float_of_int hits /. float_of_int (List.length matching)
+
+let breakdown_of project ss =
+  let total = List.length ss in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      match project s with
+      | None -> ()
+      | Some key ->
+          Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
+    ss;
+  Hashtbl.fold (fun key k acc -> (key, float_of_int k /. float_of_int total) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let language_breakdown ds cc = breakdown_of (fun s -> s.Dataset.language) (sites ds cc)
+
+let language_home_crosstab ds cc ~language =
+  breakdown_of
+    (fun s -> Option.map (fun (e : Dataset.entity) -> e.Dataset.country) s.Dataset.hosting)
+    (in_language ds cc language)

@@ -1,0 +1,23 @@
+(** Content-language cross-tabulation (§5.3.3).
+
+    The paper uses language detection to explain cross-border hosting:
+    "31.4% of the websites in Afghanistan's top list are in Persian, of
+    which 60.8% are hosted in Iran." *)
+
+val share_of_language : Dataset.t -> string -> string -> float
+(** [share_of_language ds cc lang] — fraction of the country's sites whose
+    detected content language is [lang] (sites with no detection count in
+    the denominator). *)
+
+val hosted_in : Dataset.t -> string -> language:string -> home:string -> float
+(** Of the sites in [cc] with detected language [language], the fraction
+    whose hosting provider is based in [home].  0 when no site matches
+    the language. *)
+
+val language_breakdown : Dataset.t -> string -> (string * float) list
+(** Detected languages of a country's sites with shares, descending. *)
+
+val language_home_crosstab :
+  Dataset.t -> string -> language:string -> (string * float) list
+(** For sites in a given language: breakdown by hosting-provider home
+    country, descending share. *)

@@ -1,0 +1,75 @@
+type country_delta = {
+  country : string;
+  old_score : float;
+  new_score : float;
+  delta : float;
+  jaccard : float;
+  top_entity_delta : (string * float) option;
+}
+
+type comparison = {
+  deltas : country_delta list;
+  rho : Webdep_stats.Correlation.result;
+  mean_jaccard : float;
+  focus_mean_delta : float option;
+}
+
+let domains cd = List.map (fun s -> s.Dataset.domain) cd.Dataset.sites
+
+let compare ?focus ~old_ds ~new_ds layer =
+  let common =
+    List.filter (fun cc -> Dataset.country new_ds cc <> None) (Dataset.countries old_ds)
+  in
+  if List.length common < 3 then invalid_arg "Longitudinal.compare: too few common countries";
+  let deltas =
+    List.map
+      (fun cc ->
+        let old_score = Metrics.centralization old_ds layer cc in
+        let new_score = Metrics.centralization new_ds layer cc in
+        let jaccard =
+          Webdep_stats.Similarity.jaccard_strings
+            (domains (Dataset.country_exn old_ds cc))
+            (domains (Dataset.country_exn new_ds cc))
+        in
+        let top_entity_delta =
+          Option.map
+            (fun name ->
+              ( name,
+                Dataset.entity_share new_ds layer cc ~name
+                -. Dataset.entity_share old_ds layer cc ~name ))
+            focus
+        in
+        { country = cc; old_score; new_score; delta = new_score -. old_score; jaccard;
+          top_entity_delta })
+      common
+  in
+  let olds = Array.of_list (List.map (fun d -> d.old_score) deltas) in
+  let news = Array.of_list (List.map (fun d -> d.new_score) deltas) in
+  let rho = Webdep_stats.Correlation.pearson olds news in
+  let mean_jaccard =
+    Webdep_stats.Descriptive.mean
+      (Array.of_list (List.map (fun d -> d.jaccard) deltas))
+  in
+  let focus_mean_delta =
+    match focus with
+    | None -> None
+    | Some _ ->
+        Some
+          (Webdep_stats.Descriptive.mean
+             (Array.of_list
+                (List.filter_map (fun d -> Option.map snd d.top_entity_delta) deltas)))
+  in
+  let deltas =
+    List.sort (fun a b -> Stdlib.compare (Float.abs b.delta) (Float.abs a.delta)) deltas
+  in
+  { deltas; rho; mean_jaccard; focus_mean_delta }
+
+let largest_increase cmp =
+  List.fold_left
+    (fun best d -> if d.delta > best.delta then d else best)
+    (List.hd cmp.deltas) cmp.deltas
+
+let largest_decrease cmp =
+  List.fold_left
+    (fun best d -> if d.delta < best.delta then d else best)
+    (List.hd cmp.deltas) cmp.deltas

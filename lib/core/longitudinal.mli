@@ -1,0 +1,29 @@
+(** Longitudinal comparison of two measurement snapshots (§5.4). *)
+
+type country_delta = {
+  country : string;
+  old_score : float;
+  new_score : float;
+  delta : float;  (** new − old *)
+  jaccard : float;  (** toplist similarity between snapshots *)
+  top_entity_delta : (string * float) option;
+      (** named entity's share change, when a focus entity is given *)
+}
+
+type comparison = {
+  deltas : country_delta list;  (** by descending |delta| *)
+  rho : Webdep_stats.Correlation.result;  (** old vs new 𝒮 across countries *)
+  mean_jaccard : float;
+  focus_mean_delta : float option;
+      (** mean share change of the focus entity (the paper tracks
+          Cloudflare: +3.8 pts) *)
+}
+
+val compare :
+  ?focus:string -> old_ds:Dataset.t -> new_ds:Dataset.t -> Dataset.layer -> comparison
+(** Countries present in both datasets are compared; [focus] names an
+    entity whose per-country share change is tracked (e.g.
+    "Cloudflare"). *)
+
+val largest_increase : comparison -> country_delta
+val largest_decrease : comparison -> country_delta

@@ -1,0 +1,63 @@
+module C = Webdep_emd.Centralization
+module Dist = Webdep_emd.Dist
+
+let centralization ds layer cc = C.score (Dataset.distribution ds layer cc)
+
+let all_scores ds layer =
+  Dataset.countries ds
+  |> List.filter_map (fun cc ->
+         (* A country with no labelled site in this layer has no score. *)
+         match centralization ds layer cc with
+         | s -> Some (cc, s)
+         | exception Not_found -> None)
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let global_score ds layer = C.score (Dataset.merged_distribution ds layer)
+
+let top_n_share ds layer cc n = Dist.top_share (Dataset.distribution ds layer cc) n
+
+let rank_curve ds layer cc =
+  let dist = Dataset.distribution ds layer cc in
+  let total = Dist.total dist in
+  Array.map (fun m -> m /. total) (Dist.sorted_desc dist)
+
+let cumulative_rank_curve ds layer cc =
+  let shares = rank_curve ds layer cc in
+  let acc = ref 0.0 in
+  Array.map
+    (fun s ->
+      acc := !acc +. s;
+      !acc)
+    shares
+
+let providers_for_share ds layer cc share =
+  let cumulative = cumulative_rank_curve ds layer cc in
+  let rec find i =
+    if i >= Array.length cumulative then Array.length cumulative
+    else if cumulative.(i) >= share -. 1e-9 then i + 1
+    else find (i + 1)
+  in
+  find 0
+
+let provider_count ds layer cc = Dist.size (Dataset.distribution ds layer cc)
+
+let centralization_interval ?(iterations = 300) ?(confidence = 0.95) ~seed ds layer cc =
+  let cd = Dataset.country_exn ds cc in
+  let labels =
+    Array.of_list
+      (List.filter_map
+         (fun s -> Option.map (fun (e : Dataset.entity) -> e.Dataset.name) (Dataset.entity_of s layer))
+         cd.Dataset.sites)
+  in
+  if Array.length labels = 0 then invalid_arg "Metrics.centralization_interval: no labelled sites";
+  let statistic sample =
+    let tbl = Hashtbl.create 256 in
+    Array.iter
+      (fun name ->
+        Hashtbl.replace tbl name (1 + Option.value ~default:0 (Hashtbl.find_opt tbl name)))
+      sample;
+    let counts = Hashtbl.fold (fun _ k acc -> k :: acc) tbl [] in
+    C.score (Dist.of_counts (Array.of_list counts))
+  in
+  let rng = Webdep_stats.Rng.create seed in
+  Webdep_stats.Bootstrap.percentile_interval ~iterations ~confidence rng ~statistic labels

@@ -1,0 +1,44 @@
+(** Country-level centralization analysis (§3.2, §5.1).
+
+    Thin, dataset-aware wrappers around {!Webdep_emd.Centralization}. *)
+
+val centralization : Dataset.t -> Dataset.layer -> string -> float
+(** 𝒮 of a country in a layer. *)
+
+val all_scores : Dataset.t -> Dataset.layer -> (string * float) list
+(** [(country, 𝒮)] for every country with at least one labelled site in
+    the layer, descending (rank 1 = most centralized) — the ordering
+    used by Appendix F. *)
+
+val global_score : Dataset.t -> Dataset.layer -> float
+(** 𝒮 of the pooled "global top" distribution (Figure 12's marker). *)
+
+val top_n_share : Dataset.t -> Dataset.layer -> string -> int -> float
+(** The top-N heuristic the paper critiques: total share of the N largest
+    providers. *)
+
+val rank_curve : Dataset.t -> Dataset.layer -> string -> float array
+(** Provider market shares in rank order (Figure 1's curves). *)
+
+val cumulative_rank_curve : Dataset.t -> Dataset.layer -> string -> float array
+(** Cumulative share by provider rank (Figure 3's presentation). *)
+
+val providers_for_share : Dataset.t -> Dataset.layer -> string -> float -> int
+(** Minimum number of providers covering the given share of websites
+    ("90% of websites are hosted by fewer than 206 providers"). *)
+
+val provider_count : Dataset.t -> Dataset.layer -> string -> int
+
+val centralization_interval :
+  ?iterations:int ->
+  ?confidence:float ->
+  seed:int ->
+  Dataset.t ->
+  Dataset.layer ->
+  string ->
+  float * float
+(** Bootstrap confidence interval for a country's 𝒮: resample the
+    toplist's sites with replacement and recompute the score
+    ([iterations] default 300, [confidence] default 0.95).  Quantifies
+    how much 𝒮 depends on the specific top-C sample — the sampling
+    noise behind comparisons like the paper's 2023-vs-2025 deltas. *)

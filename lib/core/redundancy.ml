@@ -1,0 +1,41 @@
+type site_providers = { domain : string; providers : string list }
+
+type t = {
+  total_sites : int;
+  single_homed : int;
+  critical_counts : (string * int) list;
+  spof_score : float;
+}
+
+let analyze sites =
+  if sites = [] then invalid_arg "Redundancy.analyze: no sites";
+  let tbl = Hashtbl.create 256 in
+  let single = ref 0 in
+  List.iter
+    (fun { domain; providers } ->
+      match List.sort_uniq compare providers with
+      | [] -> invalid_arg ("Redundancy.analyze: site with no provider: " ^ domain)
+      | [ only ] ->
+          incr single;
+          Hashtbl.replace tbl only (1 + Option.value ~default:0 (Hashtbl.find_opt tbl only))
+      | _ :: _ :: _ -> ())
+    sites;
+  let critical_counts =
+    Hashtbl.fold (fun name k acc -> (name, k) :: acc) tbl []
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  let total_sites = List.length sites in
+  let spof_score =
+    (* a_i = sites requiring provider i; multi-homed sites contribute a
+       "requires nobody" bucket of singletons (each such site is its own
+       fully-redundant unit), so C = total sites and the formula is the
+       ordinary S over (critical counts @ 1s). *)
+    let singles = List.map snd critical_counts in
+    let redundant = total_sites - List.fold_left ( + ) 0 singles in
+    let counts = Array.of_list (singles @ List.init redundant (fun _ -> 1)) in
+    if Array.length counts = 0 then 0.0
+    else Webdep_emd.Centralization.score (Webdep_emd.Dist.of_counts counts)
+  in
+  { total_sites; single_homed = !single; critical_counts; spof_score }
+
+let single_homed_fraction t = float_of_int t.single_homed /. float_of_int t.total_sites

@@ -1,0 +1,27 @@
+(** Provider-redundancy analysis — the §3.2 customization where [aᵢ] is
+    redefined as "the number of websites that {e require} provider i to
+    function".
+
+    Input is, per site, the set of providers observed to serve it (from
+    multi-vantage measurement: a multi-CDN site shows several).  A site
+    with exactly one observed provider {e requires} it; a multi-homed
+    site requires none of them individually. *)
+
+type site_providers = { domain : string; providers : string list }
+
+type t = {
+  total_sites : int;
+  single_homed : int;  (** sites with exactly one serving provider *)
+  critical_counts : (string * int) list;
+      (** provider → number of sites that require it, descending *)
+  spof_score : float;
+      (** the §3.2 redundancy instantiation of 𝒮: the centralization
+          score over critical counts with C = total sites — "how much
+          single-provider dependence is concentrated" *)
+}
+
+val analyze : site_providers list -> t
+(** @raise Invalid_argument on an empty input or a site with no
+    provider. *)
+
+val single_homed_fraction : t -> float

@@ -1,0 +1,125 @@
+type usage_stats = {
+  entity : Dataset.entity;
+  curve : float array;
+  usage : float;
+  endemicity : float;
+  endemicity_ratio : float;
+}
+
+let stats_of_curve entity values =
+  let curve = Array.copy values in
+  Array.sort (fun a b -> compare b a) curve;
+  let usage = Array.fold_left ( +. ) 0.0 curve in
+  let peak = if Array.length curve = 0 then 0.0 else curve.(0) in
+  let endemicity = Array.fold_left (fun acc u -> acc +. (peak -. u)) 0.0 curve in
+  let endemicity_ratio =
+    if usage +. endemicity = 0.0 then 0.0 else endemicity /. (usage +. endemicity)
+  in
+  { entity; curve; usage; endemicity; endemicity_ratio }
+
+(* Per-provider usage in every country, computed in one pass. *)
+let usage_table ds layer =
+  let countries = Dataset.countries ds in
+  let n = List.length countries in
+  let index = Hashtbl.create n in
+  List.iteri (fun i cc -> Hashtbl.replace index cc i) countries;
+  let per_provider : (string, Dataset.entity * float array) Hashtbl.t = Hashtbl.create 4096 in
+  List.iter
+    (fun cc ->
+      let i = Hashtbl.find index cc in
+      let cd = Dataset.country_exn ds cc in
+      let total = float_of_int (List.length cd.Dataset.sites) in
+      let counts = Dataset.counts_by_entity ds layer cc in
+      List.iter
+        (fun ((e : Dataset.entity), k) ->
+          let _, curve =
+            match Hashtbl.find_opt per_provider e.Dataset.name with
+            | Some pair -> pair
+            | None ->
+                let pair = (e, Array.make n 0.0) in
+                Hashtbl.replace per_provider e.Dataset.name pair;
+                pair
+          in
+          curve.(i) <- 100.0 *. float_of_int k /. total)
+        counts)
+    countries;
+  per_provider
+
+let usage_curve ds layer ~name =
+  let table = usage_table ds layer in
+  match Hashtbl.find_opt table name with
+  | None -> raise Not_found
+  | Some (entity, values) -> stats_of_curve entity values
+
+let all_usage ds layer =
+  let table = usage_table ds layer in
+  Hashtbl.fold (fun _ (entity, values) acc -> stats_of_curve entity values :: acc) table []
+  |> List.sort (fun a b -> compare b.usage a.usage)
+
+let insularity ds layer cc =
+  let cd = Dataset.country_exn ds cc in
+  let total = List.length cd.Dataset.sites in
+  if total = 0 then 0.0
+  else begin
+    let hits =
+      List.fold_left
+        (fun acc s ->
+          match Dataset.entity_of s layer with
+          | Some e when String.equal e.Dataset.country cc -> acc + 1
+          | Some _ | None -> acc)
+        0 cd.Dataset.sites
+    in
+    float_of_int hits /. float_of_int total
+  end
+
+let all_insularity ds layer =
+  Dataset.countries ds
+  |> List.map (fun cc -> (cc, insularity ds layer cc))
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let foreign_dependence ds layer cc =
+  let counts = Dataset.counts_by_entity ds layer cc in
+  let total = List.fold_left (fun acc (_, k) -> acc + k) 0 counts in
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun ((e : Dataset.entity), k) ->
+      Hashtbl.replace tbl e.Dataset.country
+        (k + Option.value ~default:0 (Hashtbl.find_opt tbl e.Dataset.country)))
+    counts;
+  Hashtbl.fold (fun home k acc -> (home, float_of_int k /. float_of_int total) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let dependence_matrix ds layer =
+  let module Region = Webdep_geo.Region in
+  let module Country = Webdep_geo.Country in
+  let continent_of_code code =
+    match Country.of_code code with Some c -> Some (Country.continent c) | None -> None
+  in
+  List.map
+    (fun continent ->
+      let members =
+        List.filter
+          (fun cc -> continent_of_code cc = Some continent)
+          (Dataset.countries ds)
+      in
+      let sums = Hashtbl.create 8 in
+      List.iter
+        (fun cc ->
+          List.iter
+            (fun (home, share) ->
+              match continent_of_code home with
+              | None -> ()
+              | Some target ->
+                  Hashtbl.replace sums target
+                    (share +. Option.value ~default:0.0 (Hashtbl.find_opt sums target)))
+            (foreign_dependence ds layer cc))
+        members;
+      let n = Float.max 1.0 (float_of_int (List.length members)) in
+      let row =
+        List.map
+          (fun target ->
+            (target, Option.value ~default:0.0 (Hashtbl.find_opt sums target) /. n))
+          Region.all_continents
+      in
+      (continent, row))
+    Region.all_continents

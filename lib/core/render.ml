@@ -1,0 +1,65 @@
+let bar ?(ch = '#') width fraction =
+  let n = int_of_float (Float.round (fraction *. float_of_int width)) in
+  String.make (max 0 (min width n)) ch
+
+let default_fmt v = Printf.sprintf "%.3f" v
+
+let bar_chart ?(width = 40) ?(value_fmt = default_fmt) rows =
+  if rows = [] then ""
+  else begin
+    let label_w =
+      List.fold_left (fun acc (label, _) -> max acc (String.length label)) 0 rows
+    in
+    let peak = List.fold_left (fun acc (_, v) -> Float.max acc (Float.abs v)) 0.0 rows in
+    let buf = Buffer.create 1024 in
+    List.iter
+      (fun (label, v) ->
+        let fraction = if peak = 0.0 then 0.0 else Float.abs v /. peak in
+        Buffer.add_string buf
+          (Printf.sprintf "%-*s |%-*s %s\n" label_w label width (bar width fraction)
+             (value_fmt v)))
+      rows;
+    Buffer.contents buf
+  end
+
+let histogram ?(width = 40) (h : Webdep_stats.Histogram.t) =
+  let edges = Webdep_stats.Histogram.bin_edges h in
+  let peak = Array.fold_left max 1 h.Webdep_stats.Histogram.counts in
+  let buf = Buffer.create 1024 in
+  Array.iteri
+    (fun i count ->
+      let lo, hi = edges.(i) in
+      Buffer.add_string buf
+        (Printf.sprintf "[%5.2f, %5.2f) |%-*s %d\n" lo hi width
+           (bar width (float_of_int count /. float_of_int peak))
+           count))
+    h.Webdep_stats.Histogram.counts;
+  Buffer.contents buf
+
+let rank_curve ?(width = 60) ?(height = 10) cumulative =
+  let n = Array.length cumulative in
+  if n = 0 then ""
+  else begin
+    let grid = Array.make_matrix height width ' ' in
+    let log_n = log (float_of_int (max 2 n)) in
+    Array.iteri
+      (fun i v ->
+        let x =
+          int_of_float (log (float_of_int (i + 1)) /. log_n *. float_of_int (width - 1))
+        in
+        let y = height - 1 - int_of_float (v *. float_of_int (height - 1)) in
+        let x = max 0 (min (width - 1) x) and y = max 0 (min (height - 1) y) in
+        grid.(y).(x) <- '*')
+      cumulative;
+    let buf = Buffer.create (height * (width + 8)) in
+    Array.iteri
+      (fun row line ->
+        let pct = 100 * (height - 1 - row) / (height - 1) in
+        Buffer.add_string buf (Printf.sprintf "%3d%% |" pct);
+        Buffer.add_string buf (String.init width (fun c -> line.(c)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf
+      (Printf.sprintf "     +%s (log provider rank, 1..%d)\n" (String.make width '-') n);
+    Buffer.contents buf
+  end

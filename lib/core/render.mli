@@ -1,0 +1,15 @@
+(** Text rendering of the paper's figure types: horizontal bar charts,
+    histograms, and log-rank curves, for the bench harness and the CLI.
+    All output is plain ASCII. *)
+
+val bar_chart : ?width:int -> ?value_fmt:(float -> string) -> (string * float) list -> string
+(** One bar per labelled value, scaled to the maximum.  [width] is the
+    maximum bar length in characters (default 40). *)
+
+val histogram : ?width:int -> Webdep_stats.Histogram.t -> string
+(** One row per bin: "[lo, hi) ####### n". *)
+
+val rank_curve : ?width:int -> ?height:int -> float array -> string
+(** Cumulative-share curve by provider rank (the Figure 1 shape) as a
+    small scatter of '*' on a log-rank x-axis; [height] rows (default
+    10), [width] columns (default 60). *)

@@ -1,0 +1,81 @@
+module Region = Webdep_geo.Region
+module Country = Webdep_geo.Country
+
+type ranked = { rank : int; country : string; value : float }
+
+let to_ranked pairs =
+  List.mapi (fun i (country, value) -> { rank = i + 1; country; value }) pairs
+
+let ranked_scores ds layer = to_ranked (Metrics.all_scores ds layer)
+let ranked_insularity ds layer = to_ranked (Regionalization.all_insularity ds layer)
+
+let group_mean ds stat members =
+  let values =
+    List.filter_map
+      (fun cc -> if List.mem cc (Dataset.countries ds) then Some (stat cc) else None)
+      members
+  in
+  match values with
+  | [] -> None
+  | vs -> Some (Webdep_stats.Descriptive.mean (Array.of_list vs))
+
+let subregion_means ds _layer stat =
+  List.filter_map
+    (fun sr ->
+      let members = List.map (fun c -> c.Country.code) (Country.in_subregion sr) in
+      Option.map (fun m -> (sr, m)) (group_mean ds stat members))
+    Region.all_subregions
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let continent_means ds _layer stat =
+  List.filter_map
+    (fun ct ->
+      let members = List.map (fun c -> c.Country.code) (Country.in_continent ct) in
+      Option.map (fun m -> (ct, m)) (group_mean ds stat members))
+    Region.all_continents
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+type spread = { mean : float; min : float; q1 : float; median : float; q3 : float; max : float }
+
+let subregion_spread ds _layer stat =
+  List.filter_map
+    (fun sr ->
+      let values =
+        List.filter_map
+          (fun c ->
+            let cc = c.Country.code in
+            if List.mem cc (Dataset.countries ds) then Some (stat cc) else None)
+          (Country.in_subregion sr)
+      in
+      match values with
+      | [] -> None
+      | vs ->
+          let arr = Array.of_list vs in
+          let module De = Webdep_stats.Descriptive in
+          Some
+            ( sr,
+              {
+                mean = De.mean arr;
+                min = De.min arr;
+                q1 = De.percentile arr 25.0;
+                median = De.median arr;
+                q3 = De.percentile arr 75.0;
+                max = De.max arr;
+              } ))
+    Region.all_subregions
+  |> List.sort (fun (_, a) (_, b) -> compare b.mean a.mean)
+
+let scores_array ds layer =
+  Array.of_list (List.map snd (Metrics.all_scores ds layer))
+
+let score_histogram ds layer ?(bins = 24) () =
+  Webdep_stats.Histogram.create ~lo:0.0 ~hi:0.6 ~bins (scores_array ds layer)
+
+let insularity_cdf ds layer =
+  let values =
+    Array.of_list (List.map snd (Regionalization.all_insularity ds layer))
+  in
+  Webdep_stats.Histogram.ecdf values
+
+let layer_mean ds layer = Webdep_stats.Descriptive.mean (scores_array ds layer)
+let layer_variance ds layer = Webdep_stats.Descriptive.variance (scores_array ds layer)

@@ -1,0 +1,40 @@
+(** Aggregated views backing the paper's figures: per-subregion and
+    per-continent means (Figures 9/10), per-layer score histograms
+    (Figure 12), insularity CDFs (Figure 11), and named-rank listings
+    (Figures 5/17–22). *)
+
+type ranked = { rank : int; country : string; value : float }
+
+val ranked_scores : Dataset.t -> Dataset.layer -> ranked list
+(** Countries by descending 𝒮 with 1-based ranks. *)
+
+val ranked_insularity : Dataset.t -> Dataset.layer -> ranked list
+
+val subregion_means :
+  Dataset.t -> Dataset.layer -> (string -> float) -> (Webdep_geo.Region.subregion * float) list
+(** Mean of a per-country statistic over each subregion's dataset
+    countries, descending. *)
+
+val continent_means :
+  Dataset.t -> Dataset.layer -> (string -> float) -> (Webdep_geo.Region.continent * float) list
+
+type spread = { mean : float; min : float; q1 : float; median : float; q3 : float; max : float }
+
+val subregion_spread :
+  Dataset.t -> Dataset.layer -> (string -> float) -> (Webdep_geo.Region.subregion * spread) list
+(** Figures 9/10 show per-subregion {e distributions}, not just means:
+    quartile summaries of a per-country statistic over each subregion
+    (subregions with no dataset country are dropped), by descending
+    mean. *)
+
+val score_histogram : Dataset.t -> Dataset.layer -> ?bins:int -> unit -> Webdep_stats.Histogram.t
+(** Figure 12: per-layer histogram of country scores over [0, 0.6]. *)
+
+val insularity_cdf : Dataset.t -> Dataset.layer -> (float * float) array
+(** Figure 11: empirical CDF of per-country insularity. *)
+
+val layer_mean : Dataset.t -> Dataset.layer -> float
+(** 𝒮̄ over countries. *)
+
+val layer_variance : Dataset.t -> Dataset.layer -> float
+(** Population variance of 𝒮 over countries. *)

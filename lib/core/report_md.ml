@@ -1,0 +1,115 @@
+type options = {
+  top_rows : int;
+  case_studies : (string * string) list;
+  include_classes : bool;
+}
+
+let default_options =
+  {
+    top_rows = 10;
+    case_studies = [ ("TM", "RU"); ("SK", "CZ"); ("AF", "IR"); ("RE", "FR") ];
+    include_classes = true;
+  }
+
+let layer_name = Webdep_reference.Paper_scores.layer_name
+
+let md_table header rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf ("| " ^ String.concat " | " header ^ " |\n");
+  Buffer.add_string buf
+    ("|" ^ String.concat "|" (List.map (fun _ -> "---") header) ^ "|\n");
+  List.iter (fun row -> Buffer.add_string buf ("| " ^ String.concat " | " row ^ " |\n")) rows;
+  Buffer.contents buf
+
+let take n xs = List.filteri (fun i _ -> i < n) xs
+
+let layer_section ds layer ~top_rows =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "## %s layer\n\n" (String.capitalize_ascii (layer_name layer));
+  add "Mean centralization **%.4f** (variance %.4f); pooled global-top score %.4f.\n\n"
+    (Report.layer_mean ds layer) (Report.layer_variance ds layer)
+    (Metrics.global_score ds layer);
+  add "### Most centralized\n\n%s\n"
+    (md_table [ "rank"; "country"; "S" ]
+       (List.map
+          (fun r ->
+            [ string_of_int r.Report.rank; r.Report.country;
+              Printf.sprintf "%.4f" r.Report.value ])
+          (take top_rows (Report.ranked_scores ds layer))));
+  add "### Most insular\n\n%s\n"
+    (md_table [ "rank"; "country"; "insularity" ]
+       (List.map
+          (fun r ->
+            [ string_of_int r.Report.rank; r.Report.country;
+              Printf.sprintf "%.1f%%" (100.0 *. r.Report.value) ])
+          (take top_rows (Report.ranked_insularity ds layer))));
+  Buffer.contents buf
+
+let classes_section ds =
+  let cl = Classify.classify ds Hosting in
+  let rows =
+    List.map
+      (fun (k, n) -> [ Classify.klass_name k; string_of_int n ])
+      cl.Classify.table
+  in
+  Printf.sprintf
+    "## Hosting provider classes\n\n\
+     Affinity propagation over (usage, endemicity ratio) yields %d raw clusters,\n\
+     coalesced into the eight classes:\n\n%s\n"
+    cl.Classify.raw_clusters
+    (md_table [ "class"; "providers" ] rows)
+
+let case_study_section ds cases =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "## Cross-border dependence\n\n";
+  Buffer.add_string buf
+    (md_table
+       [ "country"; "partner"; "hosting share on partner"; "own insularity" ]
+       (List.filter_map
+          (fun (cc, partner) ->
+            match Dataset.country ds cc with
+            | None -> None
+            | Some _ ->
+                let dep =
+                  Option.value ~default:0.0
+                    (List.assoc_opt partner (Regionalization.foreign_dependence ds Hosting cc))
+                in
+                Some
+                  [ cc; partner;
+                    Printf.sprintf "%.1f%%" (100.0 *. dep);
+                    Printf.sprintf "%.1f%%"
+                      (100.0 *. Regionalization.insularity ds Hosting cc) ])
+          cases));
+  Buffer.contents buf
+
+let generate ?(options = default_options) ds =
+  let summary = Toolkit.summarize ds in
+  let buf = Buffer.create 16384 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "# Web dependence report\n\n";
+  add "%d countries, %d (country, site) records.\n\n" summary.Toolkit.countries
+    summary.Toolkit.records;
+  add "%s\n"
+    (md_table
+       [ "layer"; "mean S"; "most centralized"; "least centralized"; "mean insularity" ]
+       (List.map
+          (fun l ->
+            [ layer_name l.Toolkit.layer;
+              Printf.sprintf "%.4f" l.Toolkit.mean_score;
+              Printf.sprintf "%s (%.4f)" (fst l.Toolkit.most_centralized)
+                (snd l.Toolkit.most_centralized);
+              Printf.sprintf "%s (%.4f)" (fst l.Toolkit.least_centralized)
+                (snd l.Toolkit.least_centralized);
+              Printf.sprintf "%.1f%%" (100.0 *. l.Toolkit.mean_insularity) ])
+          summary.Toolkit.layers));
+  List.iter
+    (fun layer ->
+      (* Skip layers in which no country has a labelled site. *)
+      if Metrics.all_scores ds layer <> [] then
+        Buffer.add_string buf (layer_section ds layer ~top_rows:options.top_rows))
+    Webdep_reference.Paper_scores.all_layers;
+  if options.include_classes then Buffer.add_string buf (classes_section ds);
+  if options.case_studies <> [] then
+    Buffer.add_string buf (case_study_section ds options.case_studies);
+  Buffer.contents buf

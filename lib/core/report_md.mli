@@ -1,0 +1,18 @@
+(** Markdown report generation — a paper-style writeup of a measured
+    dataset: overview, per-layer centralization and insularity rankings,
+    provider classes, and cross-border dependence case studies. *)
+
+type options = {
+  top_rows : int;  (** rows in ranking tables (default 10) *)
+  case_studies : (string * string) list;
+      (** (dependent country, partner country) pairs to narrate *)
+  include_classes : bool;  (** classification is the slow part *)
+}
+
+val default_options : options
+
+val generate : ?options:options -> Dataset.t -> string
+(** A complete Markdown document for the dataset. *)
+
+val layer_section : Dataset.t -> Dataset.layer -> top_rows:int -> string
+(** One layer's section (exposed for tests and incremental use). *)

@@ -1,0 +1,54 @@
+let distance ds layer a b =
+  Webdep_emd.Extensions.sorted_share_l1
+    (Dataset.distribution ds layer a)
+    (Dataset.distribution ds layer b)
+
+let nearest_neighbours ds layer ?(k = 5) cc =
+  Dataset.countries ds
+  |> List.filter (fun other -> other <> cc)
+  |> List.map (fun other -> (other, distance ds layer cc other))
+  |> List.sort (fun (_, x) (_, y) -> compare x y)
+  |> List.filteri (fun i _ -> i < k)
+
+type coherence = { within : float; across : float; ratio : float }
+
+let subregional_coherence ds layer =
+  let countries = Dataset.countries ds in
+  (* Precompute sorted share vectors once. *)
+  let shares =
+    List.filter_map
+      (fun cc ->
+        match Dataset.distribution ds layer cc with
+        | d -> Some (cc, d)
+        | exception Not_found -> None)
+      countries
+  in
+  let subregion cc =
+    match Webdep_geo.Country.of_code cc with
+    | Some c -> Some c.Webdep_geo.Country.subregion
+    | None -> None
+  in
+  let arr = Array.of_list shares in
+  let n = Array.length arr in
+  if n < 2 then invalid_arg "Similarity_analysis.subregional_coherence: too few countries";
+  let within_sum = ref 0.0 and within_n = ref 0 in
+  let across_sum = ref 0.0 and across_n = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let ca, da = arr.(i) and cb, db = arr.(j) in
+      let dist = Webdep_emd.Extensions.sorted_share_l1 da db in
+      match (subregion ca, subregion cb) with
+      | Some sa, Some sb when sa = sb ->
+          within_sum := !within_sum +. dist;
+          incr within_n
+      | Some _, Some _ ->
+          across_sum := !across_sum +. dist;
+          incr across_n
+      | _ -> ()
+    done
+  done;
+  if !within_n = 0 || !across_n = 0 then
+    invalid_arg "Similarity_analysis.subregional_coherence: degenerate grouping";
+  let within = !within_sum /. float_of_int !within_n in
+  let across = !across_sum /. float_of_int !across_n in
+  { within; across; ratio = within /. across }

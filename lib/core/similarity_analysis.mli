@@ -1,0 +1,27 @@
+(** Cross-country distribution-shape similarity.
+
+    The paper's maps (Figures 5, 9, 10) show countries clustering
+    regionally.  This module quantifies that: pairwise distances between
+    countries' provider distributions (the rank-aligned L1 of
+    {!Webdep_emd.Extensions.sorted_share_l1} — 0 means identical shape),
+    nearest neighbours, and a subregional-coherence statistic comparing
+    within-subregion to cross-subregion distances. *)
+
+val distance : Dataset.t -> Dataset.layer -> string -> string -> float
+(** Shape distance between two countries' distributions, in [0, 1). *)
+
+val nearest_neighbours :
+  Dataset.t -> Dataset.layer -> ?k:int -> string -> (string * float) list
+(** The [k] (default 5) countries whose distributions are closest in
+    shape, ascending distance. *)
+
+type coherence = {
+  within : float;  (** mean distance between same-subregion pairs *)
+  across : float;  (** mean distance between cross-subregion pairs *)
+  ratio : float;  (** within / across; < 1 means regional coherence *)
+}
+
+val subregional_coherence : Dataset.t -> Dataset.layer -> coherence
+(** Do countries resemble their subregion more than the rest of the
+    world?  The paper's maps say yes for hosting; this makes it a
+    number. *)

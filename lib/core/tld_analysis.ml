@@ -1,0 +1,61 @@
+type category = Com | Global_tld | Local_cctld | External_cctld
+
+let category_name = function
+  | Com -> ".com"
+  | Global_tld -> "global TLDs"
+  | Local_cctld -> "local ccTLD"
+  | External_cctld -> "external ccTLDs"
+
+let all_categories = [ Com; Global_tld; Local_cctld; External_cctld ]
+
+(* ccTLDs that are marketed as generic namespaces. *)
+let repurposed = [ ".io"; ".co"; ".me"; ".tv"; ".cc"; ".top" ]
+
+let own_cctld cc =
+  match Webdep_geo.Country.of_code cc with
+  | Some country -> Webdep_geo.Country.ccTLD country
+  | None -> "." ^ String.lowercase_ascii cc
+
+let is_cctld (e : Dataset.entity) =
+  String.length e.Dataset.name = 3
+  && (not (List.mem e.Dataset.name repurposed))
+  && (Webdep_geo.Country.mem e.Dataset.country || e.Dataset.name = ".uk")
+
+let categorize ~cc (e : Dataset.entity) =
+  if String.equal e.Dataset.name ".com" then Com
+  else if String.equal e.Dataset.name (own_cctld cc) then Local_cctld
+  else if is_cctld e then External_cctld
+  else Global_tld
+
+let breakdown ds cc =
+  let sites = (Dataset.country_exn ds cc).Dataset.sites in
+  let total = float_of_int (List.length sites) in
+  let tally = Hashtbl.create 4 in
+  List.iter
+    (fun s ->
+      let cat = categorize ~cc s.Dataset.tld in
+      Hashtbl.replace tally cat (1 + Option.value ~default:0 (Hashtbl.find_opt tally cat)))
+    sites;
+  List.map
+    (fun cat ->
+      (cat, float_of_int (Option.value ~default:0 (Hashtbl.find_opt tally cat)) /. total))
+    all_categories
+
+let external_cctlds ds cc =
+  let sites = (Dataset.country_exn ds cc).Dataset.sites in
+  let total = float_of_int (List.length sites) in
+  let tally = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if categorize ~cc s.Dataset.tld = External_cctld then
+        Hashtbl.replace tally s.Dataset.tld.Dataset.name
+          (1 + Option.value ~default:0 (Hashtbl.find_opt tally s.Dataset.tld.Dataset.name)))
+    sites;
+  Hashtbl.fold (fun tld k acc -> (tld, float_of_int k /. total) :: acc) tally []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let uses_external_over_local ds cc =
+  let local = Dataset.entity_share ds Tld cc ~name:(own_cctld cc) in
+  match external_cctlds ds cc with
+  | (tld, share) :: _ when share > local -> Some tld
+  | _ -> None

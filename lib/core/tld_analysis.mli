@@ -1,0 +1,28 @@
+(** TLD-layer categorization (Appendix B).
+
+    The paper groups a country's TLD usage into four bins: .com, other
+    global TLDs, the country's own ccTLD, and {e external} ccTLDs (the
+    interesting bin: .ru across the CIS, .fr across former French
+    colonies, .de in the German-speaking countries). *)
+
+type category = Com | Global_tld | Local_cctld | External_cctld
+
+val category_name : category -> string
+val all_categories : category list
+
+val categorize : cc:string -> Dataset.entity -> category
+(** Classify one TLD entity from the perspective of country [cc].
+    Repurposed ccTLDs marketed globally (.io, .co, .me, .tv, .cc, .top)
+    count as global, as does anything that is not a two-letter country
+    code of the dataset. *)
+
+val breakdown : Dataset.t -> string -> (category * float) list
+(** Share of a country's sites per category (all four present). *)
+
+val external_cctlds : Dataset.t -> string -> (string * float) list
+(** The external ccTLDs a country uses, with shares, descending —
+    surfaces the .ru / .fr / .de dependence patterns. *)
+
+val uses_external_over_local : Dataset.t -> string -> string option
+(** [Some tld] when some external ccTLD is more used than the country's
+    own (the paper finds .fr outranks the local ccTLD in 14 countries). *)

@@ -1,0 +1,55 @@
+type layer_summary = {
+  layer : Dataset.layer;
+  mean_score : float;
+  score_variance : float;
+  most_centralized : string * float;
+  least_centralized : string * float;
+  global_score : float;
+  mean_insularity : float;
+  most_insular : string * float;
+}
+
+type summary = { countries : int; records : int; layers : layer_summary list }
+
+let summarize ds =
+  let layers =
+    List.filter_map
+      (fun layer ->
+        match Metrics.all_scores ds layer with
+        | [] -> None (* no country has data in this layer *)
+        | scores ->
+            let insularity = Regionalization.all_insularity ds layer in
+            let mean xs = Webdep_stats.Descriptive.mean (Array.of_list (List.map snd xs)) in
+            let arr = Array.of_list (List.map snd scores) in
+            Some
+              {
+                layer;
+                mean_score = Webdep_stats.Descriptive.mean arr;
+                score_variance = Webdep_stats.Descriptive.variance arr;
+                most_centralized = List.hd scores;
+                least_centralized = List.nth scores (List.length scores - 1);
+                global_score = Metrics.global_score ds layer;
+                mean_insularity = mean insularity;
+                most_insular = List.hd insularity;
+              })
+      Webdep_reference.Paper_scores.all_layers
+  in
+  { countries = List.length (Dataset.countries ds); records = Dataset.size ds; layers }
+
+let pp fmt s =
+  Format.fprintf fmt "dataset: %d countries, %d (country, site) records@." s.countries
+    s.records;
+  List.iter
+    (fun l ->
+      Format.fprintf fmt
+        "%-8s mean S %.4f (var %.4f)  range [%s %.4f .. %s %.4f]  global %.4f  mean \
+         insularity %.1f%% (max %s %.1f%%)@."
+        (Webdep_reference.Paper_scores.layer_name l.layer)
+        l.mean_score l.score_variance
+        (fst l.least_centralized) (snd l.least_centralized)
+        (fst l.most_centralized) (snd l.most_centralized)
+        l.global_score
+        (100.0 *. l.mean_insularity)
+        (fst l.most_insular)
+        (100.0 *. snd l.most_insular))
+    s.layers

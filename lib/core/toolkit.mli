@@ -1,0 +1,24 @@
+(** One-call overview of a measured dataset: the numbers the paper's
+    summary sections report, for every layer at once. *)
+
+type layer_summary = {
+  layer : Dataset.layer;
+  mean_score : float;  (** 𝒮̄ over countries *)
+  score_variance : float;
+  most_centralized : string * float;
+  least_centralized : string * float;
+  global_score : float;  (** pooled "global top" 𝒮 *)
+  mean_insularity : float;
+  most_insular : string * float;
+}
+
+type summary = {
+  countries : int;
+  records : int;  (** total (country, site) rows *)
+  layers : layer_summary list;
+}
+
+val summarize : Dataset.t -> summary
+
+val pp : Format.formatter -> summary -> unit
+(** Human-readable multi-line rendering. *)

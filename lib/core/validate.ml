@@ -1,0 +1,21 @@
+type result = {
+  rho : Webdep_stats.Correlation.result;
+  pairs : (string * float * float) list;
+  max_gap : float;
+}
+
+let correlate ~home ~probes =
+  let pairs =
+    List.filter_map
+      (fun (cc, h) ->
+        Option.map (fun p -> (cc, h, p)) (List.assoc_opt cc probes))
+      home
+  in
+  if List.length pairs < 3 then invalid_arg "Validate.correlate: too few shared countries";
+  let hs = Array.of_list (List.map (fun (_, h, _) -> h) pairs) in
+  let ps = Array.of_list (List.map (fun (_, _, p) -> p) pairs) in
+  let rho = Webdep_stats.Correlation.pearson hs ps in
+  let max_gap =
+    List.fold_left (fun acc (_, h, p) -> Float.max acc (Float.abs (h -. p))) 0.0 pairs
+  in
+  { rho; pairs; max_gap }

@@ -1,0 +1,20 @@
+type eligibility = { country : string; list_length : int; eligible : bool }
+
+let threshold = 10_000
+
+(* ln 10000 = 9.21; with sigma 1.5 a mean of 9.72 puts ~63% of countries
+   above the threshold (z = -0.34). *)
+let simulate ?(total_countries = 237) ?(mu = 9.72) ?(sigma = 1.5) rng () =
+  List.init total_countries (fun i ->
+      let raw = Webdep_stats.Sample.log_normal rng ~mu ~sigma in
+      let list_length = max 100 (int_of_float (Float.round raw)) in
+      {
+        country = Printf.sprintf "C%03d" (i + 1);
+        list_length;
+        eligible = list_length >= threshold;
+      })
+
+let eligible_count es = List.length (List.filter (fun e -> e.eligible) es)
+
+let eligible_fraction es =
+  float_of_int (eligible_count es) /. float_of_int (List.length es)

@@ -1,0 +1,31 @@
+(** CrUX country coverage — which countries make the paper's cut.
+
+    CrUX list lengths vary with traffic volume and Chrome adoption;
+    Google's privacy thresholds shorten small countries' lists.  The
+    paper keeps the 150 of 237 countries (63.3%) whose lists hold at
+    least 10 000 websites.  This module models the per-country list
+    length as log-normal and applies the threshold. *)
+
+type eligibility = {
+  country : string;
+  list_length : int;
+  eligible : bool;
+}
+
+val threshold : int
+(** The paper's cut: 10 000. *)
+
+val simulate :
+  ?total_countries:int ->
+  ?mu:float ->
+  ?sigma:float ->
+  Webdep_stats.Rng.t ->
+  unit ->
+  eligibility list
+(** Draw list lengths for [total_countries] (default 237) countries from
+    LogNormal([mu], [sigma]) (defaults calibrated so ~63% clear the
+    threshold) and mark eligibility.  Country labels are "C001"…;
+    deterministic in the generator. *)
+
+val eligible_fraction : eligibility list -> float
+val eligible_count : eligibility list -> int

@@ -1,0 +1,37 @@
+type t = { country : string; domains : string array }
+
+let create ~country domains =
+  let seen = Hashtbl.create (Array.length domains) in
+  Array.iter
+    (fun d ->
+      if Hashtbl.mem seen d then invalid_arg ("Toplist.create: duplicate domain " ^ d);
+      Hashtbl.add seen d ())
+    domains;
+  { country; domains }
+
+let length t = Array.length t.domains
+
+let buckets = [ 1_000; 5_000; 10_000; 50_000; 100_000; 500_000; 1_000_000 ]
+
+let rank_bucket rank =
+  if rank < 1 then invalid_arg "Toplist.rank_bucket: rank must be >= 1";
+  match List.find_opt (fun b -> rank <= b) buckets with
+  | Some b -> b
+  | None -> 1_000_000
+
+let bucket_of t domain =
+  let found = ref None in
+  Array.iteri (fun i d -> if !found = None && String.equal d domain then found := Some (i + 1)) t.domains;
+  Option.map rank_bucket !found
+
+let top t n =
+  let n = min n (Array.length t.domains) in
+  Array.to_list (Array.sub t.domains 0 n)
+
+let take t n =
+  let n = min n (Array.length t.domains) in
+  { t with domains = Array.sub t.domains 0 n }
+
+let domains t = Array.to_list t.domains
+
+let mem t domain = Array.exists (String.equal domain) t.domains

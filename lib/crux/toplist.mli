@@ -1,0 +1,32 @@
+(** Per-country popular-website lists — the CrUX substrate.
+
+    CrUX publishes per-country popularity as rank-magnitude buckets
+    (top 1k, 5k, 10k, …) rather than exact ranks; the paper analyzes the
+    top-10K bucket of each of the 150 countries whose lists are at least
+    that long.  A toplist here is a ranked domain array plus the bucket
+    view. *)
+
+type t = { country : string; domains : string array  (** rank order, best first *) }
+
+val create : country:string -> string array -> t
+(** @raise Invalid_argument on duplicate domains. *)
+
+val length : t -> int
+
+val rank_bucket : int -> int
+(** [rank_bucket rank] is the CrUX rank-magnitude bucket of a 1-based
+    rank: 1 000, 5 000, 10 000, 50 000, 100 000, 500 000 or 1 000 000.
+    @raise Invalid_argument if [rank < 1]. *)
+
+val bucket_of : t -> string -> int option
+(** The rank-magnitude bucket a domain falls in, as CrUX would report. *)
+
+val top : t -> int -> string list
+(** The first [n] domains (all of them if shorter). *)
+
+val take : t -> int -> t
+(** Truncate to the top [n] — the paper's top-10K cut. *)
+
+val domains : t -> string list
+
+val mem : t -> string -> bool

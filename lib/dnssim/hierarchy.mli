@@ -1,0 +1,42 @@
+(** The DNS delegation hierarchy: root servers, TLD servers, and
+    per-provider authoritative servers, derived from the flat
+    authoritative data in a {!Zone_db}.
+
+    {!Zone_db} answers "what are the records" — this module models
+    {e how} a resolver finds them: the root delegates each TLD to TLD
+    servers, a TLD zone delegates each domain to its NS hosts, and the
+    NS hosts answer authoritatively.  {!Iterative} walks this tree the
+    way ZDNS's iterative mode does. *)
+
+type referral = {
+  zone : string;  (** the delegated zone ("com", "example.com") *)
+  ns_hosts : string list;
+  glue : (string * Webdep_netsim.Ipv4.addr list) list;
+      (** in-bailiwick glue shipped with the referral *)
+}
+
+type response =
+  | Answer of Webdep_netsim.Ipv4.addr list  (** authoritative A rrset *)
+  | Cname of string  (** alias: restart resolution at the target *)
+  | Referral of referral
+  | Name_error  (** authoritative NXDOMAIN *)
+
+type t
+
+val build : Zone_db.t -> t
+(** Derive the full hierarchy from authoritative data: one TLD zone per
+    distinct TLD among the domains, one authoritative server group per
+    distinct NS host.  Nameserver hostnames themselves resolve through
+    their own glue (served by the root for simplicity, as real TLD glue
+    does). *)
+
+val root_addrs : t -> Webdep_netsim.Ipv4.addr list
+(** The root server addresses (the resolver's hints). *)
+
+val query :
+  t -> server:Webdep_netsim.Ipv4.addr -> vantage:string -> qname:string -> response
+(** Ask one server one question, as a resolver would.  Unknown servers
+    answer {!Name_error}. *)
+
+val tld_count : t -> int
+val auth_server_count : t -> int

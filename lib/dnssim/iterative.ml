@@ -1,0 +1,40 @@
+type stats = { queries : int; referrals : int }
+type error = Nxdomain | Servfail of string
+
+let max_depth = 8
+
+let max_cname = 5
+
+let resolve hierarchy ~vantage qname =
+  let queries = ref 0 and referrals = ref 0 in
+  let rec start qname aliases =
+    if aliases > max_cname then Error (Servfail "cname chain too long")
+    else walk qname aliases (Hierarchy.root_addrs hierarchy) 0
+  and walk qname aliases servers depth =
+    if depth > max_depth then Error (Servfail "referral chain too long")
+    else
+      match servers with
+      | [] -> Error (Servfail "no servers to ask")
+      | server :: _ -> (
+          incr queries;
+          match Hierarchy.query hierarchy ~server ~vantage ~qname with
+          | Hierarchy.Answer addrs -> Ok addrs
+          | Hierarchy.Cname target ->
+              (* Restart from the root hints for the alias target, as a
+                 cacheless iterative resolver does. *)
+              start target (aliases + 1)
+          | Hierarchy.Name_error -> Error Nxdomain
+          | Hierarchy.Referral { glue; _ } ->
+              incr referrals;
+              let next = List.concat_map snd glue in
+              if next = [] then Error (Servfail "referral without glue")
+              else walk qname aliases next (depth + 1))
+  in
+  match start qname 0 with
+  | Ok addrs -> Ok (addrs, { queries = !queries; referrals = !referrals })
+  | Error e -> Error e
+
+let resolve_a hierarchy ~vantage qname =
+  match resolve hierarchy ~vantage qname with
+  | Ok (addr :: _, _) -> Some addr
+  | Ok ([], _) | Error _ -> None

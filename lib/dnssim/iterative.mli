@@ -1,0 +1,19 @@
+(** Iterative resolution over the delegation {!Hierarchy} — ZDNS's
+    iterative mode: start from the root hints, follow referrals, answer
+    from the authoritative servers, and report how much work it took. *)
+
+type stats = {
+  queries : int;  (** total questions asked *)
+  referrals : int;  (** delegations followed *)
+}
+
+type error = Nxdomain | Servfail of string
+
+val resolve :
+  Hierarchy.t -> vantage:string -> string -> (Webdep_netsim.Ipv4.addr list * stats, error) result
+(** Resolve a qname's A records from scratch (no cache).  [Servfail]
+    carries a reason (lame delegation, referral loop, missing glue). *)
+
+val resolve_a :
+  Hierarchy.t -> vantage:string -> string -> Webdep_netsim.Ipv4.addr option
+(** First address, if resolution succeeds. *)

@@ -1,0 +1,30 @@
+type t = { id : int; country : string }
+
+type pool = { by_country : (string, t array) Hashtbl.t; all : t array }
+
+let pool_of_countries ?(missing = []) ~per_country countries =
+  let by_country = Hashtbl.create 256 in
+  let next_id = ref 0 in
+  let all = ref [] in
+  List.iter
+    (fun cc ->
+      if not (List.mem cc missing) then begin
+        let probes =
+          Array.init per_country (fun _ ->
+              let p = { id = !next_id; country = cc } in
+              incr next_id;
+              p)
+        in
+        Hashtbl.replace by_country cc probes;
+        all := Array.to_list probes @ !all
+      end)
+    countries;
+  { by_country; all = Array.of_list (List.rev !all) }
+
+let pick pool rng ~country =
+  match Hashtbl.find_opt pool.by_country country with
+  | Some probes when Array.length probes > 0 -> Webdep_stats.Sample.choose rng probes
+  | _ -> Webdep_stats.Sample.choose rng pool.all
+
+let size pool = Array.length pool.all
+let countries_covered pool = Hashtbl.length pool.by_country

@@ -1,0 +1,19 @@
+(** Measurement probes — the RIPE Atlas substrate for the §3.4
+    vantage-point validation.  A probe is a vantage with a country; the
+    paper selects random in-country probes per measurement, falling back
+    to random global probes for the 14 countries with none. *)
+
+type t = { id : int; country : string }
+
+type pool
+
+val pool_of_countries : ?missing:string list -> per_country:int -> string list -> pool
+(** Build a pool with [per_country] probes in each listed country, except
+    those in [missing] (countries with no RIPE probes). *)
+
+val pick : pool -> Webdep_stats.Rng.t -> country:string -> t
+(** A random probe in [country], or a random probe anywhere when the
+    country has none (the paper's fallback). *)
+
+val size : pool -> int
+val countries_covered : pool -> int

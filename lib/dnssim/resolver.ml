@@ -1,0 +1,36 @@
+type response = {
+  a : Webdep_netsim.Ipv4.addr list;
+  ns_hosts : string list;
+  ns_addrs : Webdep_netsim.Ipv4.addr list;
+}
+
+type error = Nxdomain
+
+let max_cname_depth = 5
+
+(* Follow a CNAME chain to the terminal A answer; a broken or cyclic
+   chain yields no addresses (a resolver would SERVFAIL). *)
+let rec chase db ~vantage domain depth =
+  match Zone_db.domain_data db domain with
+  | None -> []
+  | Some (_, answer) -> (
+      match Zone_db.cname_of db domain with
+      | Some target when depth < max_cname_depth -> (
+          match chase db ~vantage target (depth + 1) with
+          | [] -> Zone_db.resolve_answer ~vantage answer
+          | addrs -> addrs)
+      | Some _ -> []
+      | None -> Zone_db.resolve_answer ~vantage answer)
+
+let resolve db ~vantage domain =
+  match Zone_db.domain_data db domain with
+  | None -> Error Nxdomain
+  | Some (ns_hosts, _) ->
+      let a = chase db ~vantage domain 0 in
+      let ns_addrs = List.concat_map (Zone_db.host_addr db ~vantage) ns_hosts in
+      Ok { a; ns_hosts; ns_addrs }
+
+let resolve_a db ~vantage domain =
+  match resolve db ~vantage domain with
+  | Ok { a = addr :: _; _ } -> Some addr
+  | Ok { a = []; _ } | Error Nxdomain -> None

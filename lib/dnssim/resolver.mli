@@ -1,0 +1,19 @@
+(** The ZDNS-style resolver: given a domain and a vantage country, return
+    the A records and the nameserver set with their addresses.  These are
+    the two lookups the paper's pipeline performs per site (hosting IP and
+    NS IP). *)
+
+type response = {
+  a : Webdep_netsim.Ipv4.addr list;  (** website addresses *)
+  ns_hosts : string list;  (** authoritative nameserver hostnames *)
+  ns_addrs : Webdep_netsim.Ipv4.addr list;  (** their glue addresses *)
+}
+
+type error = Nxdomain
+
+val resolve : Zone_db.t -> vantage:string -> string -> (response, error) result
+(** [resolve db ~vantage domain]; [vantage] is the probing country code
+    (the paper's university vantage is modelled as "US"). *)
+
+val resolve_a : Zone_db.t -> vantage:string -> string -> Webdep_netsim.Ipv4.addr option
+(** First A record, if any. *)

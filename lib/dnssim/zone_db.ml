@@ -1,0 +1,46 @@
+type answer =
+  | Static of Webdep_netsim.Ipv4.addr list
+  | Geo of (string * Webdep_netsim.Ipv4.addr list) list * Webdep_netsim.Ipv4.addr list
+  | Dynamic of (string -> Webdep_netsim.Ipv4.addr list)
+
+type entry = { ns_hosts : string list; a : answer; cname : string option }
+
+type t = {
+  domains : (string, entry) Hashtbl.t;
+  hosts : (string, answer) Hashtbl.t;
+}
+
+let create () = { domains = Hashtbl.create 65536; hosts = Hashtbl.create 65536 }
+
+let add_domain t ~domain ~ns_hosts ~a =
+  Hashtbl.replace t.domains domain { ns_hosts; a; cname = None }
+
+let add_alias t ~domain ~target ~ns_hosts =
+  Hashtbl.replace t.domains domain { ns_hosts; a = Static []; cname = Some target }
+
+let cname_of t domain =
+  Option.bind (Hashtbl.find_opt t.domains domain) (fun e -> e.cname)
+let add_host t ~host ~a = Hashtbl.replace t.hosts host a
+
+let domain_data t domain =
+  Option.map (fun e -> (e.ns_hosts, e.a)) (Hashtbl.find_opt t.domains domain)
+
+let resolve_answer ~vantage = function
+  | Static addrs -> addrs
+  | Geo (per_country, default) -> (
+      match List.assoc_opt vantage per_country with
+      | Some addrs -> addrs
+      | None -> default)
+  | Dynamic f -> f vantage
+
+let host_addr t ~vantage host =
+  match Hashtbl.find_opt t.hosts host with
+  | None -> []
+  | Some a -> resolve_answer ~vantage a
+
+let domain_count t = Hashtbl.length t.domains
+
+let fold_domains f t init =
+  Hashtbl.fold (fun domain e acc -> f domain e.ns_hosts e.a acc) t.domains init
+
+let fold_hosts f t init = Hashtbl.fold f t.hosts init

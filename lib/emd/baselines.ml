@@ -1,0 +1,51 @@
+let top_n d n = Dist.top_share d n
+
+let hhi = Centralization.hhi
+
+let gini d =
+  let sorted = Dist.sorted_desc d in
+  let n = Array.length sorted in
+  Array.sort compare sorted;
+  (* ascending now *)
+  let total = Dist.total d in
+  let weighted = ref 0.0 in
+  Array.iteri (fun i m -> weighted := !weighted +. (float_of_int (i + 1) *. m)) sorted;
+  let nf = float_of_int n in
+  ((2.0 *. !weighted) /. (nf *. total)) -. ((nf +. 1.0) /. nf)
+
+let shannon_evenness d =
+  let shares = Dist.shares d in
+  let n = Array.length shares in
+  if n <= 1 then 1.0
+  else begin
+    let h = ref 0.0 in
+    Array.iter (fun p -> if p > 0.0 then h := !h -. (p *. log p)) shares;
+    !h /. log (float_of_int n)
+  end
+
+let effective_providers d = 1.0 /. hhi d
+
+type disagreement = {
+  pairs_compared : int;
+  topn_ties_s_separates : int;
+  rank_inversions : int;
+}
+
+let compare_with_top_n ?(n = 5) ?(tie_eps = 0.01) ?(s_eps = 0.01) labelled =
+  let stats =
+    List.map (fun (_, d) -> (top_n d n, Centralization.score d)) labelled
+  in
+  let arr = Array.of_list stats in
+  let len = Array.length arr in
+  let pairs = ref 0 and ties = ref 0 and inversions = ref 0 in
+  for i = 0 to len - 1 do
+    for j = i + 1 to len - 1 do
+      incr pairs;
+      let ti, si = arr.(i) and tj, sj = arr.(j) in
+      let top_gap = ti -. tj and s_gap = si -. sj in
+      if Float.abs top_gap <= tie_eps && Float.abs s_gap > s_eps then incr ties
+      else if top_gap *. s_gap < 0.0 && Float.abs top_gap > tie_eps && Float.abs s_gap > s_eps
+      then incr inversions
+    done
+  done;
+  { pairs_compared = !pairs; topn_ties_s_separates = !ties; rank_inversions = !inversions }

@@ -1,0 +1,44 @@
+(** The concentration measures prior work used, implemented as baselines
+    for comparison against the paper's 𝒮 (§2, §3.1).
+
+    Prior studies quantified centralization with top-N market shares
+    [Kumar et al., Kashaf et al., …], raw HHI [Bates et al., Huston], and
+    generic inequality measures.  These let the bench quantify, at scale,
+    the Figure-1 argument: top-N collapses distinct distributions that 𝒮
+    separates. *)
+
+val top_n : Dist.t -> int -> float
+(** Share of the N largest providers (= {!Dist.top_share}). *)
+
+val hhi : Dist.t -> float
+(** Herfindahl–Hirschman Index Σ (aᵢ/C)². *)
+
+val gini : Dist.t -> float
+(** Gini coefficient of the provider-size distribution, in [0, 1).
+    Note the subtlety the paper's design avoids: Gini measures inequality
+    {e among observed providers} and is blind to the number of providers —
+    a country with 2 equal providers and one with 2 000 equal providers
+    both score 0. *)
+
+val shannon_evenness : Dist.t -> float
+(** Normalized Shannon entropy H/ln(n) in [0, 1]; 1 = perfectly even.
+    Undefined (returns 1.0) for a single provider. *)
+
+val effective_providers : Dist.t -> float
+(** Inverse HHI — the "numbers equivalent": how many equal-size providers
+    would produce the same concentration. *)
+
+type disagreement = {
+  pairs_compared : int;
+  topn_ties_s_separates : int;
+      (** pairs with (near-)equal top-N share whose 𝒮 differ materially *)
+  rank_inversions : int;
+      (** pairs ordered one way by top-N and the other way by 𝒮 *)
+}
+
+val compare_with_top_n :
+  ?n:int -> ?tie_eps:float -> ?s_eps:float -> (string * Dist.t) list -> disagreement
+(** Quantify Figure 1's argument over a set of labelled distributions:
+    how often does the top-N heuristic tie or invert country pairs that
+    𝒮 distinguishes?  Defaults: [n] = 5, [tie_eps] = 0.01 (1 point of
+    share), [s_eps] = 0.01. *)

@@ -1,0 +1,49 @@
+let default_c = 10_000
+
+let score dist =
+  let c = Dist.total dist in
+  let acc = ref 0.0 in
+  Array.iter (fun m -> acc := !acc +. ((m /. c) ** 2.0)) (Dist.masses dist);
+  !acc -. (1.0 /. c)
+
+let score_of_counts counts = score (Dist.of_counts counts)
+
+let score_of_shares_c ~c shares =
+  let sum = Array.fold_left ( +. ) 0.0 shares in
+  if Float.abs (sum -. 1.0) > 1e-6 then
+    invalid_arg "Centralization.score_of_shares: shares must sum to 1";
+  let acc = ref 0.0 in
+  Array.iter (fun s -> acc := !acc +. (s *. s)) shares;
+  !acc -. (1.0 /. float_of_int c)
+
+let score_of_shares shares = score_of_shares_c ~c:default_c shares
+
+let hhi dist =
+  let c = Dist.total dist in
+  score dist +. (1.0 /. c)
+
+let upper_bound ~c =
+  if c <= 0 then invalid_arg "Centralization.upper_bound: c must be positive";
+  1.0 -. (1.0 /. float_of_int c)
+
+let via_transport dist =
+  let supply = Dist.masses dist in
+  let c = Dist.total dist in
+  let c_int = int_of_float (Float.round c) in
+  let demand = Array.make c_int 1.0 in
+  (* Paper's ground distance: vertical height difference (a_i − r_j)/C with
+     r_j = 1, independent of j. *)
+  let cost i _j = (supply.(i) -. 1.0) /. c in
+  Transport.emd ~supply ~demand ~cost
+
+type doj_band = Competitive | Moderately_concentrated | Highly_concentrated
+
+let doj_band s =
+  if s < 0.10 then Competitive
+  else if s <= 0.18 then Moderately_concentrated
+  else Highly_concentrated
+
+let doj_band_to_string = function
+  | Competitive -> "competitive"
+  | Moderately_concentrated -> "moderately concentrated"
+  | Highly_concentrated -> "highly concentrated"

@@ -1,0 +1,37 @@
+type t = { masses : float array; total : float }
+
+let validate masses =
+  Array.iter (fun m -> if m < 0.0 then invalid_arg "Dist: negative mass") masses;
+  let positive = Array.of_list (List.filter (fun m -> m > 0.0) (Array.to_list masses)) in
+  if Array.length positive = 0 then invalid_arg "Dist: no positive mass";
+  positive
+
+let of_masses masses =
+  let masses = validate masses in
+  { masses; total = Array.fold_left ( +. ) 0.0 masses }
+
+let of_counts counts = of_masses (Array.map float_of_int counts)
+
+let uniform_reference c =
+  if c <= 0 then invalid_arg "Dist.uniform_reference: c must be positive";
+  { masses = Array.make c 1.0; total = float_of_int c }
+
+let masses t = Array.copy t.masses
+let total t = t.total
+let size t = Array.length t.masses
+
+let sorted_desc t =
+  let c = Array.copy t.masses in
+  Array.sort (fun a b -> compare b a) c;
+  c
+
+let shares t = Array.map (fun m -> m /. t.total) t.masses
+
+let top_share t k =
+  let sorted = sorted_desc t in
+  let k = min k (Array.length sorted) in
+  let acc = ref 0.0 in
+  for i = 0 to k - 1 do
+    acc := !acc +. sorted.(i)
+  done;
+  !acc /. t.total

@@ -1,0 +1,40 @@
+(** Discrete distributions of "mass" over indexed buckets.
+
+    In the paper's setting a bucket is a provider and its mass is the number
+    of websites using that provider; the reference distribution is [C]
+    buckets of mass 1 (every website its own provider). *)
+
+type t
+(** A distribution: nonnegative masses, at least one positive. *)
+
+val of_counts : int array -> t
+(** Build from integer counts (websites per provider).  Zero-count buckets
+    are dropped.  @raise Invalid_argument if any count is negative or all
+    are zero. *)
+
+val of_masses : float array -> t
+(** Build from float masses.  @raise Invalid_argument if any mass is
+    negative or all are zero. *)
+
+val uniform_reference : int -> t
+(** [uniform_reference c] is the fully decentralized reference: [c] buckets
+    of mass 1.  @raise Invalid_argument if [c <= 0]. *)
+
+val masses : t -> float array
+(** The positive masses, in construction order. *)
+
+val sorted_desc : t -> float array
+(** Masses sorted nonincreasing (the paper's canonical presentation). *)
+
+val total : t -> float
+(** Total mass [C]. *)
+
+val size : t -> int
+(** Number of (positive-mass) buckets. *)
+
+val shares : t -> float array
+(** Masses divided by total: the market-share vector [a_i / C]. *)
+
+val top_share : t -> int -> float
+(** [top_share t k] is the total share of the [k] largest buckets — the
+    "top-N" heuristic the paper argues is insufficient. *)

@@ -1,0 +1,46 @@
+let check p q =
+  if Array.length p <> Array.length q then invalid_arg "Divergence: length mismatch";
+  let validate v =
+    let sum = Array.fold_left ( +. ) 0.0 v in
+    Array.iter (fun x -> if x < 0.0 then invalid_arg "Divergence: negative probability") v;
+    if Float.abs (sum -. 1.0) > 1e-6 then invalid_arg "Divergence: probabilities must sum to 1"
+  in
+  validate p;
+  validate q
+
+let kl p q =
+  check p q;
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i pi ->
+      if pi > 0.0 then
+        if q.(i) <= 0.0 then acc := infinity else acc := !acc +. (pi *. log (pi /. q.(i))))
+    p;
+  !acc
+
+let jensen_shannon p q =
+  check p q;
+  let m = Array.init (Array.length p) (fun i -> (p.(i) +. q.(i)) /. 2.0) in
+  let half_kl v =
+    let acc = ref 0.0 in
+    Array.iteri (fun i vi -> if vi > 0.0 then acc := !acc +. (vi *. log (vi /. m.(i)))) v;
+    !acc
+  in
+  (half_kl p +. half_kl q) /. 2.0
+
+let hellinger p q =
+  check p q;
+  let acc = ref 0.0 in
+  Array.iteri (fun i pi -> acc := !acc +. ((sqrt pi -. sqrt q.(i)) ** 2.0)) p;
+  sqrt (!acc /. 2.0)
+
+let total_variation p q =
+  check p q;
+  let acc = ref 0.0 in
+  Array.iteri (fun i pi -> acc := !acc +. Float.abs (pi -. q.(i))) p;
+  !acc /. 2.0
+
+let align p q =
+  let n = Stdlib.max (Array.length p) (Array.length q) in
+  let pad v = Array.init n (fun i -> if i < Array.length v then v.(i) else 0.0) in
+  (pad p, pad q)

@@ -1,0 +1,30 @@
+(** f-divergences between discrete probability vectors.
+
+    The paper's §3.1 considers and rejects this family for measuring
+    centralization: every f-divergence saturates to a constant on (nearly)
+    disjoint supports, so it cannot rank an observed skewed distribution
+    against the fully decentralized reference.  These implementations back
+    the design-choice ablation bench that demonstrates the saturation.
+
+    All functions take probability vectors over a {e common} indexed
+    support (pad with zeros to align supports) and raise
+    [Invalid_argument] on length mismatch, negative entries, or sums that
+    deviate from 1 by more than 1e-6. *)
+
+val kl : float array -> float array -> float
+(** Kullback–Leibler D(P‖Q), natural log.  [+infinity] when P has mass
+    where Q has none. *)
+
+val jensen_shannon : float array -> float array -> float
+(** Jensen–Shannon divergence, bounded by [log 2]. *)
+
+val hellinger : float array -> float array -> float
+(** Hellinger distance, in [0, 1]. *)
+
+val total_variation : float array -> float array -> float
+(** Total variation distance ½·Σ|p−q|, in [0, 1]. *)
+
+val align : float array -> float array -> float array * float array
+(** [align p q] zero-pads the shorter vector so both share a support of the
+    same size — modelling distributions over disjoint provider sets laid
+    side by side. *)

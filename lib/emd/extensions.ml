@@ -1,0 +1,35 @@
+let weighted_score groups =
+  let total = ref 0.0 and provider_sq = ref 0.0 and site_sq = ref 0.0 in
+  List.iter
+    (fun weights ->
+      let mass = ref 0.0 in
+      Array.iter
+        (fun w ->
+          if w < 0.0 then invalid_arg "Extensions.weighted_score: negative weight";
+          mass := !mass +. w;
+          site_sq := !site_sq +. (w *. w))
+        weights;
+      total := !total +. !mass;
+      provider_sq := !provider_sq +. (!mass *. !mass))
+    groups;
+  if !total <= 0.0 then invalid_arg "Extensions.weighted_score: zero total weight";
+  (!provider_sq -. !site_sq) /. (!total *. !total)
+
+let pairwise a b =
+  let supply = Dist.sorted_desc a in
+  let ca = Dist.total a and cb = Dist.total b in
+  (* Scale b onto a's total so the transportation problem balances. *)
+  let demand = Array.map (fun m -> m *. ca /. cb) (Dist.sorted_desc b) in
+  let cost i j = Float.abs (supply.(i) -. demand.(j)) /. ca in
+  Transport.emd ~supply ~demand ~cost
+
+let sorted_share_l1 a b =
+  let sa = Array.map (fun m -> m /. Dist.total a) (Dist.sorted_desc a) in
+  let sb = Array.map (fun m -> m /. Dist.total b) (Dist.sorted_desc b) in
+  let n = max (Array.length sa) (Array.length sb) in
+  let get v i = if i < Array.length v then v.(i) else 0.0 in
+  let acc = ref 0.0 in
+  for i = 0 to n - 1 do
+    acc := !acc +. Float.abs (get sa i -. get sb i)
+  done;
+  !acc /. 2.0

@@ -1,0 +1,31 @@
+(** The customizations §3.2 proposes for future work on the EMD
+    formulation, implemented:
+
+    - {e weighted mass}: each website carries a weight (e.g. traffic)
+      instead of counting 1;
+    - {e pairwise comparison}: EMD between two observed distributions
+      directly, rather than against the decentralized reference. *)
+
+val weighted_score : float array list -> float
+(** [weighted_score groups] where each group lists the site weights of
+    one provider.  Generalizes 𝒮: with provider mass [aᵢ = Σ groupᵢ] and
+    total [W],
+
+    {v 𝒮_w = Σᵢ (aᵢ/W)² − Σⱼ (wⱼ/W)² v}
+
+    (the reference distribution gives every site its own provider with
+    its own weight; unit weights recover the ordinary 𝒮).
+    @raise Invalid_argument on negative weights or zero total. *)
+
+val pairwise : Dist.t -> Dist.t -> float
+(** [pairwise a b] is the EMD between two observed distributions under
+    the paper's vertical-difference ground distance
+    [d_ij = |aᵢ − bⱼ| / C], computed by the exact transportation solver
+    after scaling [b] to [a]'s total mass.  Symmetric up to the scaling;
+    0 iff the sorted share vectors coincide.  Intended for
+    moderate provider counts. *)
+
+val sorted_share_l1 : Dist.t -> Dist.t -> float
+(** Closed-form pairwise dissimilarity: ½·Σ |share_a(i) − share_b(i)|
+    over rank-aligned sorted share vectors — a fast companion to
+    {!pairwise} with the same "0 iff same shape" property, in [0, 1). *)

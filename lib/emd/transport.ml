@@ -1,0 +1,117 @@
+type solution = { work : float; flows : (int * int * float) list }
+
+(* Residual-graph edge; [flow] mutates during augmentation. *)
+type edge = {
+  dst : int;
+  capacity : float;
+  cost : float;
+  mutable flow : float;
+  mutable twin : edge option; (* reverse edge, set after construction *)
+}
+
+let residual e = e.capacity -. e.flow
+
+let check ~supply ~demand =
+  let n = Array.length supply and m = Array.length demand in
+  if n = 0 || m = 0 then invalid_arg "Transport.solve: empty side";
+  Array.iter (fun s -> if s < 0.0 then invalid_arg "Transport.solve: negative supply") supply;
+  Array.iter (fun d -> if d < 0.0 then invalid_arg "Transport.solve: negative demand") demand;
+  let ts = Array.fold_left ( +. ) 0.0 supply and td = Array.fold_left ( +. ) 0.0 demand in
+  let scale = Float.max 1.0 (Float.max ts td) in
+  if Float.abs (ts -. td) > 1e-6 *. scale then
+    invalid_arg "Transport.solve: unbalanced supply and demand";
+  (n, m, ts)
+
+let solve ~supply ~demand ~cost =
+  let n, m, total = check ~supply ~demand in
+  let source = 0 and sink = n + m + 1 in
+  let nodes = n + m + 2 in
+  let graph : edge list array = Array.make nodes [] in
+  let add_edge u v capacity cost =
+    let fwd = { dst = v; capacity; cost; flow = 0.0; twin = None } in
+    let bwd = { dst = u; capacity = 0.0; cost = -.cost; flow = 0.0; twin = None } in
+    fwd.twin <- Some bwd;
+    bwd.twin <- Some fwd;
+    graph.(u) <- fwd :: graph.(u);
+    graph.(v) <- bwd :: graph.(v);
+    fwd
+  in
+  for i = 0 to n - 1 do
+    ignore (add_edge source (1 + i) supply.(i) 0.0)
+  done;
+  (* Keep handles on the transport edges to read the final flows. *)
+  let transport = Array.make (n * m) None in
+  for i = 0 to n - 1 do
+    for j = 0 to m - 1 do
+      transport.((i * m) + j) <- Some (add_edge (1 + i) (1 + n + j) infinity (cost i j))
+    done
+  done;
+  for j = 0 to m - 1 do
+    ignore (add_edge (1 + n + j) sink demand.(j) 0.0)
+  done;
+  (* Successive shortest paths; Bellman–Ford handles possibly-negative
+     ground distances without needing an initial potential computation. *)
+  let eps = 1e-12 *. Float.max 1.0 total in
+  let pushed = ref 0.0 in
+  let continue = ref true in
+  while !continue && total -. !pushed > eps do
+    let dist = Array.make nodes infinity in
+    let pred : edge option array = Array.make nodes None in
+    dist.(source) <- 0.0;
+    let changed = ref true in
+    let rounds = ref 0 in
+    while !changed && !rounds <= nodes do
+      changed := false;
+      incr rounds;
+      for u = 0 to nodes - 1 do
+        if dist.(u) < infinity then
+          List.iter
+            (fun e ->
+              if residual e > eps && dist.(u) +. e.cost < dist.(e.dst) -. 1e-12 then begin
+                dist.(e.dst) <- dist.(u) +. e.cost;
+                pred.(e.dst) <- Some e;
+                changed := true
+              end)
+            graph.(u)
+      done
+    done;
+    if dist.(sink) = infinity then continue := false
+    else begin
+      (* Bottleneck along the path, found by walking predecessors back. *)
+      let rec bottleneck v acc =
+        match pred.(v) with
+        | None -> acc
+        | Some e ->
+            let src = (match e.twin with Some t -> t.dst | None -> assert false) in
+            bottleneck src (Float.min acc (residual e))
+      in
+      let delta = bottleneck sink infinity in
+      let rec apply v =
+        match pred.(v) with
+        | None -> ()
+        | Some e ->
+            e.flow <- e.flow +. delta;
+            (match e.twin with Some t -> t.flow <- t.flow -. delta | None -> assert false);
+            let src = (match e.twin with Some t -> t.dst | None -> assert false) in
+            apply src
+      in
+      apply sink;
+      pushed := !pushed +. delta
+    end
+  done;
+  let work = ref 0.0 and flows = ref [] in
+  for i = 0 to n - 1 do
+    for j = 0 to m - 1 do
+      match transport.((i * m) + j) with
+      | Some e when e.flow > eps ->
+          work := !work +. (e.flow *. e.cost);
+          flows := (i, j, e.flow) :: !flows
+      | _ -> ()
+    done
+  done;
+  { work = !work; flows = List.rev !flows }
+
+let emd ~supply ~demand ~cost =
+  let total = Array.fold_left ( +. ) 0.0 supply in
+  let { work; _ } = solve ~supply ~demand ~cost in
+  work /. total

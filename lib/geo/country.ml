@@ -1,0 +1,180 @@
+type t = { code : string; name : string; subregion : Region.subregion }
+
+(* Appendix E, Table 4: the 150 countries with >= 10K CrUX websites. *)
+let raw : (string * string * Region.subregion) list =
+  Region.
+    [ ("AE", "United Arab Emirates", Western_asia);
+      ("AF", "Afghanistan", Southern_asia);
+      ("AL", "Albania", Southern_europe);
+      ("AM", "Armenia", Western_asia);
+      ("AO", "Angola", Middle_africa);
+      ("AR", "Argentina", South_america_subregion);
+      ("AT", "Austria", Western_europe);
+      ("AU", "Australia", Oceania_subregion);
+      ("AZ", "Azerbaijan", Western_asia);
+      ("BA", "Bosnia and Herzegovina", Southern_europe);
+      ("BD", "Bangladesh", Southern_asia);
+      ("BE", "Belgium", Western_europe);
+      ("BF", "Burkina Faso", Western_africa);
+      ("BG", "Bulgaria", Eastern_europe);
+      ("BH", "Bahrain", Western_asia);
+      ("BJ", "Benin", Western_africa);
+      ("BN", "Brunei Darussalam", South_eastern_asia);
+      ("BO", "Bolivia", South_america_subregion);
+      ("BR", "Brazil", South_america_subregion);
+      ("BW", "Botswana", Southern_africa);
+      ("BY", "Belarus", Eastern_europe);
+      ("CA", "Canada", Northern_america);
+      ("CD", "Congo", Middle_africa);
+      ("CH", "Switzerland", Western_europe);
+      ("CI", "C\xc3\xb4te d'Ivoire", Western_africa);
+      ("CL", "Chile", South_america_subregion);
+      ("CM", "Cameroon", Middle_africa);
+      ("CO", "Colombia", South_america_subregion);
+      ("CR", "Costa Rica", Central_america);
+      ("CU", "Cuba", Caribbean);
+      ("CY", "Cyprus", Western_asia);
+      ("CZ", "Czechia", Eastern_europe);
+      ("DE", "Germany", Western_europe);
+      ("DK", "Denmark", Northern_europe);
+      ("DO", "Dominican Republic", Caribbean);
+      ("DZ", "Algeria", Northern_africa);
+      ("EC", "Ecuador", South_america_subregion);
+      ("EE", "Estonia", Northern_europe);
+      ("EG", "Egypt", Northern_africa);
+      ("ES", "Spain", Southern_europe);
+      ("ET", "Ethiopia", Eastern_africa);
+      ("FI", "Finland", Northern_europe);
+      ("FR", "France", Western_europe);
+      ("GA", "Gabon", Middle_africa);
+      ("GB", "United Kingdom", Northern_europe);
+      ("GE", "Georgia", Western_asia);
+      ("GH", "Ghana", Western_africa);
+      ("GP", "Guadeloupe", Caribbean);
+      ("GR", "Greece", Southern_europe);
+      ("GT", "Guatemala", Central_america);
+      ("HK", "Hong Kong", Eastern_asia);
+      ("HN", "Honduras", Central_america);
+      ("HR", "Croatia", Southern_europe);
+      ("HT", "Haiti", Caribbean);
+      ("HU", "Hungary", Eastern_europe);
+      ("ID", "Indonesia", South_eastern_asia);
+      ("IE", "Ireland", Northern_europe);
+      ("IL", "Israel", Western_asia);
+      ("IN", "India", Southern_asia);
+      ("IQ", "Iraq", Western_asia);
+      ("IR", "Iran", Southern_asia);
+      ("IS", "Iceland", Northern_europe);
+      ("IT", "Italy", Southern_europe);
+      ("JM", "Jamaica", Caribbean);
+      ("JO", "Jordan", Western_asia);
+      ("JP", "Japan", Eastern_asia);
+      ("KE", "Kenya", Eastern_africa);
+      ("KG", "Kyrgyzstan", Central_asia);
+      ("KH", "Cambodia", South_eastern_asia);
+      ("KR", "Korea", Eastern_asia);
+      ("KW", "Kuwait", Western_asia);
+      ("KZ", "Kazakhstan", Central_asia);
+      ("LA", "Laos", South_eastern_asia);
+      ("LB", "Lebanon", Western_asia);
+      ("LK", "Sri Lanka", Southern_asia);
+      ("LT", "Lithuania", Northern_europe);
+      ("LU", "Luxembourg", Western_europe);
+      ("LV", "Latvia", Northern_europe);
+      ("LY", "Libya", Northern_africa);
+      ("MA", "Morocco", Northern_africa);
+      ("MD", "Moldova", Eastern_europe);
+      ("ME", "Montenegro", Southern_europe);
+      ("MG", "Madagascar", Eastern_africa);
+      ("MK", "North Macedonia", Southern_europe);
+      ("ML", "Mali", Western_africa);
+      ("MM", "Myanmar", South_eastern_asia);
+      ("MN", "Mongolia", Eastern_asia);
+      ("MO", "Macao", Eastern_asia);
+      ("MQ", "Martinique", Caribbean);
+      ("MT", "Malta", Southern_europe);
+      ("MU", "Mauritius", Eastern_africa);
+      ("MV", "Maldives", Southern_asia);
+      ("MW", "Malawi", Eastern_africa);
+      ("MX", "Mexico", Central_america);
+      ("MY", "Malaysia", South_eastern_asia);
+      ("MZ", "Mozambique", Eastern_africa);
+      ("NA", "Namibia", Southern_africa);
+      ("NG", "Nigeria", Western_africa);
+      ("NI", "Nicaragua", Central_america);
+      ("NL", "Netherlands", Western_europe);
+      ("NO", "Norway", Northern_europe);
+      ("NP", "Nepal", Southern_asia);
+      ("NZ", "New Zealand", Oceania_subregion);
+      ("OM", "Oman", Western_asia);
+      ("PA", "Panama", Central_america);
+      ("PE", "Peru", South_america_subregion);
+      ("PG", "Papua New Guinea", Oceania_subregion);
+      ("PH", "Philippines", South_eastern_asia);
+      ("PK", "Pakistan", Southern_asia);
+      ("PL", "Poland", Eastern_europe);
+      ("PR", "Puerto Rico", Caribbean);
+      ("PS", "Palestine", Western_asia);
+      ("PT", "Portugal", Southern_europe);
+      ("PY", "Paraguay", South_america_subregion);
+      ("QA", "Qatar", Western_asia);
+      ("RE", "R\xc3\xa9union", Eastern_africa);
+      ("RO", "Romania", Eastern_europe);
+      ("RS", "Serbia", Southern_europe);
+      ("RU", "Russia", Eastern_europe);
+      ("RW", "Rwanda", Eastern_africa);
+      ("SA", "Saudi Arabia", Western_asia);
+      ("SD", "Sudan", Northern_africa);
+      ("SE", "Sweden", Northern_europe);
+      ("SG", "Singapore", South_eastern_asia);
+      ("SI", "Slovenia", Southern_europe);
+      ("SK", "Slovakia", Eastern_europe);
+      ("SN", "Senegal", Western_africa);
+      ("SO", "Somalia", Eastern_africa);
+      ("SV", "El Salvador", Central_america);
+      ("SY", "Syria", Western_asia);
+      ("TG", "Togo", Western_africa);
+      ("TH", "Thailand", South_eastern_asia);
+      ("TJ", "Tajikistan", Central_asia);
+      ("TM", "Turkmenistan", Central_asia);
+      ("TN", "Tunisia", Northern_africa);
+      ("TR", "Turkey", Western_asia);
+      ("TT", "Trinidad and Tobago", Caribbean);
+      ("TW", "Taiwan", Eastern_asia);
+      ("TZ", "Tanzania", Eastern_africa);
+      ("UA", "Ukraine", Eastern_europe);
+      ("UG", "Uganda", Eastern_africa);
+      ("US", "United States", Northern_america);
+      ("UY", "Uruguay", South_america_subregion);
+      ("UZ", "Uzbekistan", Central_asia);
+      ("VE", "Venezuela", South_america_subregion);
+      ("VN", "Viet Nam", South_eastern_asia);
+      ("YE", "Yemen", Western_asia);
+      ("ZA", "South Africa", Southern_africa);
+      ("ZM", "Zambia", Eastern_africa);
+      ("ZW", "Zimbabwe", Eastern_africa) ]
+
+let all = List.map (fun (code, name, subregion) -> { code; name; subregion }) raw
+let count = List.length all
+
+let table =
+  let tbl = Hashtbl.create 200 in
+  List.iter (fun c -> Hashtbl.replace tbl c.code c) all;
+  tbl
+
+let of_code code = Hashtbl.find_opt table (String.uppercase_ascii code)
+
+let of_code_exn code =
+  match of_code code with Some c -> c | None -> raise Not_found
+
+let mem code = Option.is_some (of_code code)
+
+let continent c = Region.continent_of_subregion c.subregion
+
+let in_subregion sr = List.filter (fun c -> c.subregion = sr) all
+let in_continent ct = List.filter (fun c -> continent c = ct) all
+
+let ccTLD c =
+  match c.code with
+  | "GB" -> ".uk"
+  | code -> "." ^ String.lowercase_ascii code

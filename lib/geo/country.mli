@@ -1,0 +1,36 @@
+(** The 150 countries of the paper's dataset (Appendix E, Table 4).
+
+    Each country is identified by its ISO 3166-1 alpha-2 code and carries
+    the UN subregion / continent assignment the paper uses for regional
+    aggregation.  The dataset also names a few provider home countries that
+    are not in the 150-country toplist set (e.g. none — all provider HQs in
+    the paper are within ISO space); [of_code] is total over the 150. *)
+
+type t = {
+  code : string;  (** ISO alpha-2, uppercase *)
+  name : string;
+  subregion : Region.subregion;
+}
+
+val all : t list
+(** All 150 countries, ordered by code. *)
+
+val count : int
+(** [List.length all] = 150. *)
+
+val of_code : string -> t option
+(** Lookup by (case-insensitive) alpha-2 code among the 150. *)
+
+val of_code_exn : string -> t
+(** @raise Not_found if the code is not one of the 150. *)
+
+val mem : string -> bool
+
+val continent : t -> Region.continent
+
+val in_subregion : Region.subregion -> t list
+val in_continent : Region.continent -> t list
+
+val ccTLD : t -> string
+(** The country-code TLD, lowercase with leading dot (".de").  For the
+    paper's TLD layer; UK maps to ".uk" (not ".gb"). *)

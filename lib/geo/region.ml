@@ -1,0 +1,85 @@
+type continent = Africa | Asia | Europe | North_america | Oceania | South_america
+
+type subregion =
+  | Caribbean
+  | Central_america
+  | Central_asia
+  | Eastern_africa
+  | Eastern_asia
+  | Eastern_europe
+  | Middle_africa
+  | Northern_africa
+  | Northern_america
+  | Northern_europe
+  | Oceania_subregion
+  | South_america_subregion
+  | South_eastern_asia
+  | Southern_africa
+  | Southern_asia
+  | Southern_europe
+  | Western_africa
+  | Western_asia
+  | Western_europe
+
+let continent_of_subregion = function
+  | Eastern_africa | Middle_africa | Northern_africa | Southern_africa | Western_africa ->
+      Africa
+  | Central_asia | Eastern_asia | South_eastern_asia | Southern_asia | Western_asia -> Asia
+  | Eastern_europe | Northern_europe | Southern_europe | Western_europe -> Europe
+  | Caribbean | Central_america | Northern_america -> North_america
+  | Oceania_subregion -> Oceania
+  | South_america_subregion -> South_america
+
+let continent_code = function
+  | Africa -> "AF"
+  | Asia -> "AS"
+  | Europe -> "EU"
+  | North_america -> "NA"
+  | Oceania -> "OC"
+  | South_america -> "SA"
+
+let continent_name = function
+  | Africa -> "Africa"
+  | Asia -> "Asia"
+  | Europe -> "Europe"
+  | North_america -> "North America"
+  | Oceania -> "Oceania"
+  | South_america -> "South America"
+
+let subregion_name = function
+  | Caribbean -> "Caribbean"
+  | Central_america -> "Central America"
+  | Central_asia -> "Central Asia"
+  | Eastern_africa -> "Eastern Africa"
+  | Eastern_asia -> "Eastern Asia"
+  | Eastern_europe -> "Eastern Europe"
+  | Middle_africa -> "Middle Africa"
+  | Northern_africa -> "Northern Africa"
+  | Northern_america -> "Northern America"
+  | Northern_europe -> "Northern Europe"
+  | Oceania_subregion -> "Oceania"
+  | South_america_subregion -> "South America"
+  | South_eastern_asia -> "South-eastern Asia"
+  | Southern_africa -> "Southern Africa"
+  | Southern_asia -> "Southern Asia"
+  | Southern_europe -> "Southern Europe"
+  | Western_africa -> "Western Africa"
+  | Western_asia -> "Western Asia"
+  | Western_europe -> "Western Europe"
+
+let all_continents = [ Africa; Asia; Europe; North_america; Oceania; South_america ]
+
+let all_subregions =
+  [ Caribbean; Central_america; Central_asia; Eastern_africa; Eastern_asia; Eastern_europe;
+    Middle_africa; Northern_africa; Northern_america; Northern_europe; Oceania_subregion;
+    South_america_subregion; South_eastern_asia; Southern_africa; Southern_asia;
+    Southern_europe; Western_africa; Western_asia; Western_europe ]
+
+let continent_of_code = function
+  | "AF" -> Some Africa
+  | "AS" -> Some Asia
+  | "EU" -> Some Europe
+  | "NA" -> Some North_america
+  | "OC" -> Some Oceania
+  | "SA" -> Some South_america
+  | _ -> None

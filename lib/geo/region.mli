@@ -1,0 +1,39 @@
+(** Continents and UN subregions as used in the paper's Appendix E. *)
+
+type continent = Africa | Asia | Europe | North_america | Oceania | South_america
+
+type subregion =
+  | Caribbean
+  | Central_america
+  | Central_asia
+  | Eastern_africa
+  | Eastern_asia
+  | Eastern_europe
+  | Middle_africa
+  | Northern_africa
+  | Northern_america
+  | Northern_europe
+  | Oceania_subregion
+  | South_america_subregion
+  | South_eastern_asia
+  | Southern_africa
+  | Southern_asia
+  | Southern_europe
+  | Western_africa
+  | Western_asia
+  | Western_europe
+
+val continent_of_subregion : subregion -> continent
+
+val continent_code : continent -> string
+(** Two-letter code as printed in the paper ("AF", "AS", "EU", "NA", "OC",
+    "SA"). *)
+
+val continent_name : continent -> string
+val subregion_name : subregion -> string
+(** Human-readable name ("South-eastern Asia"). *)
+
+val all_continents : continent list
+val all_subregions : subregion list
+
+val continent_of_code : string -> continent option

@@ -1,0 +1,6 @@
+type t = unit Prefix_table.t
+
+let create () = Prefix_table.create ()
+let add t p = Prefix_table.add t p ()
+let is_anycast t a = Option.is_some (Prefix_table.lookup t a)
+let size t = Prefix_table.size t

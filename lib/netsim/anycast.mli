@@ -1,0 +1,11 @@
+(** Anycast prefix set — the bgp.tools anycast-prefixes substrate.  The
+    paper annotates hosting/NS IPs with whether they fall in a known
+    anycast prefix; anycast answers also make geolocation vantage-
+    dependent in the DNS simulator. *)
+
+type t
+
+val create : unit -> t
+val add : t -> Ipv4.prefix -> unit
+val is_anycast : t -> Ipv4.addr -> bool
+val size : t -> int

@@ -1,0 +1,26 @@
+type asn = int
+
+type t = {
+  by_asn : (asn, Org.t) Hashtbl.t;
+  by_name : (string, Org.t) Hashtbl.t;
+  mutable next_org : int;
+}
+
+let create () = { by_asn = Hashtbl.create 1024; by_name = Hashtbl.create 1024; next_org = 0 }
+
+let register_org t ~name ~country =
+  match Hashtbl.find_opt t.by_name name with
+  | Some org -> org
+  | None ->
+      let org = { Org.id = t.next_org; name; country } in
+      t.next_org <- t.next_org + 1;
+      Hashtbl.replace t.by_name name org;
+      org
+
+let register_as t asn org = Hashtbl.replace t.by_asn asn org
+
+let org_of_as t asn = Hashtbl.find_opt t.by_asn asn
+let org_by_name t name = Hashtbl.find_opt t.by_name name
+let as_count t = Hashtbl.length t.by_asn
+let org_count t = Hashtbl.length t.by_name
+let orgs t = Hashtbl.fold (fun _ org acc -> org :: acc) t.by_name []

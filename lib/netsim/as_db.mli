@@ -1,0 +1,21 @@
+(** Autonomous systems and the AS→Organization mapping (CAIDA AS2Org
+    substrate).  Each AS is owned by exactly one {!Org.t}; several ASes may
+    share an organization (as Amazon's do in reality). *)
+
+type asn = int
+
+type t
+
+val create : unit -> t
+
+val register_org : t -> name:string -> country:string -> Org.t
+(** Create (or return the existing) organization with this name. *)
+
+val register_as : t -> asn -> Org.t -> unit
+(** Record that [asn] belongs to [org].  Re-registering replaces. *)
+
+val org_of_as : t -> asn -> Org.t option
+val org_by_name : t -> string -> Org.t option
+val as_count : t -> int
+val org_count : t -> int
+val orgs : t -> Org.t list

@@ -1,0 +1,64 @@
+type announcement = { prefix : Ipv4.prefix; path : int list }
+
+let origin a =
+  match List.rev a.path with o :: _ -> o | [] -> invalid_arg "Bgp.origin: empty path"
+
+type t = {
+  routes : (string, announcement list) Hashtbl.t;  (* keyed by prefix string *)
+  mutable count : int;
+}
+
+let create () = { routes = Hashtbl.create 4096; count = 0 }
+
+let announce t prefix ~path =
+  if path = [] then invalid_arg "Bgp.announce: empty AS path";
+  let key = Ipv4.prefix_to_string prefix in
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.routes key) in
+  Hashtbl.replace t.routes key ({ prefix; path } :: existing);
+  t.count <- t.count + 1
+
+(* Shortest AS path wins; ties break toward the lowest origin ASN —
+   deterministic, like a route collector's stable choice. *)
+let better a b =
+  match compare (List.length a.path) (List.length b.path) with
+  | 0 -> compare (origin a) (origin b) < 0
+  | c -> c < 0
+
+let best_of = function
+  | [] -> None
+  | first :: rest ->
+      Some (List.fold_left (fun best a -> if better a best then a else best) first rest)
+
+let best_table t =
+  let table = Prefix_table.create () in
+  Hashtbl.iter
+    (fun _ anns ->
+      match best_of anns with
+      | Some best -> Prefix_table.add table best.prefix best
+      | None -> ())
+    t.routes;
+  table
+
+let best_route t addr = Prefix_table.lookup (best_table t) addr
+
+let derive_pfx2as t =
+  let table = Prefix_table.create () in
+  Hashtbl.iter
+    (fun _ anns ->
+      match best_of anns with
+      | Some best -> Prefix_table.add table best.prefix (origin best)
+      | None -> ())
+    t.routes;
+  table
+
+let moas t =
+  Hashtbl.fold
+    (fun _ anns acc ->
+      let origins = List.sort_uniq compare (List.map origin anns) in
+      match (anns, origins) with
+      | a :: _, _ :: _ :: _ -> (a.prefix, origins) :: acc
+      | _ -> acc)
+    t.routes []
+
+let announcement_count t = t.count
+let prefix_count t = Hashtbl.length t.routes

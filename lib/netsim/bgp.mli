@@ -1,0 +1,35 @@
+(** BGP announcements and RouteViews-style origin derivation.
+
+    The paper's pfx2as input is CAIDA's dataset derived from RouteViews
+    BGP table dumps: for each announced prefix, the origin AS of the
+    best (or most-seen) route.  This module models that derivation: ASes
+    announce prefixes with AS paths; best-route selection prefers the
+    shortest path (lowest origin ASN breaking ties); the origin table is
+    read off the best routes. *)
+
+type announcement = {
+  prefix : Ipv4.prefix;
+  path : int list;  (** AS path, origin last; never empty *)
+}
+
+val origin : announcement -> int
+
+type t
+
+val create : unit -> t
+
+val announce : t -> Ipv4.prefix -> path:int list -> unit
+(** Record an announcement.  @raise Invalid_argument on an empty path. *)
+
+val best_route : t -> Ipv4.addr -> announcement option
+(** Longest-prefix match over best routes. *)
+
+val derive_pfx2as : t -> int Prefix_table.t
+(** The RouteViews/CAIDA prefix→origin-AS table from best routes. *)
+
+val moas : t -> (Ipv4.prefix * int list) list
+(** Prefixes announced by multiple distinct origins (MOAS conflicts),
+    with the origins. *)
+
+val announcement_count : t -> int
+val prefix_count : t -> int

@@ -1,0 +1,102 @@
+type network = {
+  org : Org.t;
+  asn : int;
+  pops : (string * Ipv4.prefix) list;
+  anycast : bool;
+}
+
+type t = {
+  as_db : As_db.t;
+  pfx2as : int Prefix_table.t;
+  geo : Geo_db.t;
+  anycast_set : Anycast.t;
+  bgp : Bgp.t;
+  networks : (string, network) Hashtbl.t;
+  mutable next_asn : int;
+  mutable next_block : int;  (* /20 allocator cursor *)
+}
+
+(* Synthetic tier-1 transit ASNs through which every network announces. *)
+let transit_asns = [| 174; 3356; 1299; 2914; 6453 |]
+
+let create ?(geo_accuracy = 1.0) rng =
+  {
+    as_db = As_db.create ();
+    pfx2as = Prefix_table.create ();
+    geo = Geo_db.create ~accuracy:geo_accuracy rng ();
+    anycast_set = Anycast.create ();
+    bgp = Bgp.create ();
+    networks = Hashtbl.create 4096;
+    next_asn = 64_512;
+    (* Start allocations at 16.0.0.0 to stay clear of special-use space. *)
+    next_block = 16 lsl 24 lsr 12;
+  }
+
+let alloc_prefix t =
+  let base = t.next_block lsl 12 in
+  t.next_block <- t.next_block + 1;
+  if base >= 1 lsl 32 then failwith "Internet: address space exhausted";
+  Ipv4.prefix (Ipv4.addr_of_int base) 20
+
+let dedup_keep_order xs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    xs
+
+let register_network t ~name ~country ?(anycast = false) ?(presence = []) () =
+  match Hashtbl.find_opt t.networks name with
+  | Some n -> n
+  | None ->
+      let org = As_db.register_org t.as_db ~name ~country in
+      let asn = t.next_asn in
+      t.next_asn <- t.next_asn + 1;
+      As_db.register_as t.as_db asn org;
+      let countries = dedup_keep_order (country :: presence) in
+      let pops =
+        List.mapi
+          (fun i cc ->
+            let p = alloc_prefix t in
+            Prefix_table.add t.pfx2as p asn;
+            (* The network announces each prefix through a tier-1; the
+               pfx2as table could equivalently be derived from these
+               announcements (see Bgp.derive_pfx2as). *)
+            let transit = transit_asns.((asn + i) mod Array.length transit_asns) in
+            Bgp.announce t.bgp p ~path:[ transit; asn ];
+            (* Anycast blocks geolocate to the registrant's HQ. *)
+            Geo_db.add t.geo p (if anycast then country else cc);
+            if anycast then Anycast.add t.anycast_set p;
+            (cc, p))
+          countries
+      in
+      let network = { org; asn; pops; anycast } in
+      Hashtbl.replace t.networks name network;
+      network
+
+let find_network t name = Hashtbl.find_opt t.networks name
+
+let address_in _t network ~near rng =
+  let prefix =
+    match List.assoc_opt near network.pops with
+    | Some p -> p
+    | None -> snd (List.hd network.pops)
+  in
+  Ipv4.random_addr rng prefix
+
+let origin_as t addr = Prefix_table.lookup t.pfx2as addr
+
+let org_of_addr t addr =
+  match origin_as t addr with
+  | None -> None
+  | Some asn -> As_db.org_of_as t.as_db asn
+
+let geolocate t addr = Geo_db.lookup t.geo addr
+let is_anycast_addr t addr = Anycast.is_anycast t.anycast_set addr
+let network_count t = Hashtbl.length t.networks
+let as_db t = t.as_db
+let bgp t = t.bgp

@@ -1,0 +1,62 @@
+(** The assembled simulated Internet.
+
+    Registers provider networks (organization + ASN + address space),
+    builds the pfx2as table, the geolocation database and the anycast set,
+    and answers the lookups the measurement pipeline performs:
+    address → origin AS → organization, address → country,
+    address → anycast?.
+
+    Address space is allocated deterministically: each network's
+    per-country point of presence receives its own /20 carved from a
+    global allocator, geolocated to that country.  Anycast networks are
+    additionally flagged in the anycast set, and their prefixes geolocate
+    to the HQ country (as commercial databases typically pin anycast
+    blocks to the registrant). *)
+
+type t
+
+type network = {
+  org : Org.t;
+  asn : int;
+  pops : (string * Ipv4.prefix) list;
+      (** points of presence: country code → prefix; the HQ country is
+          always present and listed first *)
+  anycast : bool;
+}
+
+val create : ?geo_accuracy:float -> Webdep_stats.Rng.t -> t
+(** [geo_accuracy] feeds the {!Geo_db} error model (default 1.0). *)
+
+val register_network :
+  t -> name:string -> country:string -> ?anycast:bool -> ?presence:string list -> unit -> network
+(** Register a provider network.  [presence] lists extra countries with
+    local points of presence (deduplicated; HQ implied).  Registering the
+    same [name] twice returns the network registered first. *)
+
+val find_network : t -> string -> network option
+(** Lookup a registered network by organization name. *)
+
+val address_in : t -> network -> near:string -> Webdep_stats.Rng.t -> Ipv4.addr
+(** An address of the network, preferring the point of presence in
+    [near] (the client's country) and falling back to HQ — how a CDN maps
+    users to front-ends. *)
+
+val origin_as : t -> Ipv4.addr -> int option
+(** pfx2as lookup. *)
+
+val org_of_addr : t -> Ipv4.addr -> Org.t option
+(** pfx2as + AS2Org composition: the "AS Organization" label the paper
+    assigns to hosting/DNS IPs. *)
+
+val geolocate : t -> Ipv4.addr -> string option
+(** NetAcuity-like lookup (subject to the error model). *)
+
+val is_anycast_addr : t -> Ipv4.addr -> bool
+
+val network_count : t -> int
+val as_db : t -> As_db.t
+
+val bgp : t -> Bgp.t
+(** The BGP table every registered network announces into; deriving
+    origins from it ({!Bgp.derive_pfx2as}) reproduces the direct pfx2as
+    table (asserted in the test suite). *)

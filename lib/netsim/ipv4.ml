@@ -1,0 +1,61 @@
+type addr = int
+
+let max_addr = (1 lsl 32) - 1
+
+let addr_of_int i =
+  if i < 0 || i > max_addr then invalid_arg "Ipv4.addr_of_int: outside 32-bit range";
+  i
+
+let addr_to_int a = a
+
+let addr_of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> (
+      let octet x =
+        match int_of_string_opt x with
+        | Some v when v >= 0 && v <= 255 -> Some v
+        | _ -> None
+      in
+      match (octet a, octet b, octet c, octet d) with
+      | Some a, Some b, Some c, Some d -> Some ((a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d)
+      | _ -> None)
+  | _ -> None
+
+let addr_to_string a =
+  Printf.sprintf "%d.%d.%d.%d" ((a lsr 24) land 0xFF) ((a lsr 16) land 0xFF)
+    ((a lsr 8) land 0xFF) (a land 0xFF)
+
+type prefix = { base : addr; len : int }
+
+let mask len = if len = 0 then 0 else lnot ((1 lsl (32 - len)) - 1) land max_addr
+
+let prefix a len =
+  if len < 0 || len > 32 then invalid_arg "Ipv4.prefix: length outside [0, 32]";
+  { base = a land mask len; len }
+
+let prefix_of_string s =
+  match String.index_opt s '/' with
+  | None -> None
+  | Some i -> (
+      let addr_part = String.sub s 0 i in
+      let len_part = String.sub s (i + 1) (String.length s - i - 1) in
+      match (addr_of_string addr_part, int_of_string_opt len_part) with
+      | Some a, Some len when len >= 0 && len <= 32 -> Some (prefix a len)
+      | _ -> None)
+
+let prefix_to_string p = Printf.sprintf "%s/%d" (addr_to_string p.base) p.len
+
+let contains p a = a land mask p.len = p.base
+
+let prefix_size p = 1 lsl (32 - p.len)
+
+let nth_addr p i =
+  if i < 0 || i >= prefix_size p then invalid_arg "Ipv4.nth_addr: index outside prefix";
+  p.base lor i
+
+let random_addr rng p = p.base lor Webdep_stats.Rng.int rng (prefix_size p)
+
+let compare_addr = Int.compare
+
+let compare_prefix p q =
+  match Int.compare p.base q.base with 0 -> Int.compare p.len q.len | c -> c

@@ -1,0 +1,45 @@
+(** IPv4 addresses and CIDR prefixes.
+
+    Addresses are 32-bit values carried in a native [int] (OCaml ints are
+    63-bit, so the full unsigned range fits).  Prefixes are value types
+    with a canonicalized (masked) base address. *)
+
+type addr = private int
+(** An IPv4 address, 0 .. 2^32−1. *)
+
+val addr_of_int : int -> addr
+(** @raise Invalid_argument outside [0, 2^32). *)
+
+val addr_to_int : addr -> int
+
+val addr_of_string : string -> addr option
+(** Parse dotted-quad notation. *)
+
+val addr_to_string : addr -> string
+
+type prefix = private { base : addr; len : int }
+(** A CIDR prefix; [base] has all host bits zero. *)
+
+val prefix : addr -> int -> prefix
+(** [prefix a len] masks [a] to [len] bits.  @raise Invalid_argument if
+    [len] outside [0, 32]. *)
+
+val prefix_of_string : string -> prefix option
+(** Parse "a.b.c.d/len". *)
+
+val prefix_to_string : prefix -> string
+
+val contains : prefix -> addr -> bool
+
+val prefix_size : prefix -> int
+(** Number of addresses covered: 2^(32−len). *)
+
+val nth_addr : prefix -> int -> addr
+(** [nth_addr p i] is the [i]-th address of [p].
+    @raise Invalid_argument if [i] outside the prefix. *)
+
+val random_addr : Webdep_stats.Rng.t -> prefix -> addr
+(** Uniform address within the prefix. *)
+
+val compare_addr : addr -> addr -> int
+val compare_prefix : prefix -> prefix -> int

@@ -1,0 +1,4 @@
+type t = { id : int; name : string; country : string }
+
+let equal a b = a.id = b.id
+let pp fmt t = Format.fprintf fmt "%s (%s, org#%d)" t.name t.country t.id

@@ -1,0 +1,28 @@
+let default_accuracy = 0.97
+
+(* Script-plausible confusions. *)
+let confusable = function
+  | "fa" -> "ar"
+  | "ar" -> "fa"
+  | "ps" -> "ur"
+  | "ur" -> "ar"
+  | "ru" -> "uk"
+  | "uk" -> "ru"
+  | "cs" -> "sk"
+  | "sk" -> "cs"
+  | "pt" -> "es"
+  | "es" -> "pt"
+  | "no" -> "da"
+  | "da" -> "no"
+  | "id" -> "ms"
+  | "ms" -> "id"
+  | _ -> "en"
+
+let hash s seed =
+  let h = ref seed in
+  String.iter (fun c -> h := (!h * 131) + Char.code c) s;
+  abs !h mod 1000
+
+let detect ?(accuracy = default_accuracy) ~domain truth =
+  if float_of_int (hash (domain ^ truth) 83) /. 1000.0 < accuracy then truth
+  else confusable truth

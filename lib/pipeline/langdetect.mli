@@ -1,0 +1,17 @@
+(** Language detection over fetched page content — the LangDetect
+    substrate the paper uses for the Afghanistan/Iran case study
+    (§5.3.3).
+
+    LangDetect is statistical and occasionally wrong; we model a fixed
+    accuracy (default 0.97): with probability [1 − accuracy] the detector
+    returns a deterministic confusable language instead of the truth
+    (Persian ↔ Arabic-script neighbours, Slavic pairs, …). *)
+
+val default_accuracy : float
+
+val detect : ?accuracy:float -> domain:string -> string -> string
+(** [detect ~domain truth] is the detector's label for a page whose true
+    language is [truth]; deterministic in [(domain, truth)]. *)
+
+val confusable : string -> string
+(** The language the detector confuses a given language with. *)

@@ -1,0 +1,211 @@
+module World = Webdep_worldgen.World
+module Internet = Webdep_netsim.Internet
+module Resolver = Webdep_dnssim.Resolver
+module Handshake = Webdep_tlssim.Handshake
+module Tls_ca = Webdep_tlssim.Ca
+module Toplist = Webdep_crux.Toplist
+module Dataset = Webdep.Dataset
+
+let default_vantage = "US"
+
+let tld_of_domain domain =
+  match String.rindex_opt domain '.' with
+  | None -> domain
+  | Some i -> String.sub domain i (String.length domain - i)
+
+let tld_entity domain =
+  let tld = tld_of_domain domain in
+  let label = String.uppercase_ascii (String.sub tld 1 (String.length tld - 1)) in
+  let home =
+    if label = "UK" then "GB"
+    else if Webdep_geo.Country.mem label then label
+    else
+      (* Global TLD registries; .com/.net/.org etc. operate from the US
+         (the paper treats .com as insular to the US). *)
+      match tld with
+      | ".io" -> "GB"
+      | ".me" -> "ME"
+      | ".co" -> "CO"
+      | ".shop" -> "JP"
+      | ".top" -> "CN"
+      | _ -> "US"
+  in
+  { Dataset.name = tld; country = home }
+
+let org_entity (org : Webdep_netsim.Org.t) =
+  { Dataset.name = org.Webdep_netsim.Org.name; country = org.Webdep_netsim.Org.country }
+
+let measure_site internet ca_db zones tls ~vantage ~content ?resolve_a domain =
+  let resolved = Resolver.resolve zones ~vantage domain in
+  let hosting_ip, ns_ip =
+    match resolved with
+    | Error Resolver.Nxdomain -> (None, None)
+    | Ok { Resolver.a; ns_addrs; _ } ->
+        ((match a with ip :: _ -> Some ip | [] -> None),
+         match ns_addrs with ip :: _ -> Some ip | [] -> None)
+  in
+  (* An alternative A-resolution strategy (iterative walk) may replace the
+     flat lookup; NS data still comes from the same authoritative store. *)
+  let hosting_ip = match resolve_a with Some f -> f domain | None -> hosting_ip in
+  let hosting = Option.bind hosting_ip (Internet.org_of_addr internet) in
+  let dns = Option.bind ns_ip (Internet.org_of_addr internet) in
+  let hosting_geo = Option.bind hosting_ip (Internet.geolocate internet) in
+  let ns_geo = Option.bind ns_ip (Internet.geolocate internet) in
+  let hosting_anycast =
+    match hosting_ip with Some ip -> Internet.is_anycast_addr internet ip | None -> false
+  in
+  let ns_anycast =
+    match ns_ip with Some ip -> Internet.is_anycast_addr internet ip | None -> false
+  in
+  let ca =
+    match Option.bind hosting_ip (fun addr -> Handshake.handshake tls ~addr ~sni:domain) with
+    | None -> None
+    | Some cert ->
+        Option.map
+          (fun (o : Tls_ca.owner) -> { Dataset.name = o.Tls_ca.name; country = o.Tls_ca.country })
+          (Tls_ca.owner_of_issuer ca_db cert.Webdep_tlssim.Cert.issuer_cn)
+  in
+  let language =
+    (* Fetch the page and run language detection, as the paper does with
+       LangDetect; only possible when the site resolved. *)
+    match hosting_ip with
+    | None -> None
+    | Some _ ->
+        Option.map (fun truth -> Langdetect.detect ~domain truth) (content domain)
+  in
+  {
+    Dataset.domain;
+    hosting = Option.map org_entity hosting;
+    dns = Option.map org_entity dns;
+    ca;
+    tld = tld_entity domain;
+    hosting_geo;
+    ns_geo;
+    hosting_anycast;
+    ns_anycast;
+    language;
+  }
+
+type resolution = Flat | Iterative
+
+let measure_snapshot ?(vantage = default_vantage) ?(resolution = Flat) world
+    (snap : World.snapshot) =
+  let internet = World.internet world in
+  let ca_db = World.ca_db world in
+  let content domain = Hashtbl.find_opt snap.World.content_language domain in
+  let resolve_a =
+    match resolution with
+    | Flat -> None
+    | Iterative ->
+        let hierarchy = Webdep_dnssim.Hierarchy.build snap.World.zones in
+        Some (fun domain -> Webdep_dnssim.Iterative.resolve_a hierarchy ~vantage domain)
+  in
+  let sites =
+    List.map
+      (measure_site internet ca_db snap.World.zones snap.World.tls ~vantage ~content
+         ?resolve_a)
+      (Toplist.domains snap.World.toplist)
+  in
+  { Dataset.country = snap.World.country; sites }
+
+let measure_country ?vantage ?resolution ?epoch world cc =
+  measure_snapshot ?vantage ?resolution world (World.snapshot world ?epoch cc)
+
+let measure_all ?vantage ?resolution ?epoch ?countries world =
+  let countries = Option.value ~default:(World.countries world) countries in
+  Dataset.of_country_data
+    (List.map
+       (fun cc ->
+         Logs.debug (fun m -> m "measuring %s" cc);
+         measure_country ?vantage ?resolution ?epoch world cc)
+       countries)
+
+type resolution_stats = {
+  domains : int;
+  agreement : float;
+  mean_queries : float;
+  failures : int;
+}
+
+let iterative_resolution_stats ?(vantage = default_vantage) ?epoch world cc =
+  let snap = World.snapshot world ?epoch cc in
+  let hierarchy = Webdep_dnssim.Hierarchy.build snap.World.zones in
+  let domains = Toplist.domains snap.World.toplist in
+  let agree = ref 0 and queries = ref 0 and failures = ref 0 and ok = ref 0 in
+  List.iter
+    (fun domain ->
+      let flat = Resolver.resolve_a snap.World.zones ~vantage domain in
+      match Webdep_dnssim.Iterative.resolve hierarchy ~vantage domain with
+      | Ok (addrs, stats) ->
+          incr ok;
+          queries := !queries + stats.Webdep_dnssim.Iterative.queries;
+          let iter = (match addrs with a :: _ -> Some a | [] -> None) in
+          if iter = flat then incr agree
+      | Error _ ->
+          incr failures;
+          if flat = None then incr agree)
+    domains;
+  {
+    domains = List.length domains;
+    agreement = float_of_int !agree /. float_of_int (List.length domains);
+    mean_queries =
+      (if !ok = 0 then 0.0 else float_of_int !queries /. float_of_int !ok);
+    failures = !failures;
+  }
+
+let discover_redundancy ~vantages ?epoch world cc =
+  let snap = World.snapshot world ?epoch cc in
+  let internet = World.internet world in
+  List.map
+    (fun domain ->
+      let providers =
+        List.filter_map
+          (fun vantage ->
+            match Resolver.resolve_a snap.World.zones ~vantage domain with
+            | None -> None
+            | Some ip ->
+                Option.map
+                  (fun (o : Webdep_netsim.Org.t) -> o.Webdep_netsim.Org.name)
+                  (Internet.org_of_addr internet ip))
+          vantages
+      in
+      { Webdep.Redundancy.domain; providers = List.sort_uniq compare providers })
+    (Toplist.domains snap.World.toplist)
+
+let paper_missing_probe_countries =
+  (* 14 countries had no RIPE Atlas probes in the paper's validation. *)
+  [ "TM"; "SY"; "YE"; "LY"; "SD"; "SO"; "MV"; "PG"; "GP"; "MQ"; "CU"; "HT"; "MW"; "ML" ]
+
+let measure_with_probes ~per_country_probes ?missing ?epoch ~seed world countries =
+  let missing = Option.value ~default:paper_missing_probe_countries missing in
+  let pool =
+    Webdep_dnssim.Probe.pool_of_countries ~missing ~per_country:per_country_probes countries
+  in
+  let rng = Webdep_stats.Rng.create seed in
+  let internet = World.internet world in
+  List.map
+    (fun cc ->
+      let snap = World.snapshot world ?epoch cc in
+      let counts = Hashtbl.create 512 in
+      List.iter
+        (fun domain ->
+          let probe = Webdep_dnssim.Probe.pick pool rng ~country:cc in
+          match
+            Resolver.resolve_a snap.World.zones
+              ~vantage:probe.Webdep_dnssim.Probe.country domain
+          with
+          | None -> ()
+          | Some ip -> (
+              match Internet.org_of_addr internet ip with
+              | None -> ()
+              | Some org ->
+                  let name = org.Webdep_netsim.Org.name in
+                  Hashtbl.replace counts name
+                    (1 + Option.value ~default:0 (Hashtbl.find_opt counts name))))
+        (Toplist.domains snap.World.toplist);
+      let dist =
+        Webdep_emd.Dist.of_counts
+          (Array.of_list (Hashtbl.fold (fun _ k acc -> k :: acc) counts []))
+      in
+      (cc, Webdep_emd.Centralization.score dist))
+    countries

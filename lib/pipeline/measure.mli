@@ -1,0 +1,91 @@
+(** The measurement pipeline of §3.4, run against the simulated world.
+
+    For every site in a country's toplist: resolve A and NS records
+    (ZDNS), map the hosting IP to its origin AS and AS organization
+    (pfx2as + AS2Org), geolocate it (NetAcuity), check the anycast set
+    (bgp.tools), perform a TLS handshake and label the leaf's CA owner
+    (ZGrab2 + CCADB), and record the TLD.  The output is the enriched
+    {!Webdep.Dataset.t} that the analysis toolkit consumes. *)
+
+val default_vantage : string
+(** "US" — the paper measures from Stanford University. *)
+
+val tld_of_domain : string -> string
+(** Last label with leading dot; the paper's TLD layer key. *)
+
+type resolution =
+  | Flat  (** direct lookup in the authoritative store *)
+  | Iterative
+      (** ZDNS-mode walk: root hints → TLD referral → authoritative
+          answer over the {!Webdep_dnssim.Hierarchy} *)
+
+val measure_country :
+  ?vantage:string ->
+  ?resolution:resolution ->
+  ?epoch:Webdep_worldgen.World.epoch ->
+  Webdep_worldgen.World.t ->
+  string ->
+  Webdep.Dataset.country_data
+(** Measure one country's toplist from a vantage country. *)
+
+val measure_snapshot :
+  ?vantage:string ->
+  ?resolution:resolution ->
+  Webdep_worldgen.World.t ->
+  Webdep_worldgen.World.snapshot ->
+  Webdep.Dataset.country_data
+(** Measure an already-materialized snapshot (used when the caller also
+    needs the snapshot's ground truth). *)
+
+val measure_all :
+  ?vantage:string ->
+  ?resolution:resolution ->
+  ?epoch:Webdep_worldgen.World.epoch ->
+  ?countries:string list ->
+  Webdep_worldgen.World.t ->
+  Webdep.Dataset.t
+(** Measure every (or the listed) dataset country.  Memory stays bounded:
+    snapshots are materialized one country at a time and dropped. *)
+
+type resolution_stats = {
+  domains : int;
+  agreement : float;  (** fraction where iterative = flat resolution *)
+  mean_queries : float;  (** questions per successful resolution *)
+  failures : int;  (** SERVFAIL/NXDOMAIN from the iterative walk *)
+}
+
+val iterative_resolution_stats :
+  ?vantage:string ->
+  ?epoch:Webdep_worldgen.World.epoch ->
+  Webdep_worldgen.World.t ->
+  string ->
+  resolution_stats
+(** Build the DNS delegation hierarchy for one country's zones, resolve
+    every toplist domain iteratively from the root hints (ZDNS's
+    iterative mode), and compare against the flat resolver.  Full
+    agreement validates that the measurement pipeline's answers do not
+    depend on the resolution strategy. *)
+
+val discover_redundancy :
+  vantages:string list ->
+  ?epoch:Webdep_worldgen.World.epoch ->
+  Webdep_worldgen.World.t ->
+  string ->
+  Webdep.Redundancy.site_providers list
+(** Resolve every site of a country from several vantage countries and
+    collect the distinct serving organizations per site — the §3.2
+    provider-redundancy study's input.  Multi-CDN sites surface their
+    secondary provider from some vantages. *)
+
+val measure_with_probes :
+  per_country_probes:int ->
+  ?missing:string list ->
+  ?epoch:Webdep_worldgen.World.epoch ->
+  seed:int ->
+  Webdep_worldgen.World.t ->
+  string list ->
+  (string * float) list
+(** The RIPE-style validation sweep: for each listed country, resolve its
+    toplist through random in-country probes (falling back to random
+    global probes for [missing] countries, default the paper's 14) and
+    return the hosting centralization score per country. *)

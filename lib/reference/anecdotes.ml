@@ -1,0 +1,55 @@
+let hosting_top_provider_share =
+  [ ("TH", 0.60); ("US", 0.29); ("IR", 0.14); ("BR", 0.36) ]
+
+let hosting_insularity =
+  [ ("US", 0.921); ("IR", 0.648); ("CZ", 0.545); ("RU", 0.511); ("TM", 0.04) ]
+
+let cross_country_hosting =
+  [ ("TM", "RU", 0.33); ("TJ", "RU", 0.23); ("KG", "RU", 0.22); ("KZ", "RU", 0.21);
+    ("BY", "RU", 0.18); ("UA", "RU", 0.02); ("LT", "RU", 0.03); ("EE", "RU", 0.05);
+    ("SK", "CZ", 0.257); ("AF", "IR", 0.20); ("RE", "FR", 0.36); ("GP", "FR", 0.34);
+    ("MQ", "FR", 0.35); ("BF", "FR", 0.21); ("CI", "FR", 0.18); ("ML", "FR", 0.18) ]
+
+let providers_for_90pct_max = 206
+let regional_provider_share_range = (0.12, 0.68)
+
+let rho_xlgp_centralization = 0.90
+let rho_lgp_centralization = 0.19
+let rho_lrp_centralization = -0.72
+let rho_insularity_centralization = -0.61
+let rho_hosting_tld_insularity = 0.70
+let rho_vantage_points = 0.96
+let rho_longitudinal = 0.98
+
+(* Table 1. *)
+let hosting_classes =
+  [ ("XL-GP", 2); ("L-GP", 6); ("L-GP (R)", 2); ("M-GP", 22); ("S-GP", 73);
+    ("L-RP", 174); ("S-RP", 587); ("XS-RP", 11548) ]
+
+(* Table 2. *)
+let dns_classes =
+  [ ("XL-GP", 2); ("L-GP", 10); ("L-GP (R)", 2); ("M-GP", 17); ("S-GP", 78);
+    ("L-RP", 273); ("S-RP", 578); ("XS-RP", 9049) ]
+
+(* Table 3. *)
+let ca_classes =
+  [ ("L-GP", 7); ("M-GP", 2); ("L-RP", 11); ("S-RP", 10); ("XS-RP", 15) ]
+
+let hosting_cluster_count = 305
+
+let ca_total = 45
+let ca_top7_share = 0.98
+let ca_mean_centralization = 0.2007
+let ca_centralization_variance = 0.0007
+let ca_insular_countries = 24
+
+let longitudinal_jaccard_mean = 0.37
+let longitudinal_jaccard_ru = 0.4
+let brazil_old_new = (0.1446, 0.2354)
+let russia_old_new = (0.0554, 0.0499)
+let cloudflare_mean_increase = 0.038
+
+let hosting_mean_centralization = 0.1429
+let hosting_centralization_variance = 0.003
+let dns_mean_centralization = 0.1379
+let tld_mean_centralization = 0.3262

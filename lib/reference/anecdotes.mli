@@ -1,0 +1,68 @@
+(** Headline facts from the paper's prose, used (a) to calibrate the
+    synthetic world and (b) as expected values in EXPERIMENTS.md and the
+    shape-assertion tests.  Percentages are fractions in [0,1]. *)
+
+(** {1 §5 Hosting} *)
+
+val hosting_top_provider_share : (string * float) list
+(** Known top-provider (Cloudflare unless noted) market shares:
+    TH 0.60, US 0.29, IR 0.14, BR(2023) 0.36. *)
+
+val hosting_insularity : (string * float) list
+(** Known insularity values: US 0.921, IR 0.648, CZ 0.545, RU 0.511,
+    TM 0.04. *)
+
+val cross_country_hosting : (string * string * float) list
+(** (dependent country, provider home country, share): TM→RU 0.33,
+    TJ→RU 0.23, KG→RU 0.22, KZ→RU 0.21, BY→RU 0.18, UA→RU 0.02,
+    LT→RU 0.03, EE→RU 0.05, SK→CZ 0.257, AF→IR 0.20, RE→FR 0.36,
+    GP→FR 0.34, MQ→FR 0.35, BF→FR 0.21, CI→FR 0.18, ML→FR 0.18. *)
+
+val providers_for_90pct_max : int
+(** "90% of websites are hosted by fewer than 206 providers in every
+    country." *)
+
+val regional_provider_share_range : float * float
+(** Countries' regional-provider usage spans 12% (TT) to 68% (IR). *)
+
+(** {1 §5.2 / §6.2 / §7 correlations (hosting layer vs 𝒮 across countries)} *)
+
+val rho_xlgp_centralization : float  (* 0.90 *)
+val rho_lgp_centralization : float  (* 0.19 *)
+val rho_lrp_centralization : float  (* −0.72 *)
+val rho_insularity_centralization : float  (* −0.61 *)
+val rho_hosting_tld_insularity : float  (* 0.70 *)
+val rho_vantage_points : float  (* 0.96 (§3.4) *)
+val rho_longitudinal : float  (* 0.98 (§5.4) *)
+
+(** {1 Provider class tables (Tables 1–3): class name, count} *)
+
+val hosting_classes : (string * int) list
+val dns_classes : (string * int) list
+val ca_classes : (string * int) list
+
+val hosting_cluster_count : int
+(** Affinity propagation yields 305 raw clusters on hosting providers. *)
+
+(** {1 §7 Certificate authorities} *)
+
+val ca_total : int  (* 45 CAs observed in the dataset *)
+val ca_top7_share : float  (* seven CAs account for ~98% of websites *)
+val ca_mean_centralization : float  (* 𝒮̄ = 0.2007 *)
+val ca_centralization_variance : float  (* var = 0.0007 *)
+val ca_insular_countries : int  (* only 24 countries use any local CA *)
+
+(** {1 §5.4 Longitudinal}  *)
+
+val longitudinal_jaccard_mean : float  (* mean toplist Jaccard ≈ 0.37 *)
+val longitudinal_jaccard_ru : float  (* Russia ≈ 0.4 *)
+val brazil_old_new : float * float  (* 𝒮 0.1446 → 0.2354 *)
+val russia_old_new : float * float  (* 𝒮 0.0554 → 0.0499 *)
+val cloudflare_mean_increase : float  (* +3.8 %pts average *)
+
+(** {1 Global means} *)
+
+val hosting_mean_centralization : float  (* 𝒮̄ = 0.1429 *)
+val hosting_centralization_variance : float  (* var = 0.003 *)
+val dns_mean_centralization : float  (* 𝒮̄ = 0.1379 *)
+val tld_mean_centralization : float  (* 𝒮̄ = 0.3262 *)

@@ -1,0 +1,20 @@
+let resample rng data =
+  let n = Array.length data in
+  Array.init n (fun _ -> data.(Rng.int rng n))
+
+let replicates ~iterations rng ~statistic data =
+  Array.init iterations (fun _ -> statistic (resample rng data))
+
+let percentile_interval ?(iterations = 500) ?(confidence = 0.95) rng ~statistic data =
+  if Array.length data = 0 then invalid_arg "Bootstrap.percentile_interval: empty data";
+  if iterations < 10 then invalid_arg "Bootstrap.percentile_interval: too few iterations";
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Bootstrap.percentile_interval: confidence outside (0, 1)";
+  let reps = replicates ~iterations rng ~statistic data in
+  let alpha = (1.0 -. confidence) /. 2.0 in
+  ( Descriptive.percentile reps (100.0 *. alpha),
+    Descriptive.percentile reps (100.0 *. (1.0 -. alpha)) )
+
+let standard_error ?(iterations = 500) rng ~statistic data =
+  if Array.length data = 0 then invalid_arg "Bootstrap.standard_error: empty data";
+  Descriptive.stddev (replicates ~iterations rng ~statistic data)

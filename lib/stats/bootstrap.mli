@@ -1,0 +1,25 @@
+(** Nonparametric bootstrap — resampling-based confidence intervals for
+    statistics without a closed-form sampling distribution, most notably
+    the centralization score of a sampled toplist. *)
+
+val resample : Rng.t -> 'a array -> 'a array
+(** Sample [n] elements with replacement from an [n]-element array. *)
+
+val percentile_interval :
+  ?iterations:int ->
+  ?confidence:float ->
+  Rng.t ->
+  statistic:('a array -> float) ->
+  'a array ->
+  float * float
+(** [percentile_interval rng ~statistic data] is the percentile bootstrap
+    CI: recompute [statistic] on [iterations] resamples (default 500)
+    and take the ((1−confidence)/2, 1−(1−confidence)/2) percentiles
+    (default confidence 0.95).
+    @raise Invalid_argument on empty data, [iterations < 10], or
+    confidence outside (0, 1). *)
+
+val standard_error :
+  ?iterations:int -> Rng.t -> statistic:('a array -> float) -> 'a array -> float
+(** Bootstrap standard error: the standard deviation of the statistic
+    over resamples. *)

@@ -1,0 +1,58 @@
+let check name xs = if Array.length xs = 0 then invalid_arg ("Descriptive." ^ name ^ ": empty input")
+
+let sum xs = Array.fold_left ( +. ) 0.0 xs
+
+let mean xs =
+  check "mean" xs;
+  sum xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  check "variance" xs;
+  let m = mean xs in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+  /. float_of_int (Array.length xs)
+
+let sample_variance xs =
+  if Array.length xs < 2 then invalid_arg "Descriptive.sample_variance: need n >= 2";
+  let m = mean xs in
+  Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs
+  /. float_of_int (Array.length xs - 1)
+
+let stddev xs = sqrt (variance xs)
+
+let min xs =
+  check "min" xs;
+  Array.fold_left Float.min xs.(0) xs
+
+let max xs =
+  check "max" xs;
+  Array.fold_left Float.max xs.(0) xs
+
+let sorted_copy xs =
+  let c = Array.copy xs in
+  Array.sort compare c;
+  c
+
+let median xs =
+  check "median" xs;
+  let c = sorted_copy xs in
+  let n = Array.length c in
+  if n mod 2 = 1 then c.(n / 2) else (c.((n / 2) - 1) +. c.(n / 2)) /. 2.0
+
+let percentile xs p =
+  check "percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Descriptive.percentile: p outside [0,100]";
+  let c = sorted_copy xs in
+  let n = Array.length c in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = int_of_float (Float.ceil rank) in
+  if lo = hi then c.(lo)
+  else
+    let w = rank -. float_of_int lo in
+    ((1.0 -. w) *. c.(lo)) +. (w *. c.(hi))
+
+let normalize xs =
+  let total = sum xs in
+  if total <= 0.0 then invalid_arg "Descriptive.normalize: sum not positive";
+  Array.map (fun x -> x /. total) xs

@@ -1,0 +1,28 @@
+(** Descriptive statistics over float arrays.
+
+    All functions raise [Invalid_argument] on empty input unless noted. *)
+
+val sum : float array -> float
+val mean : float array -> float
+
+val variance : float array -> float
+(** Population variance (divide by [n]); the paper reports population
+    variance for per-layer score spread (e.g. "var = 0.003"). *)
+
+val sample_variance : float array -> float
+(** Unbiased sample variance (divide by [n-1]); requires [n >= 2]. *)
+
+val stddev : float array -> float
+val min : float array -> float
+val max : float array -> float
+
+val median : float array -> float
+(** Median by sorting a copy; average of middle two for even [n]. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [0,100], linear interpolation between
+    closest ranks.  @raise Invalid_argument if [p] outside [0,100]. *)
+
+val normalize : float array -> float array
+(** Scale so the result sums to 1.  @raise Invalid_argument if the sum is
+    not positive. *)

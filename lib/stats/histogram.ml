@@ -1,0 +1,30 @@
+type t = { lo : float; width : float; counts : int array }
+
+let create ~lo ~hi ~bins xs =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if hi <= lo then invalid_arg "Histogram.create: hi must exceed lo";
+  let width = (hi -. lo) /. float_of_int bins in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      let i = int_of_float ((x -. lo) /. width) in
+      let i = Stdlib.max 0 (Stdlib.min (bins - 1) i) in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  { lo; width; counts }
+
+let bin_edges t =
+  Array.mapi
+    (fun i _ ->
+      let left = t.lo +. (float_of_int i *. t.width) in
+      (left, left +. t.width))
+    t.counts
+
+let total t = Array.fold_left ( + ) 0 t.counts
+
+let ecdf xs =
+  if Array.length xs = 0 then invalid_arg "Histogram.ecdf: empty input";
+  let c = Array.copy xs in
+  Array.sort compare c;
+  let n = float_of_int (Array.length c) in
+  Array.mapi (fun i x -> (x, float_of_int (i + 1) /. n)) c

@@ -1,0 +1,23 @@
+(** Fixed-width histograms and empirical CDFs, used to render the paper's
+    distribution figures (Figure 12 centralization histograms, Figure 11
+    insularity CDFs) as text series. *)
+
+type t = {
+  lo : float;  (** left edge of the first bin *)
+  width : float;  (** bin width *)
+  counts : int array;  (** per-bin counts; last bin is right-closed *)
+}
+
+val create : lo:float -> hi:float -> bins:int -> float array -> t
+(** [create ~lo ~hi ~bins xs] buckets [xs] into [bins] equal-width bins over
+    [lo, hi]; values outside the range clamp into the end bins.
+    @raise Invalid_argument if [bins <= 0] or [hi <= lo]. *)
+
+val bin_edges : t -> (float * float) array
+(** Per-bin [(left, right)] edges. *)
+
+val total : t -> int
+
+val ecdf : float array -> (float * float) array
+(** Empirical CDF: sorted [(x, F(x))] pairs with F the fraction of values
+    [<= x].  @raise Invalid_argument on empty input. *)

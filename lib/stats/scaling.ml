@@ -1,0 +1,27 @@
+let min_max xs =
+  if Array.length xs = 0 then invalid_arg "Scaling.min_max: empty input";
+  let lo = Descriptive.min xs and hi = Descriptive.max xs in
+  if hi = lo then Array.map (fun _ -> 0.0) xs
+  else Array.map (fun x -> (x -. lo) /. (hi -. lo)) xs
+
+let min_max_columns rows =
+  let n = Array.length rows in
+  if n = 0 then invalid_arg "Scaling.min_max_columns: no rows";
+  let cols = Array.length rows.(0) in
+  Array.iter
+    (fun r -> if Array.length r <> cols then invalid_arg "Scaling.min_max_columns: ragged matrix")
+    rows;
+  let out = Array.map Array.copy rows in
+  for c = 0 to cols - 1 do
+    let col = Array.init n (fun r -> rows.(r).(c)) in
+    let scaled = min_max col in
+    for r = 0 to n - 1 do
+      out.(r).(c) <- scaled.(r)
+    done
+  done;
+  out
+
+let z_score xs =
+  let m = Descriptive.mean xs and sd = Descriptive.stddev xs in
+  if sd = 0.0 then Array.map (fun _ -> 0.0) xs
+  else Array.map (fun x -> (x -. m) /. sd) xs

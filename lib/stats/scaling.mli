@@ -1,0 +1,14 @@
+(** Feature scaling.  The paper min–max scales (usage, endemicity-ratio)
+    pairs before clustering providers (§5.2). *)
+
+val min_max : float array -> float array
+(** Scale into [0,1]; a constant array maps to all zeros.
+    @raise Invalid_argument on empty input. *)
+
+val min_max_columns : float array array -> float array array
+(** [min_max_columns rows] scales each column of a row-major matrix
+    independently into [0,1].  Rows must be nonempty and rectangular. *)
+
+val z_score : float array -> float array
+(** Standardize to zero mean, unit (population) variance; a constant array
+    maps to all zeros. *)

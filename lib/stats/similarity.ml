@@ -1,0 +1,14 @@
+module S = Set.Make (String)
+
+let to_set key xs = List.fold_left (fun acc x -> S.add (key x) acc) S.empty xs
+
+let jaccard key xs ys =
+  let a = to_set key xs and b = to_set key ys in
+  let union = S.cardinal (S.union a b) in
+  if union = 0 then 1.0
+  else float_of_int (S.cardinal (S.inter a b)) /. float_of_int union
+
+let jaccard_strings xs ys = jaccard Fun.id xs ys
+
+let overlap xs ys =
+  S.cardinal (S.inter (to_set Fun.id xs) (to_set Fun.id ys))

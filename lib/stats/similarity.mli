@@ -1,0 +1,12 @@
+(** Set similarity.  The paper uses the Jaccard index to quantify toplist
+    churn between the May 2023 and May 2025 measurements (§5.4). *)
+
+val jaccard : ('a -> string) -> 'a list -> 'a list -> float
+(** [jaccard key xs ys] is |X ∩ Y| / |X ∪ Y| where X, Y are the key sets of
+    the two lists.  Returns 1.0 when both are empty (identical sets). *)
+
+val jaccard_strings : string list -> string list -> float
+(** {!jaccard} specialized to string lists. *)
+
+val overlap : string list -> string list -> int
+(** Size of the intersection of the two key sets. *)

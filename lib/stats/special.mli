@@ -1,0 +1,17 @@
+(** Special functions needed for significance testing: log-gamma and the
+    regularized incomplete beta function, from which the Student t CDF is
+    derived.  Implementations follow the classic Lentz continued-fraction
+    formulation (Numerical Recipes §6.4). *)
+
+val log_gamma : float -> float
+(** Natural log of the gamma function, Lanczos approximation, valid for
+    positive arguments. *)
+
+val incomplete_beta : a:float -> b:float -> float -> float
+(** [incomplete_beta ~a ~b x] is the regularized incomplete beta
+    I_x(a, b) for [x] in [0,1]. *)
+
+val student_t_sf : df:float -> float -> float
+(** [student_t_sf ~df t] is the two-sided survival function
+    P(|T| >= |t|) for a Student t with [df] degrees of freedom — the
+    p-value of a t statistic. *)

@@ -1,0 +1,24 @@
+type owner = { name : string; country : string }
+
+type t = {
+  owners : (string, owner) Hashtbl.t;
+  issuers : (string, owner) Hashtbl.t;
+}
+
+let create () = { owners = Hashtbl.create 64; issuers = Hashtbl.create 256 }
+
+let register_owner t ~name ~country =
+  match Hashtbl.find_opt t.owners name with
+  | Some o -> o
+  | None ->
+      let o = { name; country } in
+      Hashtbl.replace t.owners name o;
+      o
+
+let register_issuer t ~issuer_cn owner = Hashtbl.replace t.issuers issuer_cn owner
+
+let owner_of_issuer t issuer_cn = Hashtbl.find_opt t.issuers issuer_cn
+let owner_by_name t name = Hashtbl.find_opt t.owners name
+let owner_count t = Hashtbl.length t.owners
+let issuer_count t = Hashtbl.length t.issuers
+let owners t = Hashtbl.fold (fun _ o acc -> o :: acc) t.owners []

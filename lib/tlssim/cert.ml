@@ -1,0 +1,14 @@
+type t = { subject : string; issuer_cn : string; not_before : int; not_after : int }
+
+let valid_at t day = day >= t.not_before && day <= t.not_after
+
+let covers t host =
+  if String.equal t.subject host then true
+  else if String.length t.subject > 2 && String.sub t.subject 0 2 = "*." then begin
+    (* "*.example.com" covers exactly one extra label. *)
+    let base = String.sub t.subject 2 (String.length t.subject - 2) in
+    match String.index_opt host '.' with
+    | Some i -> String.equal (String.sub host (i + 1) (String.length host - i - 1)) base
+    | None -> false
+  end
+  else false

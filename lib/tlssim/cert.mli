@@ -1,0 +1,16 @@
+(** X.509 leaf certificates, reduced to the fields the pipeline parses
+    from a ZGrab2 handshake: subject, issuer CN, and validity. *)
+
+type t = {
+  subject : string;  (** the site's domain *)
+  issuer_cn : string;  (** issuing intermediate's common name *)
+  not_before : int;  (** days since epoch of the simulation clock *)
+  not_after : int;
+}
+
+val valid_at : t -> int -> bool
+(** [valid_at cert day]. *)
+
+val covers : t -> string -> bool
+(** Whether the certificate's subject matches a hostname (exact or a
+    one-label wildcard). *)

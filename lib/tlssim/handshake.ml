@@ -1,0 +1,12 @@
+type t = { by_domain : (string, Cert.t) Hashtbl.t }
+
+let create () = { by_domain = Hashtbl.create 65536 }
+
+let install t ~domain cert = Hashtbl.replace t.by_domain domain cert
+
+let handshake t ~addr:_ ~sni =
+  match Hashtbl.find_opt t.by_domain sni with
+  | Some cert when Cert.covers cert sni -> Some cert
+  | Some _ | None -> None
+
+let cert_count t = Hashtbl.length t.by_domain

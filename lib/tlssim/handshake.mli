@@ -1,0 +1,20 @@
+(** TLS handshake simulation — the ZGrab2 substrate.
+
+    A certificate store maps (address, SNI) to the leaf certificate the
+    server would present.  Certificates are installed per site; the same
+    site served from several addresses (CDN POPs) presents the same
+    leaf. *)
+
+type t
+
+val create : unit -> t
+
+val install : t -> domain:string -> Cert.t -> unit
+(** Install the leaf presented for [domain] (any serving address). *)
+
+val handshake : t -> addr:Webdep_netsim.Ipv4.addr -> sni:string -> Cert.t option
+(** Attempt a TLS handshake with SNI; [None] models no TLS on that name.
+    The address is accepted opaquely — content and certificate follow the
+    SNI, as on a multi-tenant CDN. *)
+
+val cert_count : t -> int

@@ -1,0 +1,11 @@
+type t = { distrusted : (string, unit) Hashtbl.t }
+
+let default_distrusted = [ "Russian Trusted Root CA" ]
+
+let create ?(distrusted = default_distrusted) () =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun name -> Hashtbl.replace tbl name ()) distrusted;
+  { distrusted = tbl }
+
+let is_trusted t name = not (Hashtbl.mem t.distrusted name)
+let distrust t name = Hashtbl.replace t.distrusted name ()

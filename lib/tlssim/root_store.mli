@@ -1,0 +1,24 @@
+(** Browser root-program membership.
+
+    CCADB describes the CAs browsers actually trust; a certificate
+    chaining to an owner outside the root programs is rejected no matter
+    who operates it — the fate of Russia's state-sponsored root CA of
+    2022 (§7.2: "the root certificate was never accepted by major web
+    browsers").  The measurement pipeline only labels a site's CA when
+    the owner is in the store. *)
+
+type t
+
+val create : ?distrusted:string list -> unit -> t
+(** A store trusting every owner except those listed.  The default
+    distrust list contains the state CA the paper discusses
+    ("Russian Trusted Root CA"). *)
+
+val default_distrusted : string list
+
+val is_trusted : t -> string -> bool
+(** Whether a CA owner name is in the root programs. *)
+
+val distrust : t -> string -> unit
+(** Remove an owner from the root programs (e.g. the TrustCor-style
+    distrust events the CCADB reflects). *)

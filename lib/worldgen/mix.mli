@@ -1,0 +1,36 @@
+(** Per-country, per-layer provider mixes.
+
+    A mix marries a calibrated count vector ({!Calibrate}) with provider
+    identities: the top bucket goes to the layer's dominant provider
+    (Cloudflare — Amazon in Japan; Let's Encrypt / DigiCert for CA; .com
+    or the local ccTLD for TLD), and the remaining buckets are walked in
+    descending size, each assigned to the identity category — global
+    roster, home-country providers, a partner country's providers, or the
+    world tail — with the largest remaining site quota.  Quotas implement
+    the paper's regionalization findings (insularity anchors, CIS→RU,
+    SK→CZ, francophone→FR, …). *)
+
+type overrides = {
+  target : float option;  (** replace the Appendix-F 𝒮 target *)
+  top_share : float option;  (** replace the top provider's share *)
+  home_quota : float option;  (** replace the home-provider quota *)
+}
+
+val no_overrides : overrides
+
+type t = {
+  country : string;
+  layer : Profiles.layer;
+  assignments : (Provider.t * int) list;  (** descending count; sums to [c] *)
+  achieved_score : float;  (** 𝒮 of the counts *)
+}
+
+val build : ?c:int -> ?overrides:overrides -> Profiles.layer -> string -> t
+(** [build layer cc] with [c] websites (default 10 000).
+    @raise Not_found if [cc] is not one of the 150 countries. *)
+
+val total : t -> int
+val provider_count : t -> int
+val share : t -> Provider.t -> float
+val insular_share : t -> float
+(** Fraction of websites on providers homed in the country itself. *)

@@ -1,0 +1,274 @@
+type layer = Webdep_reference.Paper_scores.layer = Hosting | Dns | Ca | Tld
+
+module Scores = Webdep_reference.Paper_scores
+module Country = Webdep_geo.Country
+module Region = Webdep_geo.Region
+
+let target_score layer cc = Scores.score_exn layer cc
+
+(* Stable small hash for per-country deterministic variation. *)
+let hash cc seed =
+  let h = ref seed in
+  String.iter (fun c -> h := (!h * 131) + Char.code c) cc;
+  abs !h
+
+(* Least-squares line through the paper's (S, top-share) hosting anchors:
+   (0.3548, 0.60), (0.1358, 0.29), (0.0411, 0.14) in sqrt-S space. *)
+let fitted_top_share s = Float.max 0.08 (Float.min 0.90 ((1.17 *. sqrt s) -. 0.098))
+
+let hosting_top_anchor = function
+  | "TH" -> Some 0.60
+  | "US" -> Some 0.29
+  | "IR" -> Some 0.14
+  | "BR" -> Some 0.36
+  (* Cloudflare narrowly outranks the dominant regional #2 (§5.2). *)
+  | "BG" -> Some 0.25
+  | "LT" -> Some 0.26
+  | _ -> None
+
+let dns_top_anchor = function
+  | "ID" -> Some 0.65
+  | "TH" -> Some 0.62
+  | "CZ" -> Some 0.17
+  | _ -> None
+
+let ca_top_anchor = function
+  | "SK" -> Some 0.55
+  | "PL" -> Some 0.33
+  | "IR" -> Some 0.49
+  | _ -> None
+
+(* Dominant second providers the paper names: SuperHosting.BG (22%), UAB
+   in Lithuania (22%), Asseco at 19% in Poland and Iran, TWCA and SECOM
+   at 17% / 14%. *)
+let second_share_anchor layer cc =
+  match ((layer : layer), cc) with
+  | Hosting, "BG" -> Some 0.22
+  | Hosting, "LT" -> Some 0.22
+  | Ca, "PL" -> Some 0.19
+  | Ca, "IR" -> Some 0.19
+  | Ca, "TW" -> Some 0.17
+  | Ca, "JP" -> Some 0.14
+  | _ -> None
+
+type second_provider = Second_home | Second_partner of string
+
+let second_provider layer cc =
+  match ((layer : layer), cc) with
+  | Hosting, ("BG" | "LT") -> Some Second_home
+  | Ca, ("PL" | "TW" | "JP") -> Some Second_home
+  | Ca, "IR" -> Some (Second_partner "PL")
+  | _ -> None
+
+let tld_top_anchor = function
+  | "US" -> Some 0.77
+  | "KG" -> Some 0.29
+  | "DE" -> Some 0.44
+  | _ -> None
+
+let top_share layer cc =
+  let anchor =
+    match layer with
+    | Hosting -> hosting_top_anchor cc
+    | Dns -> dns_top_anchor cc
+    | Ca -> ca_top_anchor cc
+    | Tld -> tld_top_anchor cc
+  in
+  match anchor with Some s -> s | None -> fitted_top_share (target_score layer cc)
+
+(* Countries whose CA ecosystem leans Let's Encrypt (Europe and countries
+   avoiding US-commercial CAs) vs DigiCert-first countries (the least
+   CA-centralized in Table 7). *)
+let digicert_first = [ "JP"; "TW"; "KR"; "VN"; "CO"; "IN"; "CL"; "PE"; "TR"; "MX"; "EC" ]
+
+(* Countries that concentrate on their own ccTLD rather than .com. *)
+let cctld_primary =
+  [ "CZ"; "HU"; "PL"; "GR"; "RO"; "SK"; "DE"; "JP"; "KR"; "BR"; "TR"; "IT"; "RU"; "FI";
+    "DK"; "NO"; "SE"; "NL"; "ES"; "PT"; "HR"; "SI"; "RS"; "BG"; "UA"; "LT"; "LV"; "EE";
+    "IS"; "CH"; "AT"; "BE"; "FR"; "IE" ]
+
+let top_provider layer cc =
+  match layer with
+  | Hosting | Dns -> if cc = "JP" then Registry.amazon else Registry.cloudflare
+  | Ca ->
+      if List.mem cc digicert_first then List.nth Registry.ca_global7 1
+      else List.hd Registry.ca_global7
+  | Tld ->
+      if List.mem cc cctld_primary then Registry.tld (Country.ccTLD (Country.of_code_exn cc))
+      else Registry.tld ".com"
+
+let subregion cc = (Country.of_code_exn cc).Country.subregion
+
+let hosting_home_anchor = function
+  | "US" -> Some 0.35
+  | "IR" -> Some 0.648
+  | "CZ" -> Some 0.50
+  | "RU" -> Some 0.48
+  | "TM" -> Some 0.04
+  | "SK" -> Some 0.10
+  | "JP" -> Some 0.38
+  | "KR" -> Some 0.38
+  | _ -> None
+
+let hosting_home_default sr =
+  Region.(
+    match sr with
+    | Caribbean -> 0.02
+    | Central_america -> 0.03
+    | Central_asia -> 0.03
+    | Eastern_africa -> 0.02
+    | Eastern_asia -> 0.22
+    | Eastern_europe -> 0.30
+    | Middle_africa -> 0.02
+    | Northern_africa -> 0.03
+    | Northern_america -> 0.12
+    | Northern_europe -> 0.15
+    | Oceania_subregion -> 0.08
+    | South_america_subregion -> 0.08
+    | South_eastern_asia -> 0.06
+    | Southern_africa -> 0.04
+    | Southern_asia -> 0.08
+    | Southern_europe -> 0.18
+    | Western_africa -> 0.03
+    | Western_asia -> 0.07
+    | Western_europe -> 0.20)
+
+let ca_home_quota cc =
+  match cc with
+  | "PL" -> 0.19
+  | "TW" -> 0.17
+  | "JP" -> 0.14
+  | _ -> if List.mem cc Registry.ca_regional_countries then 0.015 else 0.0
+
+let tld_home_default sr =
+  Region.(
+    match sr with
+    | Caribbean -> 0.04
+    | Central_america -> 0.10
+    | Central_asia -> 0.15
+    | Eastern_africa -> 0.12
+    | Eastern_asia -> 0.30
+    | Eastern_europe -> 0.42
+    | Middle_africa -> 0.12
+    | Northern_africa -> 0.12
+    | Northern_america -> 0.05
+    | Northern_europe -> 0.35
+    | Oceania_subregion -> 0.25
+    | South_america_subregion -> 0.28
+    | Southern_africa -> 0.20
+    | South_eastern_asia -> 0.15
+    | Southern_asia -> 0.15
+    | Southern_europe -> 0.32
+    | Western_africa -> 0.12
+    | Western_asia -> 0.12
+    | Western_europe -> 0.35)
+
+let tld_home_anchor = function
+  | "US" -> Some 0.0 (* .com is the top provider; insularity via .com itself *)
+  | "KG" -> Some 0.12
+  | "DE" -> Some 0.44
+  | "CZ" -> Some 0.58
+  | "HU" -> Some 0.55
+  | "PL" -> Some 0.52
+  (* App. B: .fr is more popular than the local ccTLD in these (with the
+     French territories below, 14 countries). *)
+  | "BF" | "BJ" | "CD" | "CI" | "CM" | "DZ" | "HT" | "MG" | "ML" | "SN" | "TG" -> Some 0.06
+  | "GP" | "MQ" | "RE" -> Some 0.05
+  | _ -> None
+
+let home_quota layer cc =
+  match layer with
+  | Hosting -> (
+      match hosting_home_anchor cc with
+      | Some q -> q
+      | None -> hosting_home_default (subregion cc))
+  | Dns -> (
+      match hosting_home_anchor cc with
+      | Some q -> q *. 0.95
+      | None -> hosting_home_default (subregion cc) *. 0.95)
+  | Ca -> ca_home_quota cc
+  | Tld -> (
+      match tld_home_anchor cc with
+      | Some q -> q
+      | None -> tld_home_default (subregion cc))
+
+(* §5.3.3 case studies plus small continental defaults. *)
+let hosting_partner_anchor = function
+  | "TM" -> [ ("RU", 0.33) ]
+  | "TJ" -> [ ("RU", 0.23) ]
+  | "KG" -> [ ("RU", 0.22) ]
+  | "KZ" -> [ ("RU", 0.21) ]
+  | "BY" -> [ ("RU", 0.18) ]
+  | "UZ" -> [ ("RU", 0.12) ]
+  | "UA" -> [ ("RU", 0.02) ]
+  | "LT" -> [ ("RU", 0.03) ]
+  | "EE" -> [ ("RU", 0.05) ]
+  | "SK" -> [ ("CZ", 0.257) ]
+  | "AF" -> [ ("IR", 0.20) ]
+  | "AT" -> [ ("DE", 0.03) ]
+  | "RE" -> [ ("FR", 0.36) ]
+  | "GP" -> [ ("FR", 0.34) ]
+  | "MQ" -> [ ("FR", 0.35) ]
+  | "BF" -> [ ("FR", 0.21) ]
+  | "CI" -> [ ("FR", 0.18) ]
+  | "ML" -> [ ("FR", 0.18) ]
+  | "SN" -> [ ("FR", 0.12) ]
+  | "TG" -> [ ("FR", 0.10) ]
+  | "BJ" -> [ ("FR", 0.10) ]
+  | "CM" -> [ ("FR", 0.08) ]
+  | "HT" -> [ ("FR", 0.05) ]
+  | "MG" -> [ ("FR", 0.08) ]
+  | "DZ" -> [ ("FR", 0.06) ]
+  | "LU" -> [ ("DE", 0.05); ("FR", 0.03) ]
+  | "CH" -> [ ("DE", 0.05) ]
+  | _ -> []
+
+let partners layer cc =
+  match layer with
+  | Hosting | Dns -> hosting_partner_anchor cc
+  | Ca -> (
+      match cc with
+      | "IR" -> [ ("PL", 0.19) ]
+      | "AF" -> [ ("PL", 0.05) ]
+      | _ -> [])
+  | Tld -> (
+      match cc with
+      | "TM" -> [ ("RU", 0.20) ]
+      | "TJ" -> [ ("RU", 0.20) ]
+      | "KG" -> [ ("RU", 0.22) ]
+      | "KZ" -> [ ("RU", 0.15) ]
+      | "BY" -> [ ("RU", 0.15) ]
+      | "UZ" -> [ ("RU", 0.15) ]
+      | "AM" -> [ ("RU", 0.10) ]
+      | "AZ" -> [ ("RU", 0.08) ]
+      | "GE" -> [ ("RU", 0.08) ]
+      | "MD" -> [ ("RU", 0.12) ]
+      | "AT" -> [ ("DE", 0.14) ]
+      | "LU" -> [ ("DE", 0.08) ]
+      | "CH" -> [ ("DE", 0.07) ]
+      | "BF" | "BJ" | "CD" | "CI" | "CM" | "DZ" | "HT" | "MG" | "ML" | "SN" | "TG" ->
+          [ ("FR", 0.12) ]
+      | "GP" | "MQ" | "RE" -> [ ("FR", 0.30) ]
+      | "SK" -> [ ("CZ", 0.08) ]
+      | _ -> [])
+
+let n_providers layer cc =
+  match layer with
+  | Hosting -> (
+      match cc with
+      | "TH" -> 328
+      | "IR" -> 444
+      | "US" -> 834
+      | _ -> 300 + (hash cc 17 mod 400))
+  | Dns -> 260 + (hash cc 23 mod 380)
+  | Ca -> 10 + (hash cc 31 mod 12)
+  | Tld -> 60 + (hash cc 41 mod 80)
+
+let ca_global_share = function
+  | "IR" -> 0.80
+  | "TW" -> 0.82
+  | "JP" -> 0.85
+  | "RU" -> 0.997
+  | "AF" -> 0.93
+  | "PL" -> 0.80
+  | _ -> 0.98

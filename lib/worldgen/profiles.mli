@@ -1,0 +1,58 @@
+(** Per-country generation targets.
+
+    Targets come from three sources, in priority order: the paper's
+    explicit anecdotes (e.g. Thailand's top provider at 60%, Turkmenistan
+    33% on Russian providers), per-subregion heuristics consistent with
+    the paper's qualitative findings (Europe insular, Africa not, CIS on
+    Russia), and a fitted default.  The default top-share model
+    [p₁ ≈ 1.17·√𝒮 − 0.098] is the least-squares line through the paper's
+    three (𝒮, top-share) hosting anchors. *)
+
+type layer = Webdep_reference.Paper_scores.layer = Hosting | Dns | Ca | Tld
+
+val target_score : layer -> string -> float
+(** The paper's Appendix F score — the calibration target.
+    @raise Not_found for codes outside the 150. *)
+
+val top_share : layer -> string -> float
+(** Desired market share of the country's largest provider in the layer. *)
+
+val top_provider : layer -> string -> Provider.t
+(** Identity of the largest provider: Cloudflare everywhere except Japan
+    (Amazon) for hosting/DNS; Let's Encrypt or DigiCert for CA; ".com" or
+    the local ccTLD for TLD. *)
+
+val home_quota : layer -> string -> float
+(** Fraction of websites to place on providers based in the country
+    itself (excluding whatever global providers happen to be homed
+    there). *)
+
+val partners : layer -> string -> (string * float) list
+(** Cross-border dependencies: (partner country, fraction of websites on
+    that country's regional providers).  Encodes the paper's §5.3.3 case
+    studies (CIS→RU, francophone→FR, SK→CZ, AT→DE, AF→IR) plus small
+    continental defaults. *)
+
+val n_providers : layer -> string -> int
+(** Number of distinct providers in the country's distribution.  Anchored
+    for TH (328), IR (444), US (834); deterministic pseudo-random in a
+    realistic band otherwise; small for CA (≤ 30) and TLD (≤ ~160). *)
+
+val ca_global_share : string -> float
+(** Share of websites on the 7 large global CAs (80%–99.7%, per §7.1). *)
+
+val second_share_anchor : layer -> string -> float option
+(** Share of the second-largest provider where the paper names it
+    (SuperHosting.BG 22%, UAB 22%, Asseco 19%, TWCA 17%, SECOM 14%). *)
+
+type second_provider = Second_home | Second_partner of string
+
+val second_provider : layer -> string -> second_provider option
+(** Identity category of the anchored second bucket. *)
+
+val digicert_first : string list
+(** Countries whose CA mix leads with DigiCert rather than Let's
+    Encrypt. *)
+
+val cctld_primary : string list
+(** Countries whose most-used TLD is their own ccTLD rather than .com. *)

@@ -1,0 +1,17 @@
+type t = { name : string; home : string }
+
+let make ~name ~home = { name; home }
+let equal a b = String.equal a.name b.name && String.equal a.home b.home
+let compare a b =
+  match String.compare a.name b.name with 0 -> String.compare a.home b.home | c -> c
+
+let pp fmt t = Format.fprintf fmt "%s [%s]" t.name t.home
+
+let slug t =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' -> c
+      | 'A' .. 'Z' -> Char.lowercase_ascii c
+      | _ -> '-')
+    t.name

@@ -1,0 +1,16 @@
+(** A provider identity as the paper's analysis sees it: an organization
+    name plus the country the organization is based in.  The same type
+    serves all four layers — for the TLD layer the "provider" is the TLD
+    string and its operating country (".com" → US, ccTLDs → their
+    country). *)
+
+type t = { name : string; home : string }
+
+val make : name:string -> home:string -> t
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+val slug : t -> string
+(** Lowercased, DNS-safe label derived from the name, used to mint
+    nameserver hostnames ("ns1.<slug>.sim"). *)

@@ -1,0 +1,66 @@
+(** Canonical provider rosters.
+
+    Global providers are named after the paper's anchors (Cloudflare,
+    Amazon, OVH, NSONE, Let's Encrypt, Asseco, …) and padded with
+    synthetic-but-stable names to the class counts of Tables 1–3.
+    Regional providers are minted deterministically per home country with
+    a few real anchors (Beget LLC → RU, SuperHosting.BG → BG, UAB → LT,
+    Forthnet → GR), so the same identity appears wherever that country's
+    providers are used — which is what makes cross-border usage curves
+    (Figure 4) and endemicity meaningful. *)
+
+val cloudflare : Provider.t
+val amazon : Provider.t
+
+val hosting_global : Provider.t list
+(** Ordered global hosting roster after the two XL-GPs: 6 L-GP,
+    2 L-GP (R) (OVH → FR, Hetzner → DE), 22 M-GP, 73 S-GP. *)
+
+val dns_global : Provider.t list
+(** Ordered global DNS roster after the XL-GPs: 10 L-GP (NSONE, Neustar
+    UltraDNS, …), 2 L-GP (R), 17 M-GP, 78 S-GP. *)
+
+val regional : layer:string -> string -> int -> Provider.t
+(** [regional ~layer cc i] is the canonical [i]-th regional provider of
+    country [cc] for ["hosting"] or ["dns"], 0 being the country's
+    largest.  Deterministic; anchors apply at [i = 0]. *)
+
+(** {1 Certificate authorities} *)
+
+val ca_global7 : Provider.t list
+(** Let's Encrypt, DigiCert, Sectigo, Google Trust Services, Amazon Trust
+    Services, GlobalSign, GoDaddy — the seven L-GP CAs (~98% of the
+    web). *)
+
+val ca_medium : Provider.t list
+(** The two M-GP CAs (Entrust, IdenTrust). *)
+
+val ca_regional : string -> Provider.t option
+(** The home CA of a country, for the ~24 countries that have one
+    (Asseco → PL, TWCA → TW, SECOM → JP, …). *)
+
+val ca_regional_countries : string list
+(** Countries owning a regional CA. *)
+
+val asseco : Provider.t
+(** The Polish CA used regionally in PL, IR and AF (§7.2). *)
+
+val russian_state_ca : Provider.t
+(** The state-sponsored root CA of §7.2 — used by a sliver of Russian
+    sites, trusted by no browser, so the pipeline cannot label it. *)
+
+val ca_xsmall : Provider.t list
+(** The ~15 extra-small CAs rounding the world total to 45 (Table 3's
+    XS-RP class). *)
+
+(** {1 TLDs} *)
+
+val tld : string -> Provider.t
+(** TLD as a provider: ".com"/".net"/".org"/other global TLDs → US-based
+    registries; ccTLDs → their country (".uk" → GB). *)
+
+val global_tlds : Provider.t list
+(** Non-com global TLDs in canonical order (.org, .net, .io, …). *)
+
+val gtld_tail : Provider.t list
+(** A long tail of real generic TLDs for tail buckets of the TLD layer. *)

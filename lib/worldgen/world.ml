@@ -1,0 +1,294 @@
+module Rng = Webdep_stats.Rng
+module Sample = Webdep_stats.Sample
+module Internet = Webdep_netsim.Internet
+module Ipv4 = Webdep_netsim.Ipv4
+module Zone_db = Webdep_dnssim.Zone_db
+module Tls_ca = Webdep_tlssim.Ca
+module Cert = Webdep_tlssim.Cert
+module Handshake = Webdep_tlssim.Handshake
+module Toplist = Webdep_crux.Toplist
+module Churn = Webdep_crux.Churn
+
+type epoch = May_2023 | May_2025
+
+let epoch_name = function May_2023 -> "2023-05" | May_2025 -> "2025-05"
+
+type t = {
+  seed : int;
+  c : int;
+  internet : Internet.t;
+  ca_db : Tls_ca.t;
+  root_store : Webdep_tlssim.Root_store.t;
+  base_rng : Rng.t;
+  mixes : (string, Mix.t) Hashtbl.t;
+  ca_issuers_ready : (string, unit) Hashtbl.t;
+}
+
+let multi_cdn_fraction = 0.06
+
+let c t = t.c
+let seed t = t.seed
+let countries _t = List.map (fun c -> c.Webdep_geo.Country.code) Webdep_geo.Country.all
+let internet t = t.internet
+let ca_db t = t.ca_db
+
+let create ?(c = 10_000) ?(geo_accuracy = 0.894) ~seed () =
+  let base_rng = Rng.create seed in
+  let geo_rng = Rng.split_named base_rng "geolocation-errors" in
+  {
+    seed;
+    c;
+    internet = Internet.create ~geo_accuracy geo_rng;
+    ca_db = Tls_ca.create ();
+    root_store = Webdep_tlssim.Root_store.create ();
+    base_rng;
+    mixes = Hashtbl.create 1024;
+    ca_issuers_ready = Hashtbl.create 64;
+  }
+
+(* Deterministic per-string hash for jitters and per-site choices. *)
+let strhash s seed =
+  let h = ref seed in
+  String.iter (fun ch -> h := (!h * 131) + Char.code ch) s;
+  abs !h
+
+(* §5.4 longitudinal adjustments — hosting layer only.  Cloudflare grew
+   +3.8 pts on average (TM +11.3, BR +10), fell slightly in Russia, and
+   was flat in BY/UZ/MM; Brazil and Russia have anchored 2025 scores, the
+   rest move by a small jitter consistent with rho ~= 0.98. *)
+let hosting_overrides_2025 cc =
+  let old_target = Profiles.target_score Hosting cc in
+  let old_top = Profiles.top_share Hosting cc in
+  match cc with
+  | "BR" -> { Mix.target = Some 0.2354; top_share = Some 0.46; home_quota = None }
+  | "RU" ->
+      { Mix.target = Some 0.0499; top_share = Some (old_top -. 0.02); home_quota = Some 0.56 }
+  | "TM" ->
+      { Mix.target = Some (old_target +. 0.004); top_share = Some (old_top +. 0.113);
+        home_quota = None }
+  | "BY" | "UZ" | "MM" ->
+      { Mix.target = Some old_target; top_share = Some old_top; home_quota = None }
+  | _ ->
+      let jitter = ((float_of_int (strhash cc 53 mod 1000) /. 1000.0) -. 0.5) *. 0.03 in
+      let n = Profiles.n_providers Hosting cc in
+      let floor_s = (1.0 /. float_of_int n) +. 0.002 in
+      let target = Float.max floor_s (old_target +. jitter) in
+      { Mix.target = Some target; top_share = Some (old_top +. 0.038); home_quota = None }
+
+let mix t ?(epoch = May_2023) layer cc =
+  let epoch_key =
+    match (epoch, (layer : Profiles.layer)) with May_2025, Hosting -> "25" | _ -> "23"
+  in
+  let key =
+    Printf.sprintf "%s/%s/%s" epoch_key (Webdep_reference.Paper_scores.layer_name layer) cc
+  in
+  match Hashtbl.find_opt t.mixes key with
+  | Some m -> m
+  | None ->
+      let overrides =
+        match (epoch, (layer : Profiles.layer)) with
+        | May_2025, Hosting -> hosting_overrides_2025 cc
+        | _ -> Mix.no_overrides
+      in
+      let m = Mix.build ~c:t.c ~overrides layer cc in
+      Hashtbl.replace t.mixes key m;
+      m
+
+(* --- Network registration ------------------------------------------- *)
+
+let all_codes = List.map (fun c -> c.Webdep_geo.Country.code) Webdep_geo.Country.all
+
+let global_names =
+  let names =
+    List.map (fun p -> p.Provider.name) (Registry.hosting_global @ Registry.dns_global)
+  in
+  "Cloudflare" :: "Amazon" :: names
+
+let is_global p = List.mem p.Provider.name global_names
+
+let anycast_names =
+  [ "Cloudflare"; "NSONE"; "Neustar UltraDNS"; "Verisign DNS"; "Dyn"; "DNS Made Easy";
+    "easyDNS" ]
+
+let register_provider t p =
+  let anycast = List.mem p.Provider.name anycast_names in
+  let presence = if is_global p then all_codes else [] in
+  Internet.register_network t.internet ~name:p.Provider.name ~country:p.Provider.home
+    ~anycast ~presence ()
+
+(* Stable per-site address inside a network, preferring the point of
+   presence nearest the client country. *)
+let stable_addr (net : Internet.network) ~near idx =
+  let prefix =
+    match List.assoc_opt near net.Internet.pops with
+    | Some p -> p
+    | None -> snd (List.hd net.Internet.pops)
+  in
+  Ipv4.nth_addr prefix (idx mod Ipv4.prefix_size prefix)
+
+(* --- Certificates ----------------------------------------------------- *)
+
+let ensure_ca_registered t (owner_p : Provider.t) =
+  if not (Hashtbl.mem t.ca_issuers_ready owner_p.Provider.name) then begin
+    Hashtbl.replace t.ca_issuers_ready owner_p.Provider.name ();
+    (* CCADB only lists root-program members: a browser-rejected CA
+       (the Russian state root) gets no issuer mapping, so the pipeline
+       cannot label its certificates. *)
+    if Webdep_tlssim.Root_store.is_trusted t.root_store owner_p.Provider.name then begin
+      let owner =
+        Tls_ca.register_owner t.ca_db ~name:owner_p.Provider.name
+          ~country:owner_p.Provider.home
+      in
+      (* A couple of issuing intermediates per owner, like CCADB rollups. *)
+      for k = 1 to 2 do
+        Tls_ca.register_issuer t.ca_db
+          ~issuer_cn:(Printf.sprintf "%s Issuing CA R%d" owner_p.Provider.name k)
+          owner
+      done
+    end
+  end
+
+let issuer_cn_for owner_name domain =
+  Printf.sprintf "%s Issuing CA R%d" owner_name (1 + (strhash domain 7 mod 2))
+
+(* --- Mix expansion ---------------------------------------------------- *)
+
+(* Expand (provider, count) pairs into a length-c array and shuffle so
+   layers decorrelate site-by-site. *)
+let expand rng mix total =
+  let arr = Array.make total (fst (List.hd mix.Mix.assignments)) in
+  let i = ref 0 in
+  List.iter
+    (fun (p, k) ->
+      for _ = 1 to k do
+        if !i < total then begin
+          arr.(!i) <- p;
+          incr i
+        end
+      done)
+    mix.Mix.assignments;
+  Sample.shuffle rng arr;
+  arr
+
+(* --- Snapshots --------------------------------------------------------- *)
+
+type snapshot = {
+  country : string;
+  epoch : epoch;
+  toplist : Toplist.t;
+  zones : Zone_db.t;
+  tls : Handshake.t;
+  assigned : (string, Provider.t * Provider.t * Provider.t) Hashtbl.t;
+  content_language : (string, string) Hashtbl.t;
+}
+
+let mint_domain ~epoch_tag ~cc idx tld =
+  Printf.sprintf "%ss%05d-%s%s" epoch_tag idx (String.lowercase_ascii cc) tld
+
+let toplist_2023 t rng cc =
+  let tld_assign = expand (Rng.split_named rng "tld") (mix t Tld cc) t.c in
+  let domains =
+    Array.init t.c (fun i -> mint_domain ~epoch_tag:"" ~cc i tld_assign.(i).Provider.name)
+  in
+  Toplist.create ~country:cc domains
+
+(* Per-country churn: mean 0.37, Russia anchored at 0.4. *)
+let target_jaccard cc =
+  if cc = "RU" then 0.40
+  else 0.30 +. (float_of_int (strhash cc 61 mod 141) /. 1000.0)
+
+let toplist_for t rng cc = function
+  | May_2023 -> toplist_2023 t rng cc
+  | May_2025 ->
+      let rng23 = Rng.split_named (Rng.split_named t.base_rng ("snap/" ^ cc)) "toplist" in
+      let old = toplist_2023 t rng23 cc in
+      let tld_assign = expand (Rng.split_named rng "tld25") (mix t Tld cc) t.c in
+      let fresh i = mint_domain ~epoch_tag:"n25" ~cc i tld_assign.(i mod t.c).Provider.name in
+      Churn.evolve (Rng.split_named rng "churn") ~target_jaccard:(target_jaccard cc) ~fresh old
+
+let snapshot t ?(epoch = May_2023) cc =
+  if not (Webdep_geo.Country.mem cc) then raise Not_found;
+  let rng =
+    Rng.split_named t.base_rng
+      (match epoch with May_2023 -> "snap/" ^ cc | May_2025 -> "snap25/" ^ cc)
+  in
+  let toplist =
+    match epoch with
+    | May_2023 -> toplist_2023 t (Rng.split_named rng "toplist") cc
+    | May_2025 -> toplist_for t (Rng.split_named rng "toplist") cc May_2025
+  in
+  let hosting = expand (Rng.split_named rng "hosting") (mix t ~epoch Hosting cc) t.c in
+  let dns = expand (Rng.split_named rng "dns") (mix t ~epoch Dns cc) t.c in
+  let ca = expand (Rng.split_named rng "ca") (mix t ~epoch Ca cc) t.c in
+  let zones = Zone_db.create () in
+  let tls = Handshake.create () in
+  let assigned = Hashtbl.create t.c in
+  let content_language = Hashtbl.create t.c in
+  let glue_done = Hashtbl.create 512 in
+  let day0 = 19_500 (* arbitrary simulation clock origin *) in
+  Array.iteri
+    (fun i domain ->
+      let h = hosting.(i) and d = dns.(i) and a = ca.(i) in
+      let h_net = register_provider t h in
+      let d_net = register_provider t d in
+      ensure_ca_registered t a;
+      (* Nameservers: two hosts per DNS provider, glue registered once. *)
+      let slug = Provider.slug d in
+      let ns_hosts = [ "ns1." ^ slug ^ ".sim"; "ns2." ^ slug ^ ".sim" ] in
+      if not (Hashtbl.mem glue_done slug) then begin
+        Hashtbl.replace glue_done slug ();
+        List.iteri
+          (fun k host ->
+            Zone_db.add_host zones ~host
+              ~a:(Zone_db.Static [ stable_addr d_net ~near:d.Provider.home (k + 1) ]))
+          ns_hosts
+      end;
+      (* A answer: primary provider, with a multi-CDN secondary for a few
+         sites that shows through from non-home vantages. *)
+      let alt =
+        if float_of_int (strhash domain 97 mod 10_000) /. 10_000.0 < multi_cdn_fraction then begin
+          let alt_p =
+            if Provider.equal h Registry.amazon then
+              Provider.make ~name:"Fastly" ~home:"US"
+            else Registry.amazon
+          in
+          Some (alt_p, register_provider t alt_p)
+        end
+        else None
+      in
+      let primary_addr vantage =
+        (* Anycast providers answer with one global address; others with a
+           front-end near the client. *)
+        if h_net.Internet.anycast then stable_addr h_net ~near:h.Provider.home i
+        else stable_addr h_net ~near:vantage i
+      in
+      let answer vantage =
+        match alt with
+        | Some (_, alt_net) when vantage <> cc && strhash (domain ^ vantage) 11 mod 100 < 35 ->
+            [ stable_addr alt_net ~near:vantage i ]
+        | _ -> [ primary_addr vantage ]
+      in
+      (* CDN-fronted sites resolve through a CNAME into the provider's
+         namespace, as Cloudflare-style onboarding works; the terminal
+         name carries the geo-dependent A answer. *)
+      if h_net.Internet.anycast && alt = None then begin
+        let cdn_name =
+          Printf.sprintf "%s.cdn.%s.sim"
+            (String.map (fun ch -> if ch = '.' then '-' else ch) domain)
+            (Provider.slug h)
+        in
+        Zone_db.add_domain zones ~domain:cdn_name ~ns_hosts ~a:(Zone_db.Dynamic answer);
+        Zone_db.add_alias zones ~domain ~target:cdn_name ~ns_hosts
+      end
+      else Zone_db.add_domain zones ~domain ~ns_hosts ~a:(Zone_db.Dynamic answer);
+      (* Leaf certificate labelled with the CA owner via CCADB. *)
+      let cert =
+        { Cert.subject = domain; issuer_cn = issuer_cn_for a.Provider.name domain;
+          not_before = day0; not_after = day0 + 90 }
+      in
+      Handshake.install tls ~domain cert;
+      Hashtbl.replace assigned domain (h, d, a);
+      Hashtbl.replace content_language domain
+        (Language.assign ~cc ~provider_home:h.Provider.home ~domain))
+    (Array.of_list (Toplist.domains toplist));
+  { country = cc; epoch; toplist; zones; tls; assigned; content_language }

@@ -1,0 +1,64 @@
+(** The assembled synthetic web.
+
+    A world fixes a seed, a per-country toplist size [c], and a
+    geolocation accuracy, and exposes:
+
+    - per-country, per-layer provider {!Mix.t}s, calibrated to the
+      paper's Appendix-F scores (cached);
+    - a shared simulated {!Webdep_netsim.Internet.t} in which every
+      hosting/DNS provider owns a network;
+    - a shared CCADB-style CA database;
+    - per-country {!snapshot}s: the CrUX-style toplist plus the
+      authoritative DNS zones and TLS certificate store for that
+      country's sites, built on demand so memory stays bounded by one
+      country.
+
+    Two epochs are supported for the §5.4 longitudinal experiment: the
+    May-2025 world re-derives hosting targets (Brazil and Russia anchored,
+    Cloudflare +3.8 pts on average, small jitter elsewhere) and evolves
+    each toplist with a ~0.37 Jaccard churn. *)
+
+type epoch = May_2023 | May_2025
+
+val epoch_name : epoch -> string
+
+type t
+
+val create : ?c:int -> ?geo_accuracy:float -> seed:int -> unit -> t
+(** [c] defaults to 10 000 (the paper's per-country cut); [geo_accuracy]
+    defaults to 0.894 (NetAcuity's measured country-level accuracy). *)
+
+val c : t -> int
+val seed : t -> int
+val countries : t -> string list
+(** The 150 dataset countries, by code. *)
+
+val internet : t -> Webdep_netsim.Internet.t
+val ca_db : t -> Webdep_tlssim.Ca.t
+
+val mix : t -> ?epoch:epoch -> Profiles.layer -> string -> Mix.t
+(** Cached calibrated mix for a country and layer. *)
+
+type snapshot = {
+  country : string;
+  epoch : epoch;
+  toplist : Webdep_crux.Toplist.t;
+  zones : Webdep_dnssim.Zone_db.t;
+  tls : Webdep_tlssim.Handshake.t;
+  assigned : (string, Provider.t * Provider.t * Provider.t) Hashtbl.t;
+      (** ground truth per domain: hosting, dns, ca — for validation
+          tests; the pipeline must recover these through measurement *)
+  content_language : (string, string) Hashtbl.t;
+      (** per-domain content language (what a fetch of the page would
+          let LangDetect classify), correlated with the hosting
+          provider's home country per {!Language} *)
+}
+
+val snapshot : t -> ?epoch:epoch -> string -> snapshot
+(** Materialize one country's measurable state.  Deterministic in
+    (seed, country, epoch); not cached — drop the reference when done. *)
+
+val multi_cdn_fraction : float
+(** Fraction of sites served by a secondary provider from some vantages
+    (made-for §3.4: keeps probe-measured scores close to, but not
+    identical to, home-vantage scores). *)

@@ -1,0 +1,164 @@
+(* Tests for webdep_cluster: affinity propagation, k-means, silhouette. *)
+
+module Affinity = Webdep_cluster.Affinity
+module Kmeans = Webdep_cluster.Kmeans
+module Silhouette = Webdep_cluster.Silhouette
+module Rng = Webdep_stats.Rng
+
+(* Three well-separated 2-D blobs. *)
+let blobs =
+  let blob cx cy =
+    List.init 10 (fun i ->
+        [| cx +. (0.01 *. float_of_int i); cy -. (0.01 *. float_of_int i) |])
+  in
+  Array.of_list (blob 0.0 0.0 @ blob 10.0 10.0 @ blob (-10.0) 10.0)
+
+let cluster_count assignment =
+  List.length (List.sort_uniq compare (Array.to_list assignment))
+
+let test_affinity_separated_blobs () =
+  let result = Affinity.cluster_points blobs in
+  Alcotest.(check bool) "converged" true result.Affinity.converged;
+  Alcotest.(check int) "three clusters" 3 (cluster_count result.Affinity.assignment);
+  (* Points of the same blob share an exemplar. *)
+  for b = 0 to 2 do
+    let base = result.Affinity.assignment.(b * 10) in
+    for i = 1 to 9 do
+      Alcotest.(check int)
+        (Printf.sprintf "blob %d point %d" b i)
+        base
+        result.Affinity.assignment.((b * 10) + i)
+    done
+  done
+
+let test_affinity_exemplars_are_members () =
+  let result = Affinity.cluster_points blobs in
+  List.iter
+    (fun e ->
+      Alcotest.(check int) "exemplar self-assigned" e result.Affinity.assignment.(e))
+    result.Affinity.exemplars
+
+let test_affinity_single_point () =
+  let result = Affinity.cluster_points [| [| 1.0; 2.0 |] |] in
+  Alcotest.(check int) "one cluster" 1 (cluster_count result.Affinity.assignment)
+
+let test_affinity_invalid () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Affinity.run: n must be positive") (fun () ->
+      ignore (Affinity.run ~similarity:(fun _ _ -> 0.0) 0));
+  Alcotest.check_raises "damping" (Invalid_argument "Affinity.run: damping outside [0.5, 1)")
+    (fun () -> ignore (Affinity.run ~damping:0.2 ~similarity:(fun _ _ -> 0.0) 3))
+
+let test_affinity_preference_controls_granularity () =
+  (* A very negative preference collapses to few clusters; a high
+     preference fragments. *)
+  let coarse = Affinity.cluster_points ~preference:(-10_000.0) blobs in
+  let fine = Affinity.cluster_points ~preference:(-0.0001) blobs in
+  Alcotest.(check bool) "coarse <= fine" true
+    (cluster_count coarse.Affinity.assignment <= cluster_count fine.Affinity.assignment)
+
+let test_affinity_cluster_sizes () =
+  let result = Affinity.cluster_points blobs in
+  let sizes = Affinity.cluster_sizes result in
+  Alcotest.(check int) "three sizes" 3 (List.length sizes);
+  Alcotest.(check int) "total" 30 (List.fold_left (fun acc (_, k) -> acc + k) 0 sizes)
+
+let test_negative_sq_euclidean () =
+  Alcotest.(check (float 1e-9)) "distance" (-25.0)
+    (Affinity.negative_sq_euclidean [| 0.0; 0.0 |] [| 3.0; 4.0 |])
+
+let test_kmeans_blobs () =
+  let rng = Rng.create 5 in
+  let result = Kmeans.run rng ~k:3 blobs in
+  Alcotest.(check int) "three clusters used" 3 (cluster_count result.Kmeans.assignment);
+  (* Same-blob points cluster together. *)
+  for b = 0 to 2 do
+    let base = result.Kmeans.assignment.(b * 10) in
+    for i = 1 to 9 do
+      Alcotest.(check int) "blob mate" base result.Kmeans.assignment.((b * 10) + i)
+    done
+  done
+
+let test_kmeans_inertia_zero_when_k_equals_n () =
+  let rng = Rng.create 6 in
+  let points = [| [| 0.0 |]; [| 5.0 |]; [| 9.0 |] |] in
+  let result = Kmeans.run rng ~k:3 points in
+  Alcotest.(check (float 1e-9)) "zero inertia" 0.0 result.Kmeans.inertia
+
+let test_kmeans_invalid () =
+  let rng = Rng.create 7 in
+  Alcotest.check_raises "k too big" (Invalid_argument "Kmeans.run: k outside [1, n]") (fun () ->
+      ignore (Kmeans.run rng ~k:5 [| [| 0.0 |] |]))
+
+let test_kmeans_deterministic_given_seed () =
+  let run () = (Kmeans.run (Rng.create 11) ~k:3 blobs).Kmeans.assignment in
+  Alcotest.(check (array int)) "same seed same result" (run ()) (run ())
+
+let test_silhouette_separated () =
+  let assignment = Array.init 30 (fun i -> i / 10) in
+  let s = Silhouette.score blobs assignment in
+  Alcotest.(check bool) "well separated near 1" true (s > 0.9)
+
+let test_silhouette_bad_assignment () =
+  (* Mixing blob members across clusters should score poorly. *)
+  let good = Array.init 30 (fun i -> i / 10) in
+  let bad = Array.init 30 (fun i -> i mod 3) in
+  let sg = Silhouette.score blobs good and sb = Silhouette.score blobs bad in
+  Alcotest.(check bool) "good beats bad" true (sg > sb)
+
+let test_silhouette_invalid () =
+  Alcotest.check_raises "one cluster"
+    (Invalid_argument "Silhouette.score: need at least 2 clusters") (fun () ->
+      ignore (Silhouette.score blobs (Array.make 30 0)))
+
+let prop_affinity_assignment_valid =
+  QCheck.Test.make ~name:"affinity assignment always valid" ~count:25
+    QCheck.(list_of_size (Gen.int_range 2 12) (pair (float_range 0. 10.) (float_range 0. 10.)))
+    (fun pts ->
+      let points = Array.of_list (List.map (fun (x, y) -> [| x; y |]) pts) in
+      let result = Affinity.cluster_points ~max_iter:80 points in
+      let n = Array.length points in
+      Array.for_all (fun a -> a >= 0 && a < n) result.Affinity.assignment
+      && List.for_all (fun e -> e >= 0 && e < n) result.Affinity.exemplars)
+
+let prop_kmeans_assignment_valid =
+  QCheck.Test.make ~name:"kmeans assignment within k" ~count:25
+    QCheck.(
+      pair (int_range 1 4)
+        (list_of_size (Gen.int_range 4 20) (pair (float_range 0. 10.) (float_range 0. 10.))))
+    (fun (k, pts) ->
+      let points = Array.of_list (List.map (fun (x, y) -> [| x; y |]) pts) in
+      let rng = Rng.create (k + List.length pts) in
+      let result = Kmeans.run rng ~k points in
+      Array.for_all (fun a -> a >= 0 && a < k) result.Kmeans.assignment)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "webdep_cluster"
+    [
+      ( "affinity",
+        [
+          Alcotest.test_case "separated blobs" `Quick test_affinity_separated_blobs;
+          Alcotest.test_case "exemplars are members" `Quick test_affinity_exemplars_are_members;
+          Alcotest.test_case "single point" `Quick test_affinity_single_point;
+          Alcotest.test_case "invalid" `Quick test_affinity_invalid;
+          Alcotest.test_case "preference granularity" `Quick test_affinity_preference_controls_granularity;
+          Alcotest.test_case "cluster sizes" `Quick test_affinity_cluster_sizes;
+          Alcotest.test_case "similarity" `Quick test_negative_sq_euclidean;
+          qtest prop_affinity_assignment_valid;
+        ] );
+      ( "kmeans",
+        [
+          Alcotest.test_case "blobs" `Quick test_kmeans_blobs;
+          Alcotest.test_case "k=n zero inertia" `Quick test_kmeans_inertia_zero_when_k_equals_n;
+          Alcotest.test_case "invalid" `Quick test_kmeans_invalid;
+          Alcotest.test_case "deterministic" `Quick test_kmeans_deterministic_given_seed;
+          qtest prop_kmeans_assignment_valid;
+        ] );
+      ( "silhouette",
+        [
+          Alcotest.test_case "separated" `Quick test_silhouette_separated;
+          Alcotest.test_case "bad assignment worse" `Quick test_silhouette_bad_assignment;
+          Alcotest.test_case "invalid" `Quick test_silhouette_invalid;
+        ] );
+    ]

@@ -1,0 +1,144 @@
+(* Tests for webdep_crux: toplists, rank buckets, churn. *)
+
+open Webdep_crux
+module Rng = Webdep_stats.Rng
+
+let mk n = Toplist.create ~country:"US" (Array.init n (fun i -> Printf.sprintf "s%04d.example" i))
+
+let test_create_rejects_duplicates () =
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Toplist.create: duplicate domain a.example") (fun () ->
+      ignore (Toplist.create ~country:"US" [| "a.example"; "a.example" |]))
+
+let test_rank_buckets () =
+  let check rank bucket = Alcotest.(check int) (string_of_int rank) bucket (Toplist.rank_bucket rank) in
+  check 1 1_000;
+  check 1_000 1_000;
+  check 1_001 5_000;
+  check 5_000 5_000;
+  check 9_999 10_000;
+  check 10_001 50_000;
+  check 2_000_000 1_000_000;
+  Alcotest.check_raises "rank 0" (Invalid_argument "Toplist.rank_bucket: rank must be >= 1")
+    (fun () -> ignore (Toplist.rank_bucket 0))
+
+let test_bucket_of () =
+  let t = mk 1500 in
+  Alcotest.(check (option int)) "rank 1" (Some 1000) (Toplist.bucket_of t "s0000.example");
+  Alcotest.(check (option int)) "rank 1200" (Some 5000) (Toplist.bucket_of t "s1199.example");
+  Alcotest.(check (option int)) "missing" None (Toplist.bucket_of t "nope.example")
+
+let test_top_and_take () =
+  let t = mk 100 in
+  Alcotest.(check int) "top 10" 10 (List.length (Toplist.top t 10));
+  Alcotest.(check int) "take" 25 (Toplist.length (Toplist.take t 25));
+  Alcotest.(check int) "top beyond" 100 (List.length (Toplist.top t 500));
+  Alcotest.(check string) "order preserved" "s0000.example" (List.hd (Toplist.top t 3))
+
+let test_mem () =
+  let t = mk 10 in
+  Alcotest.(check bool) "mem" true (Toplist.mem t "s0005.example");
+  Alcotest.(check bool) "not mem" false (Toplist.mem t "zzz.example")
+
+let test_retention_formula () =
+  (* J = k/(2−k) inverted: k = 2J/(1+J). *)
+  Alcotest.(check (float 1e-9)) "J=1" 1.0 (Churn.retention_for_jaccard 1.0);
+  Alcotest.(check (float 1e-9)) "J=0" 0.0 (Churn.retention_for_jaccard 0.0);
+  Alcotest.(check (float 1e-9)) "J=1/3" 0.5 (Churn.retention_for_jaccard (1.0 /. 3.0));
+  Alcotest.check_raises "invalid" (Invalid_argument "Churn.retention_for_jaccard: j outside [0,1]")
+    (fun () -> ignore (Churn.retention_for_jaccard 1.5))
+
+let test_evolve_hits_target_jaccard () =
+  let t = mk 2000 in
+  let rng = Rng.create 17 in
+  let fresh i = Printf.sprintf "new%05d.example" i in
+  List.iter
+    (fun target ->
+      let t' = Churn.evolve rng ~target_jaccard:target ~fresh t in
+      Alcotest.(check int) "same length" (Toplist.length t) (Toplist.length t');
+      let j =
+        Webdep_stats.Similarity.jaccard_strings (Toplist.domains t) (Toplist.domains t')
+      in
+      if Float.abs (j -. target) > 0.02 then
+        Alcotest.failf "target %.2f, achieved %.3f" target j)
+    [ 0.37; 0.5; 0.8 ]
+
+let test_evolve_no_duplicates () =
+  let t = mk 500 in
+  let rng = Rng.create 18 in
+  let fresh i = Printf.sprintf "n%05d.example" i in
+  let t' = Churn.evolve rng ~target_jaccard:0.4 ~fresh t in
+  let ds = Toplist.domains t' in
+  Alcotest.(check int) "unique" (List.length ds) (List.length (List.sort_uniq compare ds))
+
+let test_evolve_rejects_stale_fresh () =
+  let t = mk 50 in
+  let rng = Rng.create 19 in
+  (* fresh always returns a domain already present. *)
+  let fresh _ = "s0000.example" in
+  Alcotest.check_raises "stale fresh"
+    (Invalid_argument "Churn.evolve: fresh produced existing domains") (fun () ->
+      ignore (Churn.evolve rng ~target_jaccard:0.1 ~fresh t))
+
+let test_coverage_matches_paper_fraction () =
+  (* The paper keeps 150 of 237 countries (63.3%); the calibrated
+     defaults should land nearby. *)
+  let rng = Rng.create 77 in
+  let es = Coverage.simulate rng () in
+  Alcotest.(check int) "237 countries" 237 (List.length es);
+  let frac = Coverage.eligible_fraction es in
+  if Float.abs (frac -. 0.633) > 0.10 then Alcotest.failf "eligible fraction %.3f" frac
+
+let test_coverage_threshold () =
+  let rng = Rng.create 78 in
+  let es = Coverage.simulate rng () in
+  List.iter
+    (fun e ->
+      Alcotest.(check bool) e.Coverage.country (e.Coverage.list_length >= Coverage.threshold)
+        e.Coverage.eligible)
+    es
+
+let test_coverage_deterministic () =
+  let run () = Coverage.simulate (Rng.create 79) () in
+  Alcotest.(check int) "same eligible count" (Coverage.eligible_count (run ()))
+    (Coverage.eligible_count (run ()))
+
+let prop_evolve_length_and_uniqueness =
+  QCheck.Test.make ~name:"evolve preserves length and uniqueness" ~count:30
+    QCheck.(pair (int_range 10 300) (float_range 0.05 0.95))
+    (fun (n, j) ->
+      let t = mk n in
+      let rng = Rng.create (n + int_of_float (j *. 100.0)) in
+      let fresh i = Printf.sprintf "q%06d.example" i in
+      let t' = Churn.evolve rng ~target_jaccard:j ~fresh t in
+      Toplist.length t' = n
+      && List.length (List.sort_uniq compare (Toplist.domains t')) = n)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "webdep_crux"
+    [
+      ( "toplist",
+        [
+          Alcotest.test_case "rejects duplicates" `Quick test_create_rejects_duplicates;
+          Alcotest.test_case "rank buckets" `Quick test_rank_buckets;
+          Alcotest.test_case "bucket_of" `Quick test_bucket_of;
+          Alcotest.test_case "top and take" `Quick test_top_and_take;
+          Alcotest.test_case "mem" `Quick test_mem;
+        ] );
+      ( "churn",
+        [
+          Alcotest.test_case "retention formula" `Quick test_retention_formula;
+          Alcotest.test_case "hits target jaccard" `Quick test_evolve_hits_target_jaccard;
+          Alcotest.test_case "no duplicates" `Quick test_evolve_no_duplicates;
+          Alcotest.test_case "rejects stale fresh" `Quick test_evolve_rejects_stale_fresh;
+          qtest prop_evolve_length_and_uniqueness;
+        ] );
+      ( "coverage",
+        [
+          Alcotest.test_case "paper fraction" `Quick test_coverage_matches_paper_fraction;
+          Alcotest.test_case "threshold" `Quick test_coverage_threshold;
+          Alcotest.test_case "deterministic" `Quick test_coverage_deterministic;
+        ] );
+    ]

@@ -1,0 +1,203 @@
+(* Failure injection: broken zones, lame delegations, missing
+   certificates, unresolvable sites, degenerate datasets — the toolkit
+   must degrade gracefully, never crash or silently mislabel. *)
+
+module Ipv4 = Webdep_netsim.Ipv4
+module Zone_db = Webdep_dnssim.Zone_db
+module Resolver = Webdep_dnssim.Resolver
+module Hierarchy = Webdep_dnssim.Hierarchy
+module Iterative = Webdep_dnssim.Iterative
+module D = Webdep.Dataset
+
+let addr s = Option.get (Ipv4.addr_of_string s)
+
+(* --- DNS failures -------------------------------------------------------- *)
+
+let test_empty_a_record () =
+  let db = Zone_db.create () in
+  Zone_db.add_domain db ~domain:"empty.example.com" ~ns_hosts:[ "ns1.x.sim" ]
+    ~a:(Zone_db.Static []);
+  (match Resolver.resolve db ~vantage:"US" "empty.example.com" with
+  | Ok r -> Alcotest.(check int) "no addresses" 0 (List.length r.Resolver.a)
+  | Error _ -> Alcotest.fail "domain exists, should not be nxdomain");
+  Alcotest.(check bool) "resolve_a none" true
+    (Resolver.resolve_a db ~vantage:"US" "empty.example.com" = None)
+
+let test_iterative_missing_glue_servfails () =
+  let db = Zone_db.create () in
+  (* Domain delegated to a nameserver with no glue anywhere. *)
+  Zone_db.add_domain db ~domain:"busted.example.com" ~ns_hosts:[ "ns1.missing.sim" ]
+    ~a:(Zone_db.Static [ addr "10.0.0.1" ]);
+  let h = Hierarchy.build db in
+  match Iterative.resolve h ~vantage:"US" "busted.example.com" with
+  | Error (Iterative.Servfail reason) ->
+      Alcotest.(check string) "reason" "referral without glue" reason
+  | Ok _ -> Alcotest.fail "must not resolve through a glueless delegation"
+  | Error Iterative.Nxdomain -> Alcotest.fail "servfail, not nxdomain"
+
+let test_dynamic_answer_that_raises_is_contained () =
+  (* A buggy Dynamic closure must not corrupt sibling lookups. *)
+  let db = Zone_db.create () in
+  Zone_db.add_domain db ~domain:"good.example.com" ~ns_hosts:[]
+    ~a:(Zone_db.Static [ addr "10.0.0.1" ]);
+  Zone_db.add_domain db ~domain:"bad.example.com" ~ns_hosts:[]
+    ~a:(Zone_db.Dynamic (fun _ -> failwith "boom"));
+  (match Resolver.resolve_a db ~vantage:"US" "good.example.com" with
+  | Some _ -> ()
+  | None -> Alcotest.fail "good domain unaffected");
+  Alcotest.check_raises "bad domain surfaces its failure" (Failure "boom") (fun () ->
+      ignore (Resolver.resolve_a db ~vantage:"US" "bad.example.com"))
+
+(* --- Dataset with failures --------------------------------------------------- *)
+
+let e name country = { D.name; country }
+
+let failed_site domain =
+  (* Resolution failed: no hosting, no DNS, no CA, no geo. *)
+  {
+    D.domain;
+    hosting = None;
+    dns = None;
+    ca = None;
+    tld = e ".com" "US";
+    hosting_geo = None;
+    ns_geo = None;
+    hosting_anycast = false;
+    ns_anycast = false;
+    language = None;
+  }
+
+let ok_site domain provider =
+  { (failed_site domain) with hosting = Some (e provider "US") }
+
+let test_dataset_with_partial_failures () =
+  let ds =
+    D.of_country_data
+      [
+        {
+          D.country = "AA";
+          sites =
+            [ ok_site "a.com" "P"; ok_site "b.com" "P"; ok_site "c.com" "Q";
+              failed_site "dead1.com"; failed_site "dead2.com" ];
+        };
+      ]
+  in
+  (* The hosting distribution covers only the three measured sites. *)
+  let dist = D.distribution ds Hosting "AA" in
+  Alcotest.(check (float 1e-9)) "three measured" 3.0 (Webdep_emd.Dist.total dist);
+  (* Scores still computable; TLD layer covers all five. *)
+  let s = Webdep.Metrics.centralization ds Hosting "AA" in
+  Alcotest.(check bool) "finite score" true (Float.is_finite s);
+  Alcotest.(check (float 1e-9)) "tld covers all" 5.0
+    (Webdep_emd.Dist.total (D.distribution ds Tld "AA"))
+
+let test_dataset_all_failed_layer_raises () =
+  let ds = D.of_country_data [ { D.country = "AA"; sites = [ failed_site "a.com" ] } ] in
+  Alcotest.check_raises "no hosting labels" Not_found (fun () ->
+      ignore (D.distribution ds Hosting "AA"))
+
+let test_insularity_with_failures_counts_whole_toplist () =
+  let ds =
+    D.of_country_data
+      [ { D.country = "US"; sites = [ ok_site "a.com" "P"; failed_site "dead.com" ] } ]
+  in
+  (* One of two sites is US-hosted: insularity is 1/2, not 1/1 — failures
+     stay in the denominator, as in the paper's per-toplist fractions. *)
+  Alcotest.(check (float 1e-9)) "denominator is toplist" 0.5
+    (Webdep.Regionalization.insularity ds Hosting "US")
+
+(* --- Handshake failures --------------------------------------------------------- *)
+
+let test_unknown_issuer_is_unlabelled () =
+  (* A cert chaining to an issuer CCADB does not know yields no CA label
+     (the §7.2 state-CA path), exercised at the pipeline level through a
+     handshake store with no matching CCADB entry. *)
+  let ca_db = Webdep_tlssim.Ca.create () in
+  Alcotest.(check bool) "unknown issuer" true
+    (Webdep_tlssim.Ca.owner_of_issuer ca_db "Mystery CA R1" = None)
+
+let test_expired_certificate_detection () =
+  let cert =
+    { Webdep_tlssim.Cert.subject = "a.example"; issuer_cn = "R3"; not_before = 0;
+      not_after = 90 }
+  in
+  Alcotest.(check bool) "expired" false (Webdep_tlssim.Cert.valid_at cert 91)
+
+(* --- Degenerate statistics --------------------------------------------------------- *)
+
+let test_single_site_country () =
+  let ds = D.of_country_data [ { D.country = "AA"; sites = [ ok_site "only.com" "P" ] } ] in
+  (* One site, one provider: S = 1 − 1/1 = 0 under the formula with C=1. *)
+  Alcotest.(check (float 1e-9)) "degenerate S" 0.0
+    (Webdep.Metrics.centralization ds Hosting "AA")
+
+let test_classify_on_tiny_dataset () =
+  let ds =
+    D.of_country_data
+      [ { D.country = "AA"; sites = [ ok_site "a.com" "P"; ok_site "b.com" "Q" ] } ]
+  in
+  let cl = Webdep.Classify.classify ds Hosting in
+  Alcotest.(check int) "two providers" 2 (List.length cl.Webdep.Classify.providers)
+
+let test_bootstrap_on_tiny_sample () =
+  let ds =
+    D.of_country_data
+      [ { D.country = "AA"; sites = [ ok_site "a.com" "P"; ok_site "b.com" "Q" ] } ]
+  in
+  let lo, hi = Webdep.Metrics.centralization_interval ~iterations:50 ~seed:1 ds Hosting "AA" in
+  Alcotest.(check bool) "ordered" true (lo <= hi)
+
+(* --- Geolocation degradation ---------------------------------------------------------- *)
+
+let test_zero_accuracy_geolocation_still_measures_orgs () =
+  (* Even with a fully wrong geolocation database, provider labels (AS
+     org based) are untouched: S is geolocation-independent, as in the
+     paper's methodology. *)
+  let world_bad = Webdep_worldgen.World.create ~c:300 ~geo_accuracy:0.0 ~seed:5 () in
+  let world_good = Webdep_worldgen.World.create ~c:300 ~geo_accuracy:1.0 ~seed:5 () in
+  let s_bad =
+    Webdep.Metrics.centralization
+      (Webdep_pipeline.Measure.measure_all ~countries:[ "DE" ] world_bad)
+      Hosting "DE"
+  in
+  let s_good =
+    Webdep.Metrics.centralization
+      (Webdep_pipeline.Measure.measure_all ~countries:[ "DE" ] world_good)
+      Hosting "DE"
+  in
+  Alcotest.(check (float 1e-9)) "S immune to geolocation errors" s_good s_bad
+
+let () =
+  Alcotest.run "webdep_failures"
+    [
+      ( "dns",
+        [
+          Alcotest.test_case "empty a record" `Quick test_empty_a_record;
+          Alcotest.test_case "missing glue servfails" `Quick test_iterative_missing_glue_servfails;
+          Alcotest.test_case "dynamic failure contained" `Quick
+            test_dynamic_answer_that_raises_is_contained;
+        ] );
+      ( "dataset",
+        [
+          Alcotest.test_case "partial failures" `Quick test_dataset_with_partial_failures;
+          Alcotest.test_case "all failed raises" `Quick test_dataset_all_failed_layer_raises;
+          Alcotest.test_case "insularity denominator" `Quick
+            test_insularity_with_failures_counts_whole_toplist;
+        ] );
+      ( "tls",
+        [
+          Alcotest.test_case "unknown issuer" `Quick test_unknown_issuer_is_unlabelled;
+          Alcotest.test_case "expired cert" `Quick test_expired_certificate_detection;
+        ] );
+      ( "degenerate",
+        [
+          Alcotest.test_case "single site" `Quick test_single_site_country;
+          Alcotest.test_case "tiny classify" `Quick test_classify_on_tiny_dataset;
+          Alcotest.test_case "tiny bootstrap" `Quick test_bootstrap_on_tiny_sample;
+        ] );
+      ( "geolocation",
+        [
+          Alcotest.test_case "zero accuracy immune" `Quick
+            test_zero_accuracy_geolocation_still_measures_orgs;
+        ] );
+    ]

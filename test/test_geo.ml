@@ -1,0 +1,119 @@
+(* Tests for webdep_geo: the 150-country dataset and region taxonomy. *)
+
+module Country = Webdep_geo.Country
+module Region = Webdep_geo.Region
+
+let test_count () = Alcotest.(check int) "exactly 150 countries" 150 Country.count
+
+let test_codes_unique () =
+  let codes = List.map (fun c -> c.Country.code) Country.all in
+  Alcotest.(check int) "unique codes" 150 (List.length (List.sort_uniq compare codes))
+
+let test_codes_shape () =
+  List.iter
+    (fun c ->
+      if String.length c.Country.code <> 2 then Alcotest.failf "bad code %s" c.Country.code;
+      String.iter
+        (fun ch -> if ch < 'A' || ch > 'Z' then Alcotest.failf "bad code %s" c.Country.code)
+        c.Country.code)
+    Country.all
+
+let test_lookup () =
+  (match Country.of_code "us" with
+  | Some c -> Alcotest.(check string) "case-insensitive" "United States" c.Country.name
+  | None -> Alcotest.fail "US missing");
+  Alcotest.(check bool) "unknown" true (Country.of_code "XX" = None);
+  Alcotest.(check bool) "mem" true (Country.mem "DE");
+  Alcotest.check_raises "of_code_exn" Not_found (fun () -> ignore (Country.of_code_exn "ZZ"))
+
+let test_known_subregions () =
+  let check code subregion =
+    Alcotest.(check string) code (Region.subregion_name subregion)
+      (Region.subregion_name (Country.of_code_exn code).Country.subregion)
+  in
+  check "TH" Region.South_eastern_asia;
+  check "IR" Region.Southern_asia;
+  check "CZ" Region.Eastern_europe;
+  check "US" Region.Northern_america;
+  check "TM" Region.Central_asia;
+  check "RE" Region.Eastern_africa;
+  check "AU" Region.Oceania_subregion;
+  check "BR" Region.South_america_subregion
+
+let test_continent_mapping () =
+  let check code continent =
+    Alcotest.(check string) code
+      (Region.continent_code continent)
+      (Region.continent_code (Country.continent (Country.of_code_exn code)))
+  in
+  check "TH" Region.Asia;
+  check "DE" Region.Europe;
+  check "US" Region.North_america;
+  check "NG" Region.Africa;
+  check "AU" Region.Oceania;
+  check "BR" Region.South_america
+
+let test_every_subregion_consistent () =
+  (* Every country's subregion maps to a continent, and in_subregion /
+     in_continent partition the dataset. *)
+  let total_by_continent =
+    List.fold_left
+      (fun acc ct -> acc + List.length (Country.in_continent ct))
+      0 Region.all_continents
+  in
+  Alcotest.(check int) "continents partition" 150 total_by_continent;
+  let total_by_subregion =
+    List.fold_left
+      (fun acc sr -> acc + List.length (Country.in_subregion sr))
+      0 Region.all_subregions
+  in
+  Alcotest.(check int) "subregions partition" 150 total_by_subregion
+
+let test_paper_region_counts () =
+  (* Sanity anchors from Appendix E: CIS-ish Central Asia has 5 members
+     in the dataset; Northern America two (US, CA). *)
+  Alcotest.(check int) "central asia" 5 (List.length (Country.in_subregion Region.Central_asia));
+  Alcotest.(check int) "northern america" 2
+    (List.length (Country.in_subregion Region.Northern_america));
+  Alcotest.(check int) "oceania" 3 (List.length (Country.in_subregion Region.Oceania_subregion))
+
+let test_cctld () =
+  Alcotest.(check string) "DE" ".de" (Country.ccTLD (Country.of_code_exn "DE"));
+  Alcotest.(check string) "GB is .uk" ".uk" (Country.ccTLD (Country.of_code_exn "GB"))
+
+let test_continent_codes_roundtrip () =
+  List.iter
+    (fun ct ->
+      match Region.continent_of_code (Region.continent_code ct) with
+      | Some ct' when ct' = ct -> ()
+      | _ -> Alcotest.failf "roundtrip failed for %s" (Region.continent_name ct))
+    Region.all_continents;
+  Alcotest.(check bool) "bad code" true (Region.continent_of_code "XX" = None)
+
+let test_subregion_continent_of_subregion () =
+  Alcotest.(check string) "Caribbean is NA" "NA"
+    (Region.continent_code (Region.continent_of_subregion Region.Caribbean));
+  Alcotest.(check string) "Central Asia is AS" "AS"
+    (Region.continent_code (Region.continent_of_subregion Region.Central_asia))
+
+let () =
+  Alcotest.run "webdep_geo"
+    [
+      ( "country",
+        [
+          Alcotest.test_case "count" `Quick test_count;
+          Alcotest.test_case "codes unique" `Quick test_codes_unique;
+          Alcotest.test_case "codes shape" `Quick test_codes_shape;
+          Alcotest.test_case "lookup" `Quick test_lookup;
+          Alcotest.test_case "known subregions" `Quick test_known_subregions;
+          Alcotest.test_case "continent mapping" `Quick test_continent_mapping;
+          Alcotest.test_case "partitions" `Quick test_every_subregion_consistent;
+          Alcotest.test_case "paper region counts" `Quick test_paper_region_counts;
+          Alcotest.test_case "ccTLD" `Quick test_cctld;
+        ] );
+      ( "region",
+        [
+          Alcotest.test_case "continent code roundtrip" `Quick test_continent_codes_roundtrip;
+          Alcotest.test_case "subregion to continent" `Quick test_subregion_continent_of_subregion;
+        ] );
+    ]

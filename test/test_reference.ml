@@ -1,0 +1,143 @@
+(* Tests for webdep_reference: integrity of the embedded paper tables. *)
+
+module Scores = Webdep_reference.Paper_scores
+module Anecdotes = Webdep_reference.Anecdotes
+module Country = Webdep_geo.Country
+
+let layers = Scores.all_layers
+
+let test_tables_have_150_rows () =
+  List.iter
+    (fun layer ->
+      Alcotest.(check int)
+        (Scores.layer_name layer ^ " rows")
+        150
+        (List.length (Scores.table layer)))
+    layers
+
+let test_tables_cover_every_country () =
+  List.iter
+    (fun layer ->
+      List.iter
+        (fun c ->
+          match Scores.score layer c.Country.code with
+          | Some _ -> ()
+          | None ->
+              Alcotest.failf "%s missing from %s" c.Country.code (Scores.layer_name layer))
+        Country.all)
+    layers
+
+let test_tables_no_stray_codes () =
+  List.iter
+    (fun layer ->
+      List.iter
+        (fun (code, _) ->
+          if not (Country.mem code) then
+            Alcotest.failf "stray code %s in %s" code (Scores.layer_name layer))
+        (Scores.table layer))
+    layers
+
+let test_tables_sorted_descending () =
+  List.iter
+    (fun layer ->
+      let rec walk = function
+        | (_, a) :: ((_, b) :: _ as rest) ->
+            if a < b -. 1e-9 then
+              Alcotest.failf "%s not sorted at %f < %f" (Scores.layer_name layer) a b;
+            walk rest
+        | _ -> ()
+      in
+      walk (Scores.table layer))
+    layers
+
+let test_headline_ranks () =
+  (* Spot-check the paper's headline rankings. *)
+  Alcotest.(check (option int)) "TH most centralized hosting" (Some 1) (Scores.rank Hosting "TH");
+  Alcotest.(check (option int)) "IR least centralized hosting" (Some 150) (Scores.rank Hosting "IR");
+  Alcotest.(check (option int)) "US median hosting" (Some 75) (Scores.rank Hosting "US");
+  Alcotest.(check (option int)) "ID most centralized DNS" (Some 1) (Scores.rank Dns "ID");
+  Alcotest.(check (option int)) "CZ least centralized DNS" (Some 150) (Scores.rank Dns "CZ");
+  Alcotest.(check (option int)) "SK most centralized CA" (Some 1) (Scores.rank Ca "SK");
+  Alcotest.(check (option int)) "TW least centralized CA" (Some 150) (Scores.rank Ca "TW");
+  Alcotest.(check (option int)) "US most centralized TLD" (Some 1) (Scores.rank Tld "US");
+  Alcotest.(check (option int)) "KG least centralized TLD" (Some 150) (Scores.rank Tld "KG")
+
+let test_headline_values () =
+  let check layer code expected =
+    Alcotest.(check (float 1e-9)) (code ^ " score") expected (Scores.score_exn layer code)
+  in
+  check Hosting "TH" 0.3548;
+  check Hosting "IR" 0.0411;
+  check Hosting "US" 0.1358;
+  check Dns "ID" 0.3757;
+  check Ca "SK" 0.3304;
+  check Tld "US" 0.5853
+
+let test_means_match_paper () =
+  (* The paper quotes the layer means in §5.1/§6.2/§7.1/Appendix B. *)
+  let close msg expected actual tol =
+    if Float.abs (expected -. actual) > tol then
+      Alcotest.failf "%s: expected ~%.4f, got %.4f" msg expected actual
+  in
+  close "hosting mean" Anecdotes.hosting_mean_centralization (Scores.mean Hosting) 0.002;
+  close "dns mean" Anecdotes.dns_mean_centralization (Scores.mean Dns) 0.002;
+  close "ca mean" Anecdotes.ca_mean_centralization (Scores.mean Ca) 0.002;
+  close "tld mean" Anecdotes.tld_mean_centralization (Scores.mean Tld) 0.002
+
+let test_ca_variance_small () =
+  (* §7.1: CA centralization has tiny variance across countries. *)
+  let scores = Array.of_list (List.map snd (Scores.table Ca)) in
+  let var = Webdep_stats.Descriptive.variance scores in
+  if Float.abs (var -. Anecdotes.ca_centralization_variance) > 0.0005 then
+    Alcotest.failf "ca variance %f" var
+
+let test_scores_in_country_order () =
+  let codes = [ "TH"; "IR"; "US" ] in
+  let arr = Scores.scores_in_country_order Hosting codes in
+  Alcotest.(check (array (float 1e-9))) "aligned" [| 0.3548; 0.0411; 0.1358 |] arr;
+  Alcotest.check_raises "missing code" Not_found (fun () ->
+      ignore (Scores.scores_in_country_order Hosting [ "XX" ]))
+
+let test_class_tables () =
+  let total tbl = List.fold_left (fun acc (_, n) -> acc + n) 0 tbl in
+  Alcotest.(check int) "hosting classes" 8 (List.length Anecdotes.hosting_classes);
+  Alcotest.(check int) "hosting total" 12414 (total Anecdotes.hosting_classes);
+  Alcotest.(check int) "dns classes" 8 (List.length Anecdotes.dns_classes);
+  Alcotest.(check int) "ca classes" 5 (List.length Anecdotes.ca_classes);
+  Alcotest.(check int) "ca total" 45 (total Anecdotes.ca_classes)
+
+let test_cross_country_entries_valid () =
+  List.iter
+    (fun (a, b, share) ->
+      if not (Country.mem a) then Alcotest.failf "unknown dependent %s" a;
+      if not (Country.mem b) then Alcotest.failf "unknown partner %s" b;
+      if share <= 0.0 || share >= 1.0 then Alcotest.failf "bad share %f" share)
+    Anecdotes.cross_country_hosting
+
+let test_layer_names () =
+  Alcotest.(check (list string)) "names"
+    [ "hosting"; "dns"; "ca"; "tld" ]
+    (List.map Scores.layer_name Scores.all_layers)
+
+let () =
+  Alcotest.run "webdep_reference"
+    [
+      ( "paper_scores",
+        [
+          Alcotest.test_case "150 rows per layer" `Quick test_tables_have_150_rows;
+          Alcotest.test_case "covers every country" `Quick test_tables_cover_every_country;
+          Alcotest.test_case "no stray codes" `Quick test_tables_no_stray_codes;
+          Alcotest.test_case "sorted descending" `Quick test_tables_sorted_descending;
+          Alcotest.test_case "headline ranks" `Quick test_headline_ranks;
+          Alcotest.test_case "headline values" `Quick test_headline_values;
+          Alcotest.test_case "means match paper" `Quick test_means_match_paper;
+          Alcotest.test_case "ca variance small" `Quick test_ca_variance_small;
+          Alcotest.test_case "country order" `Quick test_scores_in_country_order;
+          Alcotest.test_case "layer names" `Quick test_layer_names;
+        ] );
+      ( "anecdotes",
+        [
+          Alcotest.test_case "class tables" `Quick test_class_tables;
+          Alcotest.test_case "cross country valid" `Quick test_cross_country_entries_valid;
+        ] );
+    ]
