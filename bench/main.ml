@@ -8,7 +8,14 @@
    Environment:
      WEBDEP_BENCH_C     toplist size per country (default 10000)
      WEBDEP_BENCH_SEED  world seed                (default 2024)
-     WEBDEP_BENCH_SKIP_TIMINGS  set to skip the Bechamel section *)
+     WEBDEP_BENCH_SKIP_TIMINGS  set to skip the Bechamel section
+     WEBDEP_BENCH_V     set to raise the Logs level to debug
+     WEBDEP_BENCH_TRACE set to stream spans to the console
+
+   Every phase (world generation, measurement, each table/figure) runs
+   inside a webdep_obs span; the per-phase seconds land in
+   BENCH_obs.json alongside the full counter/histogram registry, giving
+   future PRs a machine-readable perf trajectory to diff against. *)
 
 module World = Webdep_worldgen.World
 module Measure = Webdep_pipeline.Measure
@@ -23,11 +30,25 @@ module Correlation = Webdep_stats.Correlation
 module Region = Webdep_geo.Region
 module Country = Webdep_geo.Country
 
+module Span = Webdep_obs.Span
+module Obs_metrics = Webdep_obs.Metrics
+module Json = Webdep_obs.Json
+
 let env_int name default =
   match Sys.getenv_opt name with Some v -> int_of_string v | None -> default
 
 let c = env_int "WEBDEP_BENCH_C" 10_000
 let seed = env_int "WEBDEP_BENCH_SEED" 2024
+
+(* A properly-installed reporter so library-level Logs calls are visible
+   (the seed's Logs.debug in Measure printed nothing). *)
+let () =
+  let level =
+    if Sys.getenv_opt "WEBDEP_BENCH_V" <> None then Logs.Debug else Logs.Warning
+  in
+  Webdep_obs.Reporter.setup ~level ();
+  if Sys.getenv_opt "WEBDEP_BENCH_TRACE" <> None then
+    Webdep_obs.Sink.set (Webdep_obs.Sink.console ())
 
 let section id title =
   Printf.printf "\n================================================================\n";
@@ -39,13 +60,11 @@ let pct x = 100.0 *. x
 (* --- the measured world ------------------------------------------------- *)
 
 let () = Printf.printf "webdep bench: c=%d seed=%d — generating and measuring...\n%!" c seed
-let t_start = Unix.gettimeofday ()
-let world = World.create ~c ~seed ()
-let ds = Measure.measure_all world
+let world = Span.with_ ~name:"bench.world_create" (fun () -> World.create ~c ~seed ())
+let ds, measure_seconds = Span.timed ~name:"bench.measure_all" (fun () -> Measure.measure_all world)
 
 let () =
-  Printf.printf "measured %d (country, site) records in %.1fs\n%!" (D.size ds)
-    (Unix.gettimeofday () -. t_start);
+  Printf.printf "measured %d (country, site) records in %.1fs\n%!" (D.size ds) measure_seconds;
   Format.printf "%a%!" Webdep.Toolkit.pp (Webdep.Toolkit.summarize ds)
 
 let all_ccs = D.countries ds
@@ -597,9 +616,11 @@ let vantage () =
 
 let longitudinal () =
   section "Sec 5.4" "Longitudinal change, May 2023 -> May 2025";
-  let t0 = Unix.gettimeofday () in
-  let ds25 = Measure.measure_all ~epoch:World.May_2025 world in
-  Printf.printf "(2025 world measured in %.1fs)\n" (Unix.gettimeofday () -. t0);
+  let ds25, seconds =
+    Span.timed ~name:"bench.measure_all_2025" (fun () ->
+        Measure.measure_all ~epoch:World.May_2025 world)
+  in
+  Printf.printf "(2025 world measured in %.1fs)\n" seconds;
   let cmp = Webdep.Longitudinal.compare ~focus:"Cloudflare" ~old_ds:ds ~new_ds:ds25 Hosting in
   Printf.printf "rho(S 2023, S 2025) = %.4f (paper: %.2f)\n"
     cmp.Webdep.Longitudinal.rho.Correlation.rho Anecdotes.rho_longitudinal;
@@ -1113,52 +1134,67 @@ let timings () =
    main
    ======================================================================== *)
 
+(* Per-phase seconds, recovered from the "span.bench.*" duration
+   histograms (world generation and the 2023/2025 measurements included),
+   plus the full metrics registry, as machine-readable JSON. *)
+let write_bench_json path =
+  let phases =
+    Obs_metrics.fold_histograms
+      (fun h acc ->
+        let name = Obs_metrics.histogram_name h in
+        let prefix = Span.histogram_prefix ^ "bench." in
+        if String.length name > String.length prefix
+           && String.sub name 0 (String.length prefix) = prefix
+        then
+          ( String.sub name (String.length prefix) (String.length name - String.length prefix),
+            Json.Float (Obs_metrics.sum h) )
+          :: acc
+        else acc)
+      []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let total = List.fold_left (fun acc (_, j) -> match j with Json.Float s -> acc +. s | _ -> acc) 0.0 phases in
+  let doc =
+    Json.Obj
+      [
+        ("schema", Json.String "webdep-bench/1");
+        ("c", Json.Int c);
+        ("seed", Json.Int seed);
+        ("total_s", Json.Float total);
+        ("phases_s", Json.Obj phases);
+        ("metrics", Webdep_obs.Registry.snapshot ());
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "wrote %s\n" path;
+  total
+
 let () =
-  fig1 ();
-  fig2 ();
-  fig3 ();
-  fig4 ();
-  table1 ();
-  fig5 ();
-  fig6 ();
-  fig7 ();
-  fig8 ();
-  fig9 ();
-  fig10 ();
-  fig11 ();
-  fig12 ();
-  fig13 ();
-  table2 ();
-  table3 ();
-  fig14 ();
-  fig15 ();
-  fig16 ();
-  fig17 ();
-  fig18 ();
-  fig19 ();
-  fig20 ();
-  fig21 ();
-  fig22 ();
-  table5 ();
-  table6 ();
-  table7 ();
-  table8 ();
-  vantage ();
-  longitudinal ();
-  correlations ();
-  language_case_study ();
-  redundancy_study ();
-  external_tlds ();
-  baselines ();
-  weighted_and_pairwise ();
-  shape_similarity ();
-  state_ca ();
-  crux_coverage ();
-  substrate_validation ();
-  ablation_fdiv ();
-  ablation_emd ();
-  ablation_endemicity ();
-  ablation_clustering ();
-  ablation_c_sensitivity ();
-  if Sys.getenv_opt "WEBDEP_BENCH_SKIP_TIMINGS" = None then timings ();
-  Printf.printf "\ntotal bench time: %.1fs\n" (Unix.gettimeofday () -. t_start)
+  let phase name f = Span.with_ ~name:("bench." ^ name) f in
+  List.iter
+    (fun (name, f) -> phase name f)
+    [
+      ("fig1", fig1); ("fig2", fig2); ("fig3", fig3); ("fig4", fig4);
+      ("table1", table1); ("fig5", fig5); ("fig6", fig6); ("fig7", fig7);
+      ("fig8", fig8); ("fig9", fig9); ("fig10", fig10); ("fig11", fig11);
+      ("fig12", fig12); ("fig13", fig13); ("table2", table2); ("table3", table3);
+      ("fig14", fig14); ("fig15", fig15); ("fig16", fig16); ("fig17", fig17);
+      ("fig18", fig18); ("fig19", fig19); ("fig20", fig20); ("fig21", fig21);
+      ("fig22", fig22); ("table5", table5); ("table6", table6); ("table7", table7);
+      ("table8", table8); ("vantage", vantage); ("longitudinal", longitudinal);
+      ("correlations", correlations); ("language_case_study", language_case_study);
+      ("redundancy_study", redundancy_study); ("external_tlds", external_tlds);
+      ("baselines", baselines); ("weighted_and_pairwise", weighted_and_pairwise);
+      ("shape_similarity", shape_similarity); ("state_ca", state_ca);
+      ("crux_coverage", crux_coverage); ("substrate_validation", substrate_validation);
+      ("ablation_fdiv", ablation_fdiv); ("ablation_emd", ablation_emd);
+      ("ablation_endemicity", ablation_endemicity);
+      ("ablation_clustering", ablation_clustering);
+      ("ablation_c_sensitivity", ablation_c_sensitivity);
+    ];
+  if Sys.getenv_opt "WEBDEP_BENCH_SKIP_TIMINGS" = None then phase "timings" timings;
+  let total = write_bench_json "BENCH_obs.json" in
+  Printf.printf "\ntotal bench time: %.1fs\n" total

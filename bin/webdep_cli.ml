@@ -53,13 +53,50 @@ let normalize_countries = function
   | [] -> None
   | ccs -> Some (List.map String.uppercase_ascii ccs)
 
+(* --- observability ------------------------------------------------------ *)
+
+(* Global flags shared by every subcommand: -v/-vv install a Logs
+   reporter (so library-level logging is visible), --trace streams spans
+   to the console, --metrics FILE dumps the full registry as JSON on
+   exit. *)
+
+let obs_setup trace metrics verbosity =
+  Webdep_obs.Reporter.setup
+    ~level:(Webdep_obs.Reporter.level_of_verbosity (List.length verbosity))
+    ();
+  if trace then Webdep_obs.Sink.set (Webdep_obs.Sink.console ());
+  match metrics with
+  | None -> ()
+  | Some path ->
+      at_exit (fun () ->
+          Webdep_obs.Sink.flush ();
+          try Webdep_obs.Registry.write_file path
+          with Sys_error msg ->
+            Printf.eprintf "webdep: cannot write metrics: %s\n" msg)
+
+let obs_term =
+  let trace =
+    Arg.(value & flag & info [ "trace" ]
+           ~doc:"Print every pipeline span (with timing) to the console.")
+  in
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"On exit, write a JSON snapshot of all counters, histograms and \
+                 span timings to $(docv).")
+  in
+  let verbose =
+    Arg.(value & flag_all & info [ "v"; "verbose" ]
+           ~doc:"Increase log verbosity ($(b,-v) info, $(b,-vv) debug).")
+  in
+  Term.(const obs_setup $ trace $ metrics $ verbose)
+
 let measure ~seed ~c ?countries () =
   let world = World.create ~c ~seed () in
   (world, Measure.measure_all ?countries world)
 
 (* --- scores ------------------------------------------------------------- *)
 
-let run_scores layer seed c countries top =
+let run_scores () layer seed c countries top =
   let _, ds = measure ~seed ~c ?countries:(normalize_countries countries) () in
   Printf.printf "%-5s %-4s %10s %10s %8s\n" "rank" "cc" "S" "paper" "diff";
   List.iteri
@@ -72,14 +109,14 @@ let run_scores layer seed c countries top =
 let scores_cmd =
   let doc = "Per-country centralization scores for a layer (Tables 5-8)." in
   Cmd.v (Cmd.info "scores" ~doc)
-    Term.(const run_scores $ layer_arg $ seed_arg $ c_arg $ countries_arg $ top_arg)
+    Term.(const run_scores $ obs_term $ layer_arg $ seed_arg $ c_arg $ countries_arg $ top_arg)
 
 (* --- report -------------------------------------------------------------- *)
 
 let cc_pos =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"CC" ~doc:"Country code.")
 
-let run_report cc seed c =
+let run_report () cc seed c =
   let cc = String.uppercase_ascii cc in
   if not (Webdep_geo.Country.mem cc) then begin
     Printf.eprintf "unknown country code %s\n" cc;
@@ -105,11 +142,11 @@ let run_report cc seed c =
 
 let report_cmd =
   let doc = "Full four-layer dependence report for one country." in
-  Cmd.v (Cmd.info "report" ~doc) Term.(const run_report $ cc_pos $ seed_arg $ c_arg)
+  Cmd.v (Cmd.info "report" ~doc) Term.(const run_report $ obs_term $ cc_pos $ seed_arg $ c_arg)
 
 (* --- insularity ------------------------------------------------------------ *)
 
-let run_insularity layer seed c countries top =
+let run_insularity () layer seed c countries top =
   let _, ds = measure ~seed ~c ?countries:(normalize_countries countries) () in
   Printf.printf "%-5s %-4s %12s\n" "rank" "cc" "insularity";
   List.iteri
@@ -120,11 +157,11 @@ let run_insularity layer seed c countries top =
 let insularity_cmd =
   let doc = "Per-country insularity for a layer (Figures 13, 20-22)." in
   Cmd.v (Cmd.info "insularity" ~doc)
-    Term.(const run_insularity $ layer_arg $ seed_arg $ c_arg $ countries_arg $ top_arg)
+    Term.(const run_insularity $ obs_term $ layer_arg $ seed_arg $ c_arg $ countries_arg $ top_arg)
 
 (* --- classify ---------------------------------------------------------------- *)
 
-let run_classify layer seed c =
+let run_classify () layer seed c =
   let _, ds = measure ~seed ~c () in
   let cl = Webdep.Classify.classify ds layer in
   Printf.printf "raw affinity-propagation clusters: %d\n" cl.Webdep.Classify.raw_clusters;
@@ -135,14 +172,14 @@ let run_classify layer seed c =
 
 let classify_cmd =
   let doc = "Provider classes by usage and endemicity (Tables 1-3)." in
-  Cmd.v (Cmd.info "classify" ~doc) Term.(const run_classify $ layer_arg $ seed_arg $ c_arg)
+  Cmd.v (Cmd.info "classify" ~doc) Term.(const run_classify $ obs_term $ layer_arg $ seed_arg $ c_arg)
 
 (* --- usage ---------------------------------------------------------------------- *)
 
 let provider_pos =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"PROVIDER" ~doc:"Provider name.")
 
-let run_usage provider layer seed c =
+let run_usage () provider layer seed c =
   let _, ds = measure ~seed ~c () in
   match Webdep.Regionalization.usage_curve ds layer ~name:provider with
   | exception Not_found ->
@@ -164,11 +201,11 @@ let run_usage provider layer seed c =
 let usage_cmd =
   let doc = "Usage and endemicity of one provider (Figure 4)." in
   Cmd.v (Cmd.info "usage" ~doc)
-    Term.(const run_usage $ provider_pos $ layer_arg $ seed_arg $ c_arg)
+    Term.(const run_usage $ obs_term $ provider_pos $ layer_arg $ seed_arg $ c_arg)
 
 (* --- longitudinal ------------------------------------------------------------------ *)
 
-let run_longitudinal seed c countries top =
+let run_longitudinal () seed c countries top =
   let countries = normalize_countries countries in
   let world = World.create ~c ~seed () in
   let ds23 = Measure.measure_all ?countries world in
@@ -190,11 +227,11 @@ let run_longitudinal seed c countries top =
 let longitudinal_cmd =
   let doc = "Compare May-2023 and May-2025 measurements (§5.4)." in
   Cmd.v (Cmd.info "longitudinal" ~doc)
-    Term.(const run_longitudinal $ seed_arg $ c_arg $ countries_arg $ top_arg)
+    Term.(const run_longitudinal $ obs_term $ seed_arg $ c_arg $ countries_arg $ top_arg)
 
 (* --- validate ----------------------------------------------------------------------- *)
 
-let run_validate seed c countries =
+let run_validate () seed c countries =
   let countries =
     match normalize_countries countries with
     | Some ccs -> ccs
@@ -212,11 +249,11 @@ let run_validate seed c countries =
 
 let validate_cmd =
   let doc = "Vantage-point validation sweep (§3.4)." in
-  Cmd.v (Cmd.info "validate" ~doc) Term.(const run_validate $ seed_arg $ c_arg $ countries_arg)
+  Cmd.v (Cmd.info "validate" ~doc) Term.(const run_validate $ obs_term $ seed_arg $ c_arg $ countries_arg)
 
 (* --- paper ------------------------------------------------------------------------- *)
 
-let run_paper layer top =
+let run_paper () layer top =
   Printf.printf "%-5s %-4s %10s\n" "rank" "cc" "S";
   List.iteri
     (fun i (cc, s) -> if i < top then Printf.printf "%-5d %-4s %10.4f\n" (i + 1) cc s)
@@ -224,7 +261,7 @@ let run_paper layer top =
 
 let paper_cmd =
   let doc = "Print the embedded Appendix-F reference table for a layer." in
-  Cmd.v (Cmd.info "paper" ~doc) Term.(const run_paper $ layer_arg $ top_arg)
+  Cmd.v (Cmd.info "paper" ~doc) Term.(const run_paper $ obs_term $ layer_arg $ top_arg)
 
 (* --- export -------------------------------------------------------------------------- *)
 
@@ -232,7 +269,7 @@ let out_dir_arg =
   Arg.(value & opt string "webdep-data" & info [ "o"; "out" ] ~docv:"DIR"
          ~doc:"Output directory for the CSV files.")
 
-let run_export layer seed c out_dir =
+let run_export () layer seed c out_dir =
   let _, ds = measure ~seed ~c () in
   (try Unix.mkdir out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let name = Scores.layer_name layer in
@@ -248,11 +285,11 @@ let run_export layer seed c out_dir =
 let export_cmd =
   let doc = "Export scores, insularity and provider usage as CSV (data release)." in
   Cmd.v (Cmd.info "export" ~doc)
-    Term.(const run_export $ layer_arg $ seed_arg $ c_arg $ out_dir_arg)
+    Term.(const run_export $ obs_term $ layer_arg $ seed_arg $ c_arg $ out_dir_arg)
 
 (* --- language -------------------------------------------------------------------------- *)
 
-let run_language cc seed c =
+let run_language () cc seed c =
   let cc = String.uppercase_ascii cc in
   let _, ds = measure ~seed ~c ~countries:[ cc ] () in
   Printf.printf "content languages of %s's top sites:\n" cc;
@@ -270,11 +307,11 @@ let run_language cc seed c =
 
 let language_cmd =
   let doc = "Content-language breakdown and cross-border hosting (§5.3.3)." in
-  Cmd.v (Cmd.info "language" ~doc) Term.(const run_language $ cc_pos $ seed_arg $ c_arg)
+  Cmd.v (Cmd.info "language" ~doc) Term.(const run_language $ obs_term $ cc_pos $ seed_arg $ c_arg)
 
 (* --- redundancy -------------------------------------------------------------------------- *)
 
-let run_redundancy cc seed c =
+let run_redundancy () cc seed c =
   let cc = String.uppercase_ascii cc in
   let world = World.create ~c ~seed () in
   let input =
@@ -292,11 +329,11 @@ let run_redundancy cc seed c =
 
 let redundancy_cmd =
   let doc = "Single-provider dependence via multi-vantage measurement (§3.2 ext)." in
-  Cmd.v (Cmd.info "redundancy" ~doc) Term.(const run_redundancy $ cc_pos $ seed_arg $ c_arg)
+  Cmd.v (Cmd.info "redundancy" ~doc) Term.(const run_redundancy $ obs_term $ cc_pos $ seed_arg $ c_arg)
 
 (* --- tld ---------------------------------------------------------------------------------- *)
 
-let run_tld cc seed c =
+let run_tld () cc seed c =
   let cc = String.uppercase_ascii cc in
   let _, ds = measure ~seed ~c ~countries:[ cc ] () in
   Printf.printf "TLD usage of %s (S = %.4f):\n" cc (Webdep.Metrics.centralization ds Tld cc);
@@ -319,7 +356,7 @@ let run_tld cc seed c =
 
 let tld_cmd =
   let doc = "TLD-layer breakdown for one country (Appendix B)." in
-  Cmd.v (Cmd.info "tld" ~doc) Term.(const run_tld $ cc_pos $ seed_arg $ c_arg)
+  Cmd.v (Cmd.info "tld" ~doc) Term.(const run_tld $ obs_term $ cc_pos $ seed_arg $ c_arg)
 
 (* --- report-md -------------------------------------------------------------------------- *)
 
@@ -327,7 +364,7 @@ let md_out_arg =
   Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE"
          ~doc:"Write the Markdown report to FILE instead of stdout.")
 
-let run_report_md seed c countries out =
+let run_report_md () seed c countries out =
   let _, ds = measure ~seed ~c ?countries:(normalize_countries countries) () in
   let doc = Webdep.Report_md.generate ds in
   match out with
@@ -339,7 +376,7 @@ let run_report_md seed c countries out =
 let report_md_cmd =
   let doc = "Generate a paper-style Markdown report of the measured dataset." in
   Cmd.v (Cmd.info "report-md" ~doc)
-    Term.(const run_report_md $ seed_arg $ c_arg $ countries_arg $ md_out_arg)
+    Term.(const run_report_md $ obs_term $ seed_arg $ c_arg $ countries_arg $ md_out_arg)
 
 (* --- countries ------------------------------------------------------------------------ *)
 
@@ -353,7 +390,7 @@ let run_countries () =
 
 let countries_cmd =
   let doc = "List the 150 dataset countries (Appendix E)." in
-  Cmd.v (Cmd.info "countries" ~doc) Term.(const run_countries $ const ())
+  Cmd.v (Cmd.info "countries" ~doc) Term.(const run_countries $ obs_term)
 
 let () =
   let doc = "quantify centralization and regionalization of web infrastructure" in

@@ -5,6 +5,15 @@ let max_depth = 8
 
 let max_cname = 5
 
+(* Observability: totals across every resolution this process ran.  The
+   query-depth histogram records queries-per-successful-resolution, which
+   is what the pipeline's resolution_stats reports as mean_queries. *)
+let m_queries = Webdep_obs.Metrics.counter "dns.iterative.queries"
+let m_referrals = Webdep_obs.Metrics.counter "dns.iterative.referrals"
+let m_nxdomain = Webdep_obs.Metrics.counter "dns.iterative.nxdomain"
+let m_servfail = Webdep_obs.Metrics.counter "dns.iterative.servfail"
+let m_depth = Webdep_obs.Metrics.histogram "dns.iterative.query_depth"
+
 let resolve hierarchy ~vantage qname =
   let queries = ref 0 and referrals = ref 0 in
   let rec start qname aliases =
@@ -30,7 +39,14 @@ let resolve hierarchy ~vantage qname =
               if next = [] then Error (Servfail "referral without glue")
               else walk qname aliases next (depth + 1))
   in
-  match start qname 0 with
+  let result = start qname 0 in
+  Webdep_obs.Metrics.incr ~by:!queries m_queries;
+  Webdep_obs.Metrics.incr ~by:!referrals m_referrals;
+  (match result with
+  | Ok _ -> Webdep_obs.Metrics.observe m_depth (float_of_int !queries)
+  | Error Nxdomain -> Webdep_obs.Metrics.incr m_nxdomain
+  | Error (Servfail _) -> Webdep_obs.Metrics.incr m_servfail);
+  match result with
   | Ok addrs -> Ok (addrs, { queries = !queries; referrals = !referrals })
   | Error e -> Error e
 

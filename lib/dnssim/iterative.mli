@@ -9,6 +9,23 @@ type stats = {
 
 type error = Nxdomain | Servfail of string
 
+val m_queries : Webdep_obs.Metrics.counter
+(** Total questions asked across every resolution this process ran. *)
+
+val m_referrals : Webdep_obs.Metrics.counter
+(** Total delegations followed. *)
+
+val m_nxdomain : Webdep_obs.Metrics.counter
+(** Resolutions that ended in NXDOMAIN. *)
+
+val m_servfail : Webdep_obs.Metrics.counter
+(** Resolutions that ended in SERVFAIL (lame delegation, referral loop,
+    missing glue, over-long CNAME chain). *)
+
+val m_depth : Webdep_obs.Metrics.histogram
+(** Queries per {e successful} resolution — the pipeline's mean_queries
+    comes from deltas of this histogram. *)
+
 val resolve :
   Hierarchy.t -> vantage:string -> string -> (Webdep_netsim.Ipv4.addr list * stats, error) result
 (** Resolve a qname's A records from scratch (no cache).  [Servfail]

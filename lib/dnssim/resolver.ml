@@ -8,6 +8,11 @@ type error = Nxdomain
 
 let max_cname_depth = 5
 
+(* Observability: lookup totals for the ZDNS-style flat resolver. *)
+let m_lookups = Webdep_obs.Metrics.counter "dns.flat.lookups"
+let m_nxdomain = Webdep_obs.Metrics.counter "dns.flat.nxdomain"
+let m_cname_chased = Webdep_obs.Metrics.counter "dns.flat.cname_chased"
+
 (* Follow a CNAME chain to the terminal A answer; a broken or cyclic
    chain yields no addresses (a resolver would SERVFAIL). *)
 let rec chase db ~vantage domain depth =
@@ -16,6 +21,7 @@ let rec chase db ~vantage domain depth =
   | Some (_, answer) -> (
       match Zone_db.cname_of db domain with
       | Some target when depth < max_cname_depth -> (
+          Webdep_obs.Metrics.incr m_cname_chased;
           match chase db ~vantage target (depth + 1) with
           | [] -> Zone_db.resolve_answer ~vantage answer
           | addrs -> addrs)
@@ -23,8 +29,11 @@ let rec chase db ~vantage domain depth =
       | None -> Zone_db.resolve_answer ~vantage answer)
 
 let resolve db ~vantage domain =
+  Webdep_obs.Metrics.incr m_lookups;
   match Zone_db.domain_data db domain with
-  | None -> Error Nxdomain
+  | None ->
+      Webdep_obs.Metrics.incr m_nxdomain;
+      Error Nxdomain
   | Some (ns_hosts, _) ->
       let a = chase db ~vantage domain 0 in
       let ns_addrs = List.concat_map (Zone_db.host_addr db ~vantage) ns_hosts in

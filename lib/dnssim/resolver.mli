@@ -11,6 +11,15 @@ type response = {
 
 type error = Nxdomain
 
+val m_lookups : Webdep_obs.Metrics.counter
+(** Total flat lookups issued. *)
+
+val m_nxdomain : Webdep_obs.Metrics.counter
+(** Lookups for unknown domains. *)
+
+val m_cname_chased : Webdep_obs.Metrics.counter
+(** CNAME links followed while chasing to the terminal A answer. *)
+
 val resolve : Zone_db.t -> vantage:string -> string -> (response, error) result
 (** [resolve db ~vantage domain]; [vantage] is the probing country code
     (the paper's university vantage is modelled as "US"). *)

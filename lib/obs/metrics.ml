@@ -1,0 +1,145 @@
+(* Process-global counters and histograms.
+
+   Creation goes through a name-keyed registry (memoized, so any module
+   can reach a metric by name); the hot path — [incr] and [observe] —
+   touches only mutable record fields, no table lookup.  Instrumented
+   modules bind their metrics once at module initialization:
+
+     let m_queries = Webdep_obs.Metrics.counter "dns.iterative.queries"
+
+   [reset ()] zeroes every registered metric in place, keeping the
+   references held by instrumented modules valid. *)
+
+type counter = { c_name : string; mutable count : int }
+
+type histogram = {
+  h_name : string;
+  bounds : float array;  (* ascending bucket upper bounds *)
+  bucket_counts : int array;  (* length = Array.length bounds + 1; last = overflow *)
+  mutable n : int;
+  mutable sum : float;
+  mutable sum_sq : float;
+  mutable min_seen : float;
+  mutable max_seen : float;
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 64
+
+(* --- counters ---------------------------------------------------------- *)
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+      let c = { c_name = name; count = 0 } in
+      Hashtbl.replace counters name c;
+      c
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let value c = c.count
+let counter_name c = c.c_name
+
+(* --- histograms -------------------------------------------------------- *)
+
+(* Default bounds cover both sub-second span durations and small integer
+   observations (query depths, list lengths). *)
+let default_bounds =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 0.5; 1.0; 2.0; 5.0; 10.0; 30.0; 60.0; 300.0; 3600.0 |]
+
+let histogram ?(bounds = default_bounds) name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+      let h =
+        {
+          h_name = name;
+          bounds;
+          bucket_counts = Array.make (Array.length bounds + 1) 0;
+          n = 0;
+          sum = 0.0;
+          sum_sq = 0.0;
+          min_seen = Float.infinity;
+          max_seen = Float.neg_infinity;
+        }
+      in
+      Hashtbl.replace histograms name h;
+      h
+
+let bucket_index h v =
+  let rec go i = if i >= Array.length h.bounds || v <= h.bounds.(i) then i else go (i + 1) in
+  go 0
+
+let observe h v =
+  h.n <- h.n + 1;
+  h.sum <- h.sum +. v;
+  h.sum_sq <- h.sum_sq +. (v *. v);
+  if v < h.min_seen then h.min_seen <- v;
+  if v > h.max_seen then h.max_seen <- v;
+  let i = bucket_index h v in
+  h.bucket_counts.(i) <- h.bucket_counts.(i) + 1
+
+let count h = h.n
+let sum h = h.sum
+let histogram_name h = h.h_name
+let mean h = if h.n = 0 then 0.0 else h.sum /. float_of_int h.n
+
+let stddev h =
+  if h.n = 0 then 0.0
+  else
+    let m = mean h in
+    let var = (h.sum_sq /. float_of_int h.n) -. (m *. m) in
+    sqrt (Float.max 0.0 var)
+
+let min_value h = if h.n = 0 then None else Some h.min_seen
+let max_value h = if h.n = 0 then None else Some h.max_seen
+
+(* Bucket-based quantile estimate: the upper bound of the bucket holding
+   the q-th observation (the overflow bucket reports the max seen). *)
+let quantile h q =
+  if h.n = 0 then None
+  else
+    let q = Float.max 0.0 (Float.min 1.0 q) in
+    let target = int_of_float (ceil (q *. float_of_int h.n)) in
+    let target = Stdlib.max 1 target in
+    let acc = ref 0 and found = ref None in
+    Array.iteri
+      (fun i k ->
+        if !found = None then begin
+          acc := !acc + k;
+          if !acc >= target then
+            found := Some (if i < Array.length h.bounds then h.bounds.(i) else h.max_seen)
+        end)
+      h.bucket_counts;
+    !found
+
+(* Nonempty (upper-bound, count) pairs, overflow bucket last with no bound. *)
+let buckets h =
+  let out = ref [] in
+  Array.iteri
+    (fun i k ->
+      if k > 0 then
+        out :=
+          ((if i < Array.length h.bounds then Some h.bounds.(i) else None), k) :: !out)
+    h.bucket_counts;
+  List.rev !out
+
+(* --- registry-wide operations ------------------------------------------ *)
+
+let fold_counters f acc =
+  Hashtbl.fold (fun _ c acc -> f c acc) counters acc
+
+let fold_histograms f acc =
+  Hashtbl.fold (fun _ h acc -> f h acc) histograms acc
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
+  Hashtbl.iter
+    (fun _ h ->
+      Array.fill h.bucket_counts 0 (Array.length h.bucket_counts) 0;
+      h.n <- 0;
+      h.sum <- 0.0;
+      h.sum_sq <- 0.0;
+      h.min_seen <- Float.infinity;
+      h.max_seen <- Float.neg_infinity)
+    histograms

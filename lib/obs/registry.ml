@@ -1,0 +1,82 @@
+(* JSON snapshot of every registered counter and histogram.
+
+   The dump is stable (keys sorted by name) so two runs of the same
+   workload can be diffed, and span-duration histograms (names starting
+   with "span.") are split into their own section.  Schema:
+
+   {
+     "schema": "webdep-metrics/1",
+     "counters":   { "<name>": <int>, ... },
+     "histograms": { "<name>": { "count", "sum", "mean", "stddev",
+                                 "min", "max", "buckets": [{"le","count"}] } },
+     "spans":      { "<name>": <same histogram object, seconds> }
+   } *)
+
+let schema_version = "webdep-metrics/1"
+
+let histogram_json h =
+  let opt_float = function None -> Json.Null | Some v -> Json.Float v in
+  Json.Obj
+    [
+      ("count", Json.Int (Metrics.count h));
+      ("sum", Json.Float (Metrics.sum h));
+      ("mean", Json.Float (Metrics.mean h));
+      ("stddev", Json.Float (Metrics.stddev h));
+      ("min", opt_float (Metrics.min_value h));
+      ("max", opt_float (Metrics.max_value h));
+      ( "buckets",
+        Json.List
+          (List.map
+             (fun (le, k) ->
+               Json.Obj
+                 [
+                   ("le", match le with Some b -> Json.Float b | None -> Json.Null);
+                   ("count", Json.Int k);
+                 ])
+             (Metrics.buckets h)) );
+    ]
+
+let snapshot () =
+  let by_name l = List.sort (fun (a, _) (b, _) -> compare a b) l in
+  let counters =
+    Metrics.fold_counters
+      (fun c acc -> (Metrics.counter_name c, Json.Int (Metrics.value c)) :: acc)
+      []
+  in
+  let spans, plain =
+    Metrics.fold_histograms (fun h acc -> h :: acc) []
+    |> List.partition (fun h ->
+           String.length (Metrics.histogram_name h) > String.length Span.histogram_prefix
+           && String.sub (Metrics.histogram_name h) 0 (String.length Span.histogram_prefix)
+              = Span.histogram_prefix)
+  in
+  let histo_fields strip hs =
+    List.map
+      (fun h ->
+        let name = Metrics.histogram_name h in
+        let name =
+          if strip then
+            String.sub name (String.length Span.histogram_prefix)
+              (String.length name - String.length Span.histogram_prefix)
+          else name
+        in
+        (name, histogram_json h))
+      hs
+  in
+  Json.Obj
+    [
+      ("schema", Json.String schema_version);
+      ("counters", Json.Obj (by_name counters));
+      ("histograms", Json.Obj (by_name (histo_fields false plain)));
+      ("spans", Json.Obj (by_name (histo_fields true spans)));
+    ]
+
+let dump_json () = Json.to_string (snapshot ())
+
+let write_file path =
+  let oc = open_out path in
+  output_string oc (dump_json ());
+  output_char oc '\n';
+  close_out oc
+
+let reset = Metrics.reset

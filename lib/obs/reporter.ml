@@ -1,0 +1,23 @@
+(* Logs reporter installation.
+
+   The seed carried Logs.debug calls but never installed a reporter, so
+   library-level logging printed nothing.  [setup ()] installs a format
+   reporter on stderr at the requested level; [level_of_verbosity] maps
+   the CLI's repeated -v flag (0 = warnings, 1 = info, 2+ = debug). *)
+
+let pp_header ppf (level, header) =
+  match header with
+  | Some h -> Fmt.pf ppf "[%s] " h
+  | None -> (
+      match (level : Logs.level) with
+      | Logs.App -> ()
+      | level -> Fmt.pf ppf "[%a] " Logs.pp_level level)
+
+let level_of_verbosity = function
+  | 0 -> Logs.Warning
+  | 1 -> Logs.Info
+  | _ -> Logs.Debug
+
+let setup ?(level = Logs.Warning) () =
+  Logs.set_level (Some level);
+  Logs.set_reporter (Logs.format_reporter ~pp_header ~app:Fmt.stdout ~dst:Fmt.stderr ())

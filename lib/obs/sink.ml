@@ -1,0 +1,87 @@
+(* Trace sinks: where finished spans go.
+
+   The default is [null] — emitting to it is a single indirect call that
+   does nothing, so instrumentation can stay on unconditionally.  The
+   console sink pretty-prints through [Logs] (level App, so it shows even
+   without -v once a reporter is installed); the jsonl sink appends one
+   JSON object per span to a file for offline analysis. *)
+
+type event = {
+  name : string;
+  attrs : (string * string) list;
+  start_s : float;  (* seconds since process start *)
+  duration_s : float;
+  depth : int;  (* nesting depth at span entry, outermost = 0 *)
+}
+
+type t = { emit : event -> unit; flush : unit -> unit }
+
+let null = { emit = ignore; flush = ignore }
+
+let active = ref null
+
+let set t =
+  (!active).flush ();
+  active := t
+
+let current () = !active
+let emit ev = (!active).emit ev
+let flush () = (!active).flush ()
+
+(* Run [f] with [t] installed, restoring the previous sink afterwards. *)
+let with_sink t f =
+  let prev = !active in
+  set t;
+  let restore () =
+    (!active).flush ();
+    active := prev
+  in
+  match f () with
+  | v -> restore (); v
+  | exception e -> restore (); raise e
+
+(* --- console ----------------------------------------------------------- *)
+
+let pp_duration ppf s =
+  if s >= 1.0 then Fmt.pf ppf "%.2fs" s
+  else if s >= 1e-3 then Fmt.pf ppf "%.2fms" (s *. 1e3)
+  else Fmt.pf ppf "%.0fus" (s *. 1e6)
+
+let pp_attrs ppf = function
+  | [] -> ()
+  | attrs ->
+      Fmt.pf ppf " {%a}"
+        (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (k, v) -> Fmt.pf ppf "%s=%s" k v))
+        attrs
+
+let console () =
+  {
+    emit =
+      (fun ev ->
+        Logs.app (fun m ->
+            m "%*sspan %-28s %a%a" (2 * ev.depth) "" ev.name pp_duration ev.duration_s
+              pp_attrs ev.attrs));
+    flush = ignore;
+  }
+
+(* --- JSON lines -------------------------------------------------------- *)
+
+let json_of_event ev =
+  Json.Obj
+    [
+      ("name", Json.String ev.name);
+      ("start_s", Json.Float ev.start_s);
+      ("duration_s", Json.Float ev.duration_s);
+      ("depth", Json.Int ev.depth);
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) ev.attrs));
+    ]
+
+let jsonl path =
+  let oc = open_out path in
+  {
+    emit =
+      (fun ev ->
+        output_string oc (Json.to_string (json_of_event ev));
+        output_char oc '\n');
+    flush = (fun () -> Stdlib.flush oc);
+  }

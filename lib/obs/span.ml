@@ -1,0 +1,36 @@
+(* Timing spans.
+
+   [with_ ~name f] runs [f], measures its wall-clock duration, records it
+   into the per-name duration histogram ["span." ^ name] in the metrics
+   registry, and emits an event to the active trace sink.  Spans nest:
+   a global depth tracks containment so the console sink can indent and
+   the jsonl export can reconstruct the tree.  Exceptions propagate and
+   still close the span. *)
+
+let process_start = Unix.gettimeofday ()
+let depth = ref 0
+
+let histogram_prefix = "span."
+
+let duration_histogram name = Metrics.histogram (histogram_prefix ^ name)
+
+let with_ ?(attrs = []) ~name f =
+  let t0 = Unix.gettimeofday () in
+  let d = !depth in
+  depth := d + 1;
+  let finish () =
+    depth := d;
+    let dur = Unix.gettimeofday () -. t0 in
+    Metrics.observe (duration_histogram name) dur;
+    Sink.emit
+      { Sink.name; attrs; start_s = t0 -. process_start; duration_s = dur; depth = d }
+  in
+  match f () with
+  | v -> finish (); v
+  | exception e -> finish (); raise e
+
+(* Like [with_], but also returns the measured duration in seconds. *)
+let timed ?attrs ~name f =
+  let t0 = Unix.gettimeofday () in
+  let v = with_ ?attrs ~name f in
+  (v, Unix.gettimeofday () -. t0)

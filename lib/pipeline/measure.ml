@@ -8,6 +8,23 @@ module Dataset = Webdep.Dataset
 
 let default_vantage = "US"
 
+(* Observability: per-stage counters over everything this process has
+   measured.  The counters live in the webdep_obs registry, so a
+   --metrics dump or the bench's BENCH_obs.json picks them up without
+   extra plumbing; per-country timings come from the measure_country
+   spans. *)
+module Obs = Webdep_obs
+module Metric = Webdep_obs.Metrics
+
+let m_sites = Metric.counter "pipeline.sites.measured"
+let m_dns_queries = Metric.counter "pipeline.dns.queries"
+let m_dns_nxdomain = Metric.counter "pipeline.dns.nxdomain"
+let m_tls_handshakes = Metric.counter "pipeline.tls.handshakes"
+let m_tls_failures = Metric.counter "pipeline.tls.handshake_failures"
+let m_anycast_hosting = Metric.counter "pipeline.anycast.hosting_hits"
+let m_anycast_ns = Metric.counter "pipeline.anycast.ns_hits"
+let m_lang_detected = Metric.counter "pipeline.lang.detected"
+
 let tld_of_domain domain =
   match String.rindex_opt domain '.' with
   | None -> domain
@@ -36,10 +53,14 @@ let org_entity (org : Webdep_netsim.Org.t) =
   { Dataset.name = org.Webdep_netsim.Org.name; country = org.Webdep_netsim.Org.country }
 
 let measure_site internet ca_db zones tls ~vantage ~content ?resolve_a domain =
+  Metric.incr m_sites;
+  Metric.incr m_dns_queries;
   let resolved = Resolver.resolve zones ~vantage domain in
   let hosting_ip, ns_ip =
     match resolved with
-    | Error Resolver.Nxdomain -> (None, None)
+    | Error Resolver.Nxdomain ->
+        Metric.incr m_dns_nxdomain;
+        (None, None)
     | Ok { Resolver.a; ns_addrs; _ } ->
         ((match a with ip :: _ -> Some ip | [] -> None),
          match ns_addrs with ip :: _ -> Some ip | [] -> None)
@@ -57,13 +78,22 @@ let measure_site internet ca_db zones tls ~vantage ~content ?resolve_a domain =
   let ns_anycast =
     match ns_ip with Some ip -> Internet.is_anycast_addr internet ip | None -> false
   in
+  if hosting_anycast then Metric.incr m_anycast_hosting;
+  if ns_anycast then Metric.incr m_anycast_ns;
   let ca =
-    match Option.bind hosting_ip (fun addr -> Handshake.handshake tls ~addr ~sni:domain) with
+    match hosting_ip with
     | None -> None
-    | Some cert ->
-        Option.map
-          (fun (o : Tls_ca.owner) -> { Dataset.name = o.Tls_ca.name; country = o.Tls_ca.country })
-          (Tls_ca.owner_of_issuer ca_db cert.Webdep_tlssim.Cert.issuer_cn)
+    | Some addr -> (
+        Metric.incr m_tls_handshakes;
+        match Handshake.handshake tls ~addr ~sni:domain with
+        | None ->
+            Metric.incr m_tls_failures;
+            None
+        | Some cert ->
+            Option.map
+              (fun (o : Tls_ca.owner) ->
+                { Dataset.name = o.Tls_ca.name; country = o.Tls_ca.country })
+              (Tls_ca.owner_of_issuer ca_db cert.Webdep_tlssim.Cert.issuer_cn))
   in
   let language =
     (* Fetch the page and run language detection, as the paper does with
@@ -73,6 +103,7 @@ let measure_site internet ca_db zones tls ~vantage ~content ?resolve_a domain =
     | Some _ ->
         Option.map (fun truth -> Langdetect.detect ~domain truth) (content domain)
   in
+  (match language with Some _ -> Metric.incr m_lang_detected | None -> ());
   {
     Dataset.domain;
     hosting = Option.map org_entity hosting;
@@ -109,16 +140,23 @@ let measure_snapshot ?(vantage = default_vantage) ?(resolution = Flat) world
   { Dataset.country = snap.World.country; sites }
 
 let measure_country ?vantage ?resolution ?epoch world cc =
-  measure_snapshot ?vantage ?resolution world (World.snapshot world ?epoch cc)
+  (* Per-country span: the name carries the country so the registry dump
+     exposes one duration histogram per country. *)
+  Obs.Span.with_ ~name:("measure_country." ^ cc)
+    ~attrs:[ ("country", cc) ]
+    (fun () -> measure_snapshot ?vantage ?resolution world (World.snapshot world ?epoch cc))
 
 let measure_all ?vantage ?resolution ?epoch ?countries world =
   let countries = Option.value ~default:(World.countries world) countries in
-  Dataset.of_country_data
-    (List.map
-       (fun cc ->
-         Logs.debug (fun m -> m "measuring %s" cc);
-         measure_country ?vantage ?resolution ?epoch world cc)
-       countries)
+  Obs.Span.with_ ~name:"measure_all"
+    ~attrs:[ ("countries", string_of_int (List.length countries)) ]
+    (fun () ->
+      Dataset.of_country_data
+        (List.map
+           (fun cc ->
+             Logs.debug (fun m -> m "measuring %s" cc);
+             measure_country ?vantage ?resolution ?epoch world cc)
+           countries))
 
 type resolution_stats = {
   domains : int;
@@ -131,26 +169,31 @@ let iterative_resolution_stats ?(vantage = default_vantage) ?epoch world cc =
   let snap = World.snapshot world ?epoch cc in
   let hierarchy = Webdep_dnssim.Hierarchy.build snap.World.zones in
   let domains = Toplist.domains snap.World.toplist in
-  let agree = ref 0 and queries = ref 0 and failures = ref 0 and ok = ref 0 in
+  (* Query and failure totals come from the counters and the query-depth
+     histogram the iterative resolver already maintains: read them as
+     deltas around the sweep instead of re-accumulating per-call stats.
+     Only the flat-vs-iterative agreement check needs per-domain state. *)
+  let module I = Webdep_dnssim.Iterative in
+  let depth0_n = Metric.count I.m_depth and depth0_sum = Metric.sum I.m_depth in
+  let fail0 = Metric.value I.m_nxdomain + Metric.value I.m_servfail in
+  let agree = ref 0 in
   List.iter
     (fun domain ->
       let flat = Resolver.resolve_a snap.World.zones ~vantage domain in
-      match Webdep_dnssim.Iterative.resolve hierarchy ~vantage domain with
-      | Ok (addrs, stats) ->
-          incr ok;
-          queries := !queries + stats.Webdep_dnssim.Iterative.queries;
+      match I.resolve hierarchy ~vantage domain with
+      | Ok (addrs, _) ->
           let iter = (match addrs with a :: _ -> Some a | [] -> None) in
           if iter = flat then incr agree
-      | Error _ ->
-          incr failures;
-          if flat = None then incr agree)
+      | Error _ -> if flat = None then incr agree)
     domains;
+  let ok = Metric.count I.m_depth - depth0_n in
+  let queries = Metric.sum I.m_depth -. depth0_sum in
+  let failures = Metric.value I.m_nxdomain + Metric.value I.m_servfail - fail0 in
   {
     domains = List.length domains;
     agreement = float_of_int !agree /. float_of_int (List.length domains);
-    mean_queries =
-      (if !ok = 0 then 0.0 else float_of_int !queries /. float_of_int !ok);
-    failures = !failures;
+    mean_queries = (if ok = 0 then 0.0 else queries /. float_of_int ok);
+    failures;
   }
 
 let discover_redundancy ~vantages ?epoch world cc =

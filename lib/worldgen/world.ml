@@ -13,6 +13,12 @@ type epoch = May_2023 | May_2025
 
 let epoch_name = function May_2023 -> "2023-05" | May_2025 -> "2025-05"
 
+(* Observability: snapshot materialization is the dominant generation
+   cost; the per-layer mix cache is the main amortizer. *)
+let m_mix_hits = Webdep_obs.Metrics.counter "worldgen.mix.cache_hits"
+let m_mix_misses = Webdep_obs.Metrics.counter "worldgen.mix.cache_misses"
+let m_snapshots = Webdep_obs.Metrics.counter "worldgen.snapshots"
+
 type t = {
   seed : int;
   c : int;
@@ -83,8 +89,11 @@ let mix t ?(epoch = May_2023) layer cc =
     Printf.sprintf "%s/%s/%s" epoch_key (Webdep_reference.Paper_scores.layer_name layer) cc
   in
   match Hashtbl.find_opt t.mixes key with
-  | Some m -> m
+  | Some m ->
+      Webdep_obs.Metrics.incr m_mix_hits;
+      m
   | None ->
+      Webdep_obs.Metrics.incr m_mix_misses;
       let overrides =
         match (epoch, (layer : Profiles.layer)) with
         | May_2025, Hosting -> hosting_overrides_2025 cc
@@ -208,6 +217,13 @@ let toplist_for t rng cc = function
 
 let snapshot t ?(epoch = May_2023) cc =
   if not (Webdep_geo.Country.mem cc) then raise Not_found;
+  Webdep_obs.Metrics.incr m_snapshots;
+  (* One duration histogram per epoch; the country rides along as a span
+     attribute for the trace sinks. *)
+  Webdep_obs.Span.with_
+    ~name:("world.snapshot." ^ epoch_name epoch)
+    ~attrs:[ ("country", cc) ]
+  @@ fun () ->
   let rng =
     Rng.split_named t.base_rng
       (match epoch with May_2023 -> "snap/" ^ cc | May_2025 -> "snap25/" ^ cc)

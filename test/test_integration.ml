@@ -362,6 +362,23 @@ let test_subregional_coherence () =
   let d_near = Webdep.Similarity_analysis.distance ds Hosting "TH" "ID" in
   Alcotest.(check bool) "TH closer to ID than IR" true (d_near < d_far)
 
+let test_measurement_records_obs_counters () =
+  (* A measure_country run must leave its footprint in the webdep_obs
+     registry: one DNS query and one TLS handshake attempt per site, and
+     a per-country span duration histogram. *)
+  let module M = Webdep_obs.Metrics in
+  let dns = M.counter "pipeline.dns.queries" in
+  let tls = M.counter "pipeline.tls.handshakes" in
+  let dns0 = M.value dns and tls0 = M.value tls in
+  let ds = Measure.measure_country world "PT" in
+  let sites = List.length ds.D.sites in
+  Alcotest.(check bool) "sites measured" true (sites > 0);
+  Alcotest.(check bool) "DNS queries counted" true (M.value dns - dns0 >= sites);
+  Alcotest.(check bool) "TLS handshakes counted" true (M.value tls - tls0 > 0);
+  let span = M.histogram "span.measure_country.PT" in
+  Alcotest.(check bool) "per-country span recorded" true (M.count span > 0);
+  Alcotest.(check bool) "span duration positive" true (M.sum span > 0.0)
+
 let test_dependence_matrix_shape () =
   let ds = Lazy.force dataset in
   let matrix = Webdep.Regionalization.dependence_matrix ds Hosting in
@@ -408,5 +425,6 @@ let () =
           Alcotest.test_case "state CA untrusted" `Slow test_state_ca_untrusted;
           Alcotest.test_case "subregional coherence" `Slow test_subregional_coherence;
           Alcotest.test_case "dependence matrix" `Slow test_dependence_matrix_shape;
+          Alcotest.test_case "obs counters recorded" `Slow test_measurement_records_obs_counters;
         ] );
     ]
