@@ -8,14 +8,26 @@
    Environment:
      WEBDEP_BENCH_C     toplist size per country (default 10000)
      WEBDEP_BENCH_SEED  world seed                (default 2024)
+     WEBDEP_BENCH_JOBS  worker domains (also --jobs N / -j N on argv;
+                        default: the machine's recommended domain count,
+                        1 = the exact sequential path)
      WEBDEP_BENCH_SKIP_TIMINGS  set to skip the Bechamel section
      WEBDEP_BENCH_V     set to raise the Logs level to debug
      WEBDEP_BENCH_TRACE set to stream spans to the console
 
    Every phase (world generation, measurement, each table/figure) runs
    inside a webdep_obs span; the per-phase seconds land in
-   BENCH_obs.json alongside the full counter/histogram registry, giving
-   future PRs a machine-readable perf trajectory to diff against. *)
+   BENCH_obs.json alongside the counter/histogram registry, giving
+   future PRs a machine-readable perf trajectory to diff against.
+
+   Registry semantics: the "metrics" section of BENCH_obs.json is a
+   snapshot taken right after the measurement sweep, so its counters
+   describe the pipeline alone.  The registry is then RESET between
+   phases ([Registry.reset] zeroes values in place; metric references
+   stay valid), so the per-phase counters recorded under
+   "phase_counters" reflect exactly what each table/figure consumed —
+   under the seed's single accumulating registry a phase's deltas
+   included every earlier phase's traffic. *)
 
 module World = Webdep_worldgen.World
 module Measure = Webdep_pipeline.Measure
@@ -40,6 +52,34 @@ let env_int name default =
 let c = env_int "WEBDEP_BENCH_C" 10_000
 let seed = env_int "WEBDEP_BENCH_SEED" 2024
 
+(* --jobs N / -j N / --jobs=N on argv, or WEBDEP_BENCH_JOBS. *)
+let requested_jobs =
+  let from_argv =
+    let argv = Sys.argv in
+    let found = ref None in
+    Array.iteri
+      (fun i arg ->
+        if (arg = "--jobs" || arg = "-j") && i + 1 < Array.length argv then
+          found := int_of_string_opt argv.(i + 1)
+        else if String.length arg > 7 && String.sub arg 0 7 = "--jobs=" then
+          found := int_of_string_opt (String.sub arg 7 (String.length arg - 7)))
+      argv;
+    !found
+  in
+  match from_argv with
+  | Some _ as j -> j
+  | None -> Option.bind (Sys.getenv_opt "WEBDEP_BENCH_JOBS") int_of_string_opt
+
+let () =
+  match requested_jobs with
+  | Some j when j >= 1 -> Webdep_par.set_jobs j
+  | Some j ->
+      Printf.eprintf "webdep bench: --jobs must be >= 1 (got %d)\n" j;
+      exit 124
+  | None -> ()
+
+let jobs = Webdep_par.jobs ()
+
 (* A properly-installed reporter so library-level Logs calls are visible
    (the seed's Logs.debug in Measure printed nothing). *)
 let () =
@@ -59,13 +99,71 @@ let pct x = 100.0 *. x
 
 (* --- the measured world ------------------------------------------------- *)
 
-let () = Printf.printf "webdep bench: c=%d seed=%d — generating and measuring...\n%!" c seed
-let world = Span.with_ ~name:"bench.world_create" (fun () -> World.create ~c ~seed ())
+(* Per-phase wall-clock seconds, recorded bench-locally because the
+   registry (where the span histograms live) is reset between phases. *)
+let recorded_phases : (string * float) list ref = ref []
+let record_phase name seconds = recorded_phases := (name, seconds) :: !recorded_phases
+
+let () =
+  Printf.printf "webdep bench: c=%d seed=%d jobs=%d — generating and measuring...\n%!" c seed
+    jobs
+
+let world, world_seconds = Span.timed ~name:"bench.world_create" (fun () -> World.create ~c ~seed ())
+let () = record_phase "world_create" world_seconds
+
 let ds, measure_seconds = Span.timed ~name:"bench.measure_all" (fun () -> Measure.measure_all world)
+let () = record_phase "measure_all" measure_seconds
 
 let () =
   Printf.printf "measured %d (country, site) records in %.1fs\n%!" (D.size ds) measure_seconds;
   Format.printf "%a%!" Webdep.Toolkit.pp (Webdep.Toolkit.summarize ds)
+
+(* The measurement pipeline's registry state, before any per-phase reset
+   wipes it: this is what lands under "metrics" in BENCH_obs.json. *)
+let measure_metrics = Webdep_obs.Registry.snapshot ()
+
+(* Sequential-vs-parallel probe over a fixed country sample: wall-clock
+   for both paths plus a structural-equality check of the datasets.  On
+   a single-core host the speedup hovers around 1.0 — the probe is there
+   so multi-core CI records honest numbers, and so determinism is
+   checked on every bench run regardless. *)
+type speedup_probe = {
+  probe_countries : int;
+  seq_s : float;
+  par_s : float;
+  speedup : float;
+  identical : bool;
+}
+
+let speedup =
+  if jobs <= 1 then None
+  else begin
+    let sample = [ "US"; "RU"; "BR"; "DE"; "JP"; "IN"; "FR"; "TH" ] in
+    let seq_ds, seq_s =
+      Span.timed ~name:"bench.speedup_probe.seq" (fun () ->
+          Measure.measure_all ~countries:sample ~jobs:1 world)
+    in
+    let par_ds, par_s =
+      Span.timed ~name:"bench.speedup_probe.par" (fun () ->
+          Measure.measure_all ~countries:sample ~jobs world)
+    in
+    let identical =
+      List.for_all (fun cc -> D.country_exn seq_ds cc = D.country_exn par_ds cc) sample
+    in
+    Printf.printf
+      "speedup probe (%d countries): seq %.2fs, par %.2fs (x%.2f with %d domains), \
+       datasets identical: %b\n%!"
+      (List.length sample) seq_s par_s (seq_s /. par_s) jobs identical;
+    if not identical then
+      prerr_endline "webdep bench: WARNING: parallel dataset differs from sequential";
+    Some
+      { probe_countries = List.length sample; seq_s; par_s;
+        speedup = seq_s /. par_s; identical }
+  end
+
+(* Zero the registry so the first phase's counters start from a clean
+   slate (see the header comment on registry semantics). *)
+let () = Webdep_obs.Registry.reset ()
 
 let all_ccs = D.countries ds
 let layers = Scores.all_layers
@@ -1103,9 +1201,20 @@ let timings () =
     ]
   in
   let cfg = Benchmark.cfg ~limit:60 ~quota:(Time.second 0.15) ~kde:None () in
-  let raw =
-    Benchmark.all cfg Instance.[ monotonic_clock ] (Test.make_grouped ~name:"webdep" tests)
+  (* Each Test.make runs as its own Benchmark.all on a pool lane; the
+     per-test raw tables merge into one (their keys are disjoint:
+     "webdep/<test name>").  At --jobs 1 this is the exact sequential
+     run; prefer that for clean absolute numbers, since concurrent lanes
+     share cores and inflate per-run times. *)
+  let raws =
+    Webdep_par.map
+      (fun test ->
+        Benchmark.all cfg Instance.[ monotonic_clock ]
+          (Test.make_grouped ~name:"webdep" [ test ]))
+      tests
   in
+  let raw = Hashtbl.create 64 in
+  List.iter (fun tbl -> Hashtbl.iter (Hashtbl.add raw) tbl) raws;
   let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows =
@@ -1134,36 +1243,60 @@ let timings () =
    main
    ======================================================================== *)
 
-(* Per-phase seconds, recovered from the "span.bench.*" duration
-   histograms (world generation and the 2023/2025 measurements included),
-   plus the full metrics registry, as machine-readable JSON. *)
+(* Per-phase nonzero counters, captured before each between-phase reset:
+   what each table/figure consumed from the pipeline and simulators. *)
+let phase_counters : (string * (string * int) list) list ref = ref []
+
+(* BENCH_obs.json, schema webdep-bench/2:
+   - phases_s:        bench-locally recorded per-phase wall seconds
+                      (includes world_create / measure_all / the 2025
+                      measurement inside "longitudinal")
+   - phase_counters:  nonzero counters attributable to each phase alone
+   - metrics:         the registry snapshot taken right after the
+                      measurement sweep (pipeline counters/histograms)
+   - speedup_probe:   seq-vs-par wall clock + determinism check
+                      (absent at --jobs 1) *)
 let write_bench_json path =
   let phases =
-    Obs_metrics.fold_histograms
-      (fun h acc ->
-        let name = Obs_metrics.histogram_name h in
-        let prefix = Span.histogram_prefix ^ "bench." in
-        if String.length name > String.length prefix
-           && String.sub name 0 (String.length prefix) = prefix
-        then
-          ( String.sub name (String.length prefix) (String.length name - String.length prefix),
-            Json.Float (Obs_metrics.sum h) )
-          :: acc
-        else acc)
-      []
+    List.rev_map (fun (name, s) -> (name, Json.Float s)) !recorded_phases
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
-  let total = List.fold_left (fun acc (_, j) -> match j with Json.Float s -> acc +. s | _ -> acc) 0.0 phases in
+  let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 !recorded_phases in
+  let counters_json =
+    List.rev_map
+      (fun (name, cs) ->
+        (name, Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) cs)))
+      !phase_counters
+  in
+  let speedup_json =
+    match speedup with
+    | None -> []
+    | Some p ->
+        [
+          ( "speedup_probe",
+            Json.Obj
+              [
+                ("countries", Json.Int p.probe_countries);
+                ("seq_s", Json.Float p.seq_s);
+                ("par_s", Json.Float p.par_s);
+                ("speedup", Json.Float p.speedup);
+                ("identical", Json.Bool p.identical);
+              ] );
+        ]
+  in
   let doc =
     Json.Obj
-      [
-        ("schema", Json.String "webdep-bench/1");
-        ("c", Json.Int c);
-        ("seed", Json.Int seed);
-        ("total_s", Json.Float total);
-        ("phases_s", Json.Obj phases);
-        ("metrics", Webdep_obs.Registry.snapshot ());
-      ]
+      ([
+         ("schema", Json.String "webdep-bench/2");
+         ("c", Json.Int c);
+         ("seed", Json.Int seed);
+         ("jobs", Json.Int jobs);
+         ("total_s", Json.Float total);
+         ("phases_s", Json.Obj phases);
+         ("phase_counters", Json.Obj counters_json);
+       ]
+      @ speedup_json
+      @ [ ("metrics", measure_metrics) ])
   in
   let oc = open_out path in
   output_string oc (Json.to_string doc);
@@ -1173,7 +1306,21 @@ let write_bench_json path =
   total
 
 let () =
-  let phase name f = Span.with_ ~name:("bench." ^ name) f in
+  let phase name f =
+    let (), seconds = Span.timed ~name:("bench." ^ name) f in
+    record_phase name seconds;
+    let nonzero =
+      Obs_metrics.fold_counters
+        (fun cnt acc ->
+          let v = Obs_metrics.value cnt in
+          if v > 0 then (Obs_metrics.counter_name cnt, v) :: acc else acc)
+        []
+      |> List.sort (fun (a, _) (b, _) -> compare a b)
+    in
+    if nonzero <> [] then phase_counters := (name, nonzero) :: !phase_counters;
+    (* Zero everything so the next phase's counters are its own. *)
+    Webdep_obs.Registry.reset ()
+  in
   List.iter
     (fun (name, f) -> phase name f)
     [

@@ -58,12 +58,19 @@ let normalize_countries = function
 (* Global flags shared by every subcommand: -v/-vv install a Logs
    reporter (so library-level logging is visible), --trace streams spans
    to the console, --metrics FILE dumps the full registry as JSON on
-   exit. *)
+   exit, --jobs N sizes the shared domain pool that the measurement
+   sweep and bootstrap resampling fan out over. *)
 
-let obs_setup trace metrics verbosity =
+let obs_setup trace metrics verbosity jobs =
   Webdep_obs.Reporter.setup
     ~level:(Webdep_obs.Reporter.level_of_verbosity (List.length verbosity))
     ();
+  (match jobs with
+  | Some j when j >= 1 -> Webdep_par.set_jobs j
+  | Some j ->
+      Printf.eprintf "webdep: --jobs must be >= 1 (got %d)\n" j;
+      exit 124
+  | None -> ());
   if trace then Webdep_obs.Sink.set (Webdep_obs.Sink.console ());
   match metrics with
   | None -> ()
@@ -88,7 +95,14 @@ let obs_term =
     Arg.(value & flag_all & info [ "v"; "verbose" ]
            ~doc:"Increase log verbosity ($(b,-v) info, $(b,-vv) debug).")
   in
-  Term.(const obs_setup $ trace $ metrics $ verbose)
+  let jobs =
+    Arg.(value & opt (some int) None & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:"Worker domains for the measurement sweep and bootstrap \
+                 resampling (default: the machine's recommended domain \
+                 count; $(b,--jobs 1) forces the sequential path).  \
+                 Results are identical for every $(docv).")
+  in
+  Term.(const obs_setup $ trace $ metrics $ verbose $ jobs)
 
 let measure ~seed ~c ?countries () =
   let world = World.create ~c ~seed () in

@@ -41,7 +41,7 @@ let providers_for_share ds layer cc share =
 
 let provider_count ds layer cc = Dist.size (Dataset.distribution ds layer cc)
 
-let centralization_interval ?(iterations = 300) ?(confidence = 0.95) ~seed ds layer cc =
+let centralization_interval ?(iterations = 300) ?(confidence = 0.95) ?jobs ~seed ds layer cc =
   let cd = Dataset.country_exn ds cc in
   let labels =
     Array.of_list
@@ -56,8 +56,16 @@ let centralization_interval ?(iterations = 300) ?(confidence = 0.95) ~seed ds la
       (fun name ->
         Hashtbl.replace tbl name (1 + Option.value ~default:0 (Hashtbl.find_opt tbl name)))
       sample;
-    let counts = Hashtbl.fold (fun _ k acc -> k :: acc) tbl [] in
+    (* Sorted fold: [Dist.of_counts] is order-sensitive only through
+       float rounding, but stable input order keeps replicate scores
+       reproducible across Hashtbl layout changes. *)
+    let counts =
+      Hashtbl.fold (fun name k acc -> (name, k) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.map snd
+    in
     C.score (Dist.of_counts (Array.of_list counts))
   in
   let rng = Webdep_stats.Rng.create seed in
-  Webdep_stats.Bootstrap.percentile_interval ~iterations ~confidence rng ~statistic labels
+  Webdep_stats.Bootstrap.percentile_interval ~iterations ~confidence ?jobs rng ~statistic
+    labels

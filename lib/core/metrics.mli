@@ -32,6 +32,7 @@ val provider_count : Dataset.t -> Dataset.layer -> string -> int
 val centralization_interval :
   ?iterations:int ->
   ?confidence:float ->
+  ?jobs:int ->
   seed:int ->
   Dataset.t ->
   Dataset.layer ->
@@ -39,6 +40,7 @@ val centralization_interval :
   float * float
 (** Bootstrap confidence interval for a country's 𝒮: resample the
     toplist's sites with replacement and recompute the score
-    ([iterations] default 300, [confidence] default 0.95).  Quantifies
+    ([iterations] default 300, [confidence] default 0.95; resamples fan
+    out across the {!Webdep_par} pool, [?jobs] overriding).  Quantifies
     how much 𝒮 depends on the specific top-C sample — the sampling
     noise behind comparisons like the paper's 2023-vs-2025 deltas. *)

@@ -1,43 +1,71 @@
-(* Process-global counters and histograms.
+(* Process-global counters and histograms, safe under concurrent
+   mutation from multiple domains.
 
-   Creation goes through a name-keyed registry (memoized, so any module
-   can reach a metric by name); the hot path — [incr] and [observe] —
-   touches only mutable record fields, no table lookup.  Instrumented
-   modules bind their metrics once at module initialization:
+   Creation goes through a name-keyed registry (memoized and
+   mutex-guarded, so any module — or any worker domain — can reach a
+   metric by name); the hot path — [incr] and [observe] — touches only
+   [Atomic.t] fields, no table lookup and no lock.  Instrumented modules
+   bind their metrics once at module initialization:
 
      let m_queries = Webdep_obs.Metrics.counter "dns.iterative.queries"
+
+   Float fields (histogram sum / min / max) are updated with CAS retry
+   loops; integer fields use [Atomic.fetch_and_add].  Cross-field reads
+   (e.g. [mean] = sum / n) are not snapshotted atomically — a dump taken
+   while another domain observes may be skewed by the in-flight update —
+   but no update is ever lost, which is the invariant the parallel
+   pipeline needs.
 
    [reset ()] zeroes every registered metric in place, keeping the
    references held by instrumented modules valid. *)
 
-type counter = { c_name : string; mutable count : int }
+type counter = { c_name : string; count : int Atomic.t }
 
 type histogram = {
   h_name : string;
   bounds : float array;  (* ascending bucket upper bounds *)
-  bucket_counts : int array;  (* length = Array.length bounds + 1; last = overflow *)
-  mutable n : int;
-  mutable sum : float;
-  mutable sum_sq : float;
-  mutable min_seen : float;
-  mutable max_seen : float;
+  bucket_counts : int Atomic.t array;  (* length = Array.length bounds + 1; last = overflow *)
+  n : int Atomic.t;
+  sum : float Atomic.t;
+  sum_sq : float Atomic.t;
+  min_seen : float Atomic.t;
+  max_seen : float Atomic.t;
 }
 
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 64
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 64
 
+(* Guards the registry tables (creation, fold, reset) — never the
+   per-metric hot path. *)
+let registry_lock = Mutex.create ()
+
+(* --- atomic float helpers ---------------------------------------------- *)
+
+let rec atomic_add_float a v =
+  let old = Atomic.get a in
+  if not (Atomic.compare_and_set a old (old +. v)) then atomic_add_float a v
+
+let rec atomic_min_float a v =
+  let old = Atomic.get a in
+  if v < old && not (Atomic.compare_and_set a old v) then atomic_min_float a v
+
+let rec atomic_max_float a v =
+  let old = Atomic.get a in
+  if v > old && not (Atomic.compare_and_set a old v) then atomic_max_float a v
+
 (* --- counters ---------------------------------------------------------- *)
 
 let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-      let c = { c_name = name; count = 0 } in
-      Hashtbl.replace counters name c;
-      c
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+          let c = { c_name = name; count = Atomic.make 0 } in
+          Hashtbl.replace counters name c;
+          c)
 
-let incr ?(by = 1) c = c.count <- c.count + by
-let value c = c.count
+let incr ?(by = 1) c = ignore (Atomic.fetch_and_add c.count by)
+let value c = Atomic.get c.count
 let counter_name c = c.c_name
 
 (* --- histograms -------------------------------------------------------- *)
@@ -48,67 +76,68 @@ let default_bounds =
   [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 0.5; 1.0; 2.0; 5.0; 10.0; 30.0; 60.0; 300.0; 3600.0 |]
 
 let histogram ?(bounds = default_bounds) name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-      let h =
-        {
-          h_name = name;
-          bounds;
-          bucket_counts = Array.make (Array.length bounds + 1) 0;
-          n = 0;
-          sum = 0.0;
-          sum_sq = 0.0;
-          min_seen = Float.infinity;
-          max_seen = Float.neg_infinity;
-        }
-      in
-      Hashtbl.replace histograms name h;
-      h
+  Mutex.protect registry_lock (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+          let h =
+            {
+              h_name = name;
+              bounds;
+              bucket_counts = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+              n = Atomic.make 0;
+              sum = Atomic.make 0.0;
+              sum_sq = Atomic.make 0.0;
+              min_seen = Atomic.make Float.infinity;
+              max_seen = Atomic.make Float.neg_infinity;
+            }
+          in
+          Hashtbl.replace histograms name h;
+          h)
 
 let bucket_index h v =
   let rec go i = if i >= Array.length h.bounds || v <= h.bounds.(i) then i else go (i + 1) in
   go 0
 
 let observe h v =
-  h.n <- h.n + 1;
-  h.sum <- h.sum +. v;
-  h.sum_sq <- h.sum_sq +. (v *. v);
-  if v < h.min_seen then h.min_seen <- v;
-  if v > h.max_seen then h.max_seen <- v;
-  let i = bucket_index h v in
-  h.bucket_counts.(i) <- h.bucket_counts.(i) + 1
+  ignore (Atomic.fetch_and_add h.n 1);
+  atomic_add_float h.sum v;
+  atomic_add_float h.sum_sq (v *. v);
+  atomic_min_float h.min_seen v;
+  atomic_max_float h.max_seen v;
+  ignore (Atomic.fetch_and_add h.bucket_counts.(bucket_index h v) 1)
 
-let count h = h.n
-let sum h = h.sum
+let count h = Atomic.get h.n
+let sum h = Atomic.get h.sum
 let histogram_name h = h.h_name
-let mean h = if h.n = 0 then 0.0 else h.sum /. float_of_int h.n
+let mean h = if count h = 0 then 0.0 else sum h /. float_of_int (count h)
 
 let stddev h =
-  if h.n = 0 then 0.0
+  if count h = 0 then 0.0
   else
     let m = mean h in
-    let var = (h.sum_sq /. float_of_int h.n) -. (m *. m) in
+    let var = (Atomic.get h.sum_sq /. float_of_int (count h)) -. (m *. m) in
     sqrt (Float.max 0.0 var)
 
-let min_value h = if h.n = 0 then None else Some h.min_seen
-let max_value h = if h.n = 0 then None else Some h.max_seen
+let min_value h = if count h = 0 then None else Some (Atomic.get h.min_seen)
+let max_value h = if count h = 0 then None else Some (Atomic.get h.max_seen)
 
 (* Bucket-based quantile estimate: the upper bound of the bucket holding
    the q-th observation (the overflow bucket reports the max seen). *)
 let quantile h q =
-  if h.n = 0 then None
+  if count h = 0 then None
   else
     let q = Float.max 0.0 (Float.min 1.0 q) in
-    let target = int_of_float (ceil (q *. float_of_int h.n)) in
+    let target = int_of_float (ceil (q *. float_of_int (count h))) in
     let target = Stdlib.max 1 target in
     let acc = ref 0 and found = ref None in
     Array.iteri
       (fun i k ->
         if !found = None then begin
-          acc := !acc + k;
+          acc := !acc + Atomic.get k;
           if !acc >= target then
-            found := Some (if i < Array.length h.bounds then h.bounds.(i) else h.max_seen)
+            found :=
+              Some (if i < Array.length h.bounds then h.bounds.(i) else Atomic.get h.max_seen)
         end)
       h.bucket_counts;
     !found
@@ -118,6 +147,7 @@ let buckets h =
   let out = ref [] in
   Array.iteri
     (fun i k ->
+      let k = Atomic.get k in
       if k > 0 then
         out :=
           ((if i < Array.length h.bounds then Some h.bounds.(i) else None), k) :: !out)
@@ -127,19 +157,20 @@ let buckets h =
 (* --- registry-wide operations ------------------------------------------ *)
 
 let fold_counters f acc =
-  Hashtbl.fold (fun _ c acc -> f c acc) counters acc
+  Mutex.protect registry_lock (fun () -> Hashtbl.fold (fun _ c acc -> f c acc) counters acc)
 
 let fold_histograms f acc =
-  Hashtbl.fold (fun _ h acc -> f h acc) histograms acc
+  Mutex.protect registry_lock (fun () -> Hashtbl.fold (fun _ h acc -> f h acc) histograms acc)
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.count <- 0) counters;
-  Hashtbl.iter
-    (fun _ h ->
-      Array.fill h.bucket_counts 0 (Array.length h.bucket_counts) 0;
-      h.n <- 0;
-      h.sum <- 0.0;
-      h.sum_sq <- 0.0;
-      h.min_seen <- Float.infinity;
-      h.max_seen <- Float.neg_infinity)
-    histograms
+  Mutex.protect registry_lock (fun () ->
+      Hashtbl.iter (fun _ c -> Atomic.set c.count 0) counters;
+      Hashtbl.iter
+        (fun _ h ->
+          Array.iter (fun b -> Atomic.set b 0) h.bucket_counts;
+          Atomic.set h.n 0;
+          Atomic.set h.sum 0.0;
+          Atomic.set h.sum_sq 0.0;
+          Atomic.set h.min_seen Float.infinity;
+          Atomic.set h.max_seen Float.neg_infinity)
+        histograms)

@@ -4,7 +4,11 @@
    does nothing, so instrumentation can stay on unconditionally.  The
    console sink pretty-prints through [Logs] (level App, so it shows even
    without -v once a reporter is installed); the jsonl sink appends one
-   JSON object per span to a file for offline analysis. *)
+   JSON object per span to a file for offline analysis.
+
+   Spans may finish on any domain, so the console and jsonl sinks
+   serialize their writes through a lock — each emitted line is atomic
+   with respect to other domains. *)
 
 type event = {
   name : string;
@@ -55,12 +59,14 @@ let pp_attrs ppf = function
         attrs
 
 let console () =
+  let lock = Mutex.create () in
   {
     emit =
       (fun ev ->
-        Logs.app (fun m ->
-            m "%*sspan %-28s %a%a" (2 * ev.depth) "" ev.name pp_duration ev.duration_s
-              pp_attrs ev.attrs));
+        Mutex.protect lock (fun () ->
+            Logs.app (fun m ->
+                m "%*sspan %-28s %a%a" (2 * ev.depth) "" ev.name pp_duration ev.duration_s
+                  pp_attrs ev.attrs)));
     flush = ignore;
   }
 
@@ -78,10 +84,12 @@ let json_of_event ev =
 
 let jsonl path =
   let oc = open_out path in
+  let lock = Mutex.create () in
   {
     emit =
       (fun ev ->
-        output_string oc (Json.to_string (json_of_event ev));
-        output_char oc '\n');
-    flush = (fun () -> Stdlib.flush oc);
+        Mutex.protect lock (fun () ->
+            output_string oc (Json.to_string (json_of_event ev));
+            output_char oc '\n'));
+    flush = (fun () -> Mutex.protect lock (fun () -> Stdlib.flush oc));
   }

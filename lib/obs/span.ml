@@ -3,12 +3,14 @@
    [with_ ~name f] runs [f], measures its wall-clock duration, records it
    into the per-name duration histogram ["span." ^ name] in the metrics
    registry, and emits an event to the active trace sink.  Spans nest:
-   a global depth tracks containment so the console sink can indent and
-   the jsonl export can reconstruct the tree.  Exceptions propagate and
-   still close the span. *)
+   a domain-local depth tracks containment so the console sink can
+   indent and the jsonl export can reconstruct the tree — each worker
+   domain gets its own nesting stack, so parallel sweeps don't corrupt
+   one another's depth.  Exceptions propagate and still close the
+   span. *)
 
 let process_start = Unix.gettimeofday ()
-let depth = ref 0
+let depth_key : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 
 let histogram_prefix = "span."
 
@@ -16,6 +18,7 @@ let duration_histogram name = Metrics.histogram (histogram_prefix ^ name)
 
 let with_ ?(attrs = []) ~name f =
   let t0 = Unix.gettimeofday () in
+  let depth = Domain.DLS.get depth_key in
   let d = !depth in
   depth := d + 1;
   let finish () =

@@ -1,0 +1,53 @@
+(* Shared-pool front end.
+
+   The pool is process-global so the CLI/bench [--jobs] flag reaches
+   every library phase without plumbing a pool through each signature,
+   and so domains are spawned once per process rather than once per
+   phase.  [set_jobs]/[pool] are guarded by a mutex; the combinators
+   themselves delegate to [Pool], which is single-driver by design. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let lock = Mutex.create ()
+let requested : int option ref = ref None
+let shared : Pool.t option ref = ref None
+
+let jobs () = match !requested with Some j -> j | None -> default_jobs ()
+
+let shutdown () =
+  Mutex.protect lock (fun () ->
+      match !shared with
+      | None -> ()
+      | Some p ->
+          shared := None;
+          Pool.shutdown p)
+
+let set_jobs j =
+  if j < 1 then invalid_arg "Par.set_jobs: jobs must be >= 1";
+  Mutex.protect lock (fun () ->
+      if jobs () <> j then begin
+        (match !shared with Some p -> Pool.shutdown p | None -> ());
+        shared := None
+      end;
+      requested := Some j)
+
+let pool () =
+  Mutex.protect lock (fun () ->
+      match !shared with
+      | Some p -> p
+      | None ->
+          let p = Pool.create ~jobs:(jobs ()) in
+          shared := Some p;
+          p)
+
+(* [?jobs] overriding the configured count gets a temporary pool; the
+   matching count (and the common [None]) reuses the shared one. *)
+let with_pool ?jobs:j f =
+  match j with
+  | None -> f (pool ())
+  | Some j when j = jobs () -> f (pool ())
+  | Some j -> Pool.with_pool ~jobs:j f
+
+let map ?jobs f xs = with_pool ?jobs (fun p -> Pool.map p f xs)
+let map_array ?jobs f arr = with_pool ?jobs (fun p -> Pool.map_array p f arr)
+let parallel_for ?jobs ~n f = with_pool ?jobs (fun p -> Pool.parallel_for p ~n f)

@@ -1,0 +1,41 @@
+(** Process-wide parallelism configuration and convenience fan-outs.
+
+    One shared {!Pool.t} serves every phase of the toolkit (measurement
+    sweeps, bootstrap resampling, bench phases), spawned lazily the
+    first time a parallel combinator runs and reused afterwards.  The
+    lane count comes from [--jobs] via {!set_jobs} and defaults to
+    [Domain.recommended_domain_count ()]; [set_jobs 1] restores the
+    exact sequential execution path (no domains are ever spawned).
+
+    All combinators preserve input order, so a parallel run returns
+    bit-identical results to [jobs = 1] whenever the mapped function is
+    pure with respect to scheduling. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val jobs : unit -> int
+(** The currently configured lane count (default {!default_jobs}). *)
+
+val set_jobs : int -> unit
+(** Configure the shared pool's lane count.  An existing shared pool of
+    a different size is shut down; the next combinator respawns it
+    lazily.  @raise Invalid_argument if the argument is [< 1]. *)
+
+val pool : unit -> Pool.t
+(** The shared pool, spawned on first use with {!jobs} lanes. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] is [List.map f xs] on the shared pool ([?jobs] overrides
+    the configured lane count for this call, using a temporary pool when
+    it differs from the shared one).  Results are in input order. *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Array analogue of {!map}. *)
+
+val parallel_for : ?jobs:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for ~n f] runs [f 0 .. f (n-1)] across the pool. *)
+
+val shutdown : unit -> unit
+(** Shut down the shared pool (it respawns on next use).  Mostly for
+    tests and orderly exits. *)

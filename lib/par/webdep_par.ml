@@ -1,0 +1,6 @@
+(* Library entry point: the global-pool combinators at the top level
+   ([Webdep_par.map], [Webdep_par.set_jobs], ...) with the raw pool
+   available as [Webdep_par.Pool] for callers that want private lanes. *)
+
+module Pool = Pool
+include Par

@@ -146,13 +146,18 @@ let measure_country ?vantage ?resolution ?epoch world cc =
     ~attrs:[ ("country", cc) ]
     (fun () -> measure_snapshot ?vantage ?resolution world (World.snapshot world ?epoch cc))
 
-let measure_all ?vantage ?resolution ?epoch ?countries world =
+let measure_all ?vantage ?resolution ?epoch ?countries ?jobs world =
   let countries = Option.value ~default:(World.countries world) countries in
   Obs.Span.with_ ~name:"measure_all"
     ~attrs:[ ("countries", string_of_int (List.length countries)) ]
     (fun () ->
+      (* Fix every shared-state registration (ASN/prefix allocation,
+         geolocation draws, CA issuers) in canonical sequential order
+         before fanning out, so the per-country sweeps are read-only on
+         the world and the dataset is bit-identical at any [jobs]. *)
+      World.prepare world ?epoch countries;
       Dataset.of_country_data
-        (List.map
+        (Webdep_par.map ?jobs
            (fun cc ->
              Logs.debug (fun m -> m "measuring %s" cc);
              measure_country ?vantage ?resolution ?epoch world cc)
@@ -169,31 +174,31 @@ let iterative_resolution_stats ?(vantage = default_vantage) ?epoch world cc =
   let snap = World.snapshot world ?epoch cc in
   let hierarchy = Webdep_dnssim.Hierarchy.build snap.World.zones in
   let domains = Toplist.domains snap.World.toplist in
-  (* Query and failure totals come from the counters and the query-depth
-     histogram the iterative resolver already maintains: read them as
-     deltas around the sweep instead of re-accumulating per-call stats.
-     Only the flat-vs-iterative agreement check needs per-domain state. *)
+  (* Accumulate the per-call stats [Iterative.resolve] already returns.
+     (Reading deltas of the resolver's process-global counters would
+     misattribute queries whenever another domain resolves
+     concurrently.) *)
   let module I = Webdep_dnssim.Iterative in
-  let depth0_n = Metric.count I.m_depth and depth0_sum = Metric.sum I.m_depth in
-  let fail0 = Metric.value I.m_nxdomain + Metric.value I.m_servfail in
-  let agree = ref 0 in
+  let agree = ref 0 and ok = ref 0 and queries = ref 0 and failures = ref 0 in
   List.iter
     (fun domain ->
       let flat = Resolver.resolve_a snap.World.zones ~vantage domain in
       match I.resolve hierarchy ~vantage domain with
-      | Ok (addrs, _) ->
+      | Ok (addrs, st) ->
+          incr ok;
+          queries := !queries + st.I.queries;
           let iter = (match addrs with a :: _ -> Some a | [] -> None) in
           if iter = flat then incr agree
-      | Error _ -> if flat = None then incr agree)
+      | Error _ ->
+          incr failures;
+          if flat = None then incr agree)
     domains;
-  let ok = Metric.count I.m_depth - depth0_n in
-  let queries = Metric.sum I.m_depth -. depth0_sum in
-  let failures = Metric.value I.m_nxdomain + Metric.value I.m_servfail - fail0 in
   {
     domains = List.length domains;
     agreement = float_of_int !agree /. float_of_int (List.length domains);
-    mean_queries = (if ok = 0 then 0.0 else queries /. float_of_int ok);
-    failures;
+    mean_queries =
+      (if !ok = 0 then 0.0 else float_of_int !queries /. float_of_int !ok);
+    failures = !failures;
   }
 
 let discover_redundancy ~vantages ?epoch world cc =
@@ -246,9 +251,14 @@ let measure_with_probes ~per_country_probes ?missing ?epoch ~seed world countrie
                   Hashtbl.replace counts name
                     (1 + Option.value ~default:0 (Hashtbl.find_opt counts name))))
         (Toplist.domains snap.World.toplist);
+      (* Sort by provider name: [Hashtbl.fold] order depends on the
+         table's internal layout, and [Dist.of_counts] normalizes in
+         input order, so an unsorted fold made the scores depend on
+         hashing accidents rather than on the measurement alone. *)
       let dist =
-        Webdep_emd.Dist.of_counts
-          (Array.of_list (Hashtbl.fold (fun _ k acc -> k :: acc) counts []))
+        Hashtbl.fold (fun name k acc -> (name, k) :: acc) counts []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        |> List.map snd |> Array.of_list |> Webdep_emd.Dist.of_counts
       in
       (cc, Webdep_emd.Centralization.score dist))
     countries

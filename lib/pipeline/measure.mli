@@ -42,10 +42,16 @@ val measure_all :
   ?resolution:resolution ->
   ?epoch:Webdep_worldgen.World.epoch ->
   ?countries:string list ->
+  ?jobs:int ->
   Webdep_worldgen.World.t ->
   Webdep.Dataset.t
 (** Measure every (or the listed) dataset country.  Memory stays bounded:
-    snapshots are materialized one country at a time and dropped. *)
+    snapshots are materialized one country at a time and dropped.
+
+    Countries fan out across the {!Webdep_par} domain pool ([?jobs]
+    overrides the configured lane count; [1] forces the sequential
+    path).  The world is {!Webdep_worldgen.World.prepare}d first, so the
+    returned dataset is bit-identical for every [jobs] value. *)
 
 type resolution_stats = {
   domains : int;

@@ -2,19 +2,36 @@ let resample rng data =
   let n = Array.length data in
   Array.init n (fun _ -> data.(Rng.int rng n))
 
-let replicates ~iterations rng ~statistic data =
-  Array.init iterations (fun _ -> statistic (resample rng data))
+(* Resamples run in fixed-size shards, each on a named child stream of a
+   single advance of the caller's rng.  The shard structure depends only
+   on [iterations], so replicate [i] is the same number at any [jobs]
+   value (including 1) — parallelism changes scheduling, never draws. *)
+let shard_size = 32
 
-let percentile_interval ?(iterations = 500) ?(confidence = 0.95) rng ~statistic data =
+let replicates ?jobs ~iterations rng ~statistic data =
+  let base = Rng.split rng in
+  let nshards = (iterations + shard_size - 1) / shard_size in
+  let shards =
+    Webdep_par.map_array ?jobs
+      (fun s ->
+        let srng = Rng.split_named base (Printf.sprintf "bootstrap.shard.%d" s) in
+        let lo = s * shard_size in
+        let len = min iterations (lo + shard_size) - lo in
+        Array.init len (fun _ -> statistic (resample srng data)))
+      (Array.init nshards Fun.id)
+  in
+  Array.concat (Array.to_list shards)
+
+let percentile_interval ?(iterations = 500) ?(confidence = 0.95) ?jobs rng ~statistic data =
   if Array.length data = 0 then invalid_arg "Bootstrap.percentile_interval: empty data";
   if iterations < 10 then invalid_arg "Bootstrap.percentile_interval: too few iterations";
   if confidence <= 0.0 || confidence >= 1.0 then
     invalid_arg "Bootstrap.percentile_interval: confidence outside (0, 1)";
-  let reps = replicates ~iterations rng ~statistic data in
+  let reps = replicates ?jobs ~iterations rng ~statistic data in
   let alpha = (1.0 -. confidence) /. 2.0 in
   ( Descriptive.percentile reps (100.0 *. alpha),
     Descriptive.percentile reps (100.0 *. (1.0 -. alpha)) )
 
-let standard_error ?(iterations = 500) rng ~statistic data =
+let standard_error ?(iterations = 500) ?jobs rng ~statistic data =
   if Array.length data = 0 then invalid_arg "Bootstrap.standard_error: empty data";
-  Descriptive.stddev (replicates ~iterations rng ~statistic data)
+  Descriptive.stddev (replicates ?jobs ~iterations rng ~statistic data)

@@ -1,13 +1,30 @@
 (** Nonparametric bootstrap — resampling-based confidence intervals for
     statistics without a closed-form sampling distribution, most notably
-    the centralization score of a sampled toplist. *)
+    the centralization score of a sampled toplist.
+
+    Resampling is sharded: the caller's rng is advanced once, each shard
+    of 32 replicates draws from a named child stream, and shards fan out
+    across the {!Webdep_par} pool.  Results are identical for every
+    [jobs] value (including 1), because draws are keyed to the shard
+    index rather than to scheduling order. *)
 
 val resample : Rng.t -> 'a array -> 'a array
 (** Sample [n] elements with replacement from an [n]-element array. *)
 
+val replicates :
+  ?jobs:int ->
+  iterations:int ->
+  Rng.t ->
+  statistic:('a array -> float) ->
+  'a array ->
+  float array
+(** [iterations] recomputations of [statistic] on resamples, in shard
+    order.  [?jobs] overrides the pool's configured lane count. *)
+
 val percentile_interval :
   ?iterations:int ->
   ?confidence:float ->
+  ?jobs:int ->
   Rng.t ->
   statistic:('a array -> float) ->
   'a array ->
@@ -20,6 +37,11 @@ val percentile_interval :
     confidence outside (0, 1). *)
 
 val standard_error :
-  ?iterations:int -> Rng.t -> statistic:('a array -> float) -> 'a array -> float
+  ?iterations:int ->
+  ?jobs:int ->
+  Rng.t ->
+  statistic:('a array -> float) ->
+  'a array ->
+  float
 (** Bootstrap standard error: the standard deviation of the statistic
     over resamples. *)

@@ -28,6 +28,13 @@ type t = {
   base_rng : Rng.t;
   mixes : (string, Mix.t) Hashtbl.t;
   ca_issuers_ready : (string, unit) Hashtbl.t;
+  (* Serializes every mutation of shared world state (mix cache, network
+     registration, CA registration) so snapshots can be taken from
+     worker domains.  [prepare] performs all registrations up front in
+     the canonical sequential order, so under parallel sweeps these
+     critical sections are lookup-only. *)
+  lock : Mutex.t;
+  prepared : (string, unit) Hashtbl.t;  (* "epoch/cc" sweeps already registered *)
 }
 
 let multi_cdn_fraction = 0.06
@@ -50,6 +57,8 @@ let create ?(c = 10_000) ?(geo_accuracy = 0.894) ~seed () =
     base_rng;
     mixes = Hashtbl.create 1024;
     ca_issuers_ready = Hashtbl.create 64;
+    lock = Mutex.create ();
+    prepared = Hashtbl.create 8;
   }
 
 (* Deterministic per-string hash for jitters and per-site choices. *)
@@ -88,6 +97,7 @@ let mix t ?(epoch = May_2023) layer cc =
   let key =
     Printf.sprintf "%s/%s/%s" epoch_key (Webdep_reference.Paper_scores.layer_name layer) cc
   in
+  Mutex.protect t.lock @@ fun () ->
   match Hashtbl.find_opt t.mixes key with
   | Some m ->
       Webdep_obs.Metrics.incr m_mix_hits;
@@ -120,6 +130,7 @@ let anycast_names =
     "easyDNS" ]
 
 let register_provider t p =
+  Mutex.protect t.lock @@ fun () ->
   let anycast = List.mem p.Provider.name anycast_names in
   let presence = if is_global p then all_codes else [] in
   Internet.register_network t.internet ~name:p.Provider.name ~country:p.Provider.home
@@ -138,6 +149,7 @@ let stable_addr (net : Internet.network) ~near idx =
 (* --- Certificates ----------------------------------------------------- *)
 
 let ensure_ca_registered t (owner_p : Provider.t) =
+  Mutex.protect t.lock @@ fun () ->
   if not (Hashtbl.mem t.ca_issuers_ready owner_p.Provider.name) then begin
     Hashtbl.replace t.ca_issuers_ready owner_p.Provider.name ();
     (* CCADB only lists root-program members: a browser-rejected CA
@@ -215,6 +227,71 @@ let toplist_for t rng cc = function
       let fresh i = mint_domain ~epoch_tag:"n25" ~cc i tld_assign.(i mod t.c).Provider.name in
       Churn.evolve (Rng.split_named rng "churn") ~target_jaccard:(target_jaccard cc) ~fresh old
 
+(* Country rng for one snapshot sweep.  [split_named] never advances
+   [base_rng], so the derivation is independent of the order (or domain)
+   in which countries are materialized. *)
+let snap_rng t epoch cc =
+  Rng.split_named t.base_rng
+    (match epoch with May_2023 -> "snap/" ^ cc | May_2025 -> "snap25/" ^ cc)
+
+(* The per-site layer assignments for one country sweep.  Shared by
+   [snapshot] and [prepare] so both replay the identical sequence. *)
+let layer_assignments t ~epoch rng cc =
+  let toplist =
+    match epoch with
+    | May_2023 -> toplist_2023 t (Rng.split_named rng "toplist") cc
+    | May_2025 -> toplist_for t (Rng.split_named rng "toplist") cc May_2025
+  in
+  let hosting = expand (Rng.split_named rng "hosting") (mix t ~epoch Hosting cc) t.c in
+  let dns = expand (Rng.split_named rng "dns") (mix t ~epoch Dns cc) t.c in
+  let ca = expand (Rng.split_named rng "ca") (mix t ~epoch Ca cc) t.c in
+  (toplist, hosting, dns, ca)
+
+(* Multi-CDN secondary for a few sites (keyed off the domain name so the
+   choice survives re-derivation). *)
+let alt_provider h domain =
+  if float_of_int (strhash domain 97 mod 10_000) /. 10_000.0 < multi_cdn_fraction then
+    Some
+      (if Provider.equal h Registry.amazon then Provider.make ~name:"Fastly" ~home:"US"
+       else Registry.amazon)
+  else None
+
+(* Perform every shared-state registration a country sweep triggers —
+   network/ASN/prefix allocation, geolocation draws, CA issuers — in the
+   exact order [snapshot] would, site by site.  After [prepare], taking
+   the same snapshots (from any domain, in any order) only performs
+   lookups on shared state, so parallel measurement sweeps produce
+   bit-identical worlds to the sequential path. *)
+let prepare t ?(epoch = May_2023) ccs =
+  List.iter
+    (fun cc ->
+      if Webdep_geo.Country.mem cc then begin
+        let key = epoch_name epoch ^ "/" ^ cc in
+        let fresh =
+          Mutex.protect t.lock (fun () ->
+              if Hashtbl.mem t.prepared key then false
+              else begin
+                Hashtbl.replace t.prepared key ();
+                true
+              end)
+        in
+        if fresh then begin
+          let rng = snap_rng t epoch cc in
+          let toplist, hosting, dns, ca = layer_assignments t ~epoch rng cc in
+          List.iteri
+            (fun i domain ->
+              let h = hosting.(i) and d = dns.(i) and a = ca.(i) in
+              ignore (register_provider t h);
+              ignore (register_provider t d);
+              ensure_ca_registered t a;
+              match alt_provider h domain with
+              | Some alt_p -> ignore (register_provider t alt_p)
+              | None -> ())
+            (Toplist.domains toplist)
+        end
+      end)
+    ccs
+
 let snapshot t ?(epoch = May_2023) cc =
   if not (Webdep_geo.Country.mem cc) then raise Not_found;
   Webdep_obs.Metrics.incr m_snapshots;
@@ -224,18 +301,8 @@ let snapshot t ?(epoch = May_2023) cc =
     ~name:("world.snapshot." ^ epoch_name epoch)
     ~attrs:[ ("country", cc) ]
   @@ fun () ->
-  let rng =
-    Rng.split_named t.base_rng
-      (match epoch with May_2023 -> "snap/" ^ cc | May_2025 -> "snap25/" ^ cc)
-  in
-  let toplist =
-    match epoch with
-    | May_2023 -> toplist_2023 t (Rng.split_named rng "toplist") cc
-    | May_2025 -> toplist_for t (Rng.split_named rng "toplist") cc May_2025
-  in
-  let hosting = expand (Rng.split_named rng "hosting") (mix t ~epoch Hosting cc) t.c in
-  let dns = expand (Rng.split_named rng "dns") (mix t ~epoch Dns cc) t.c in
-  let ca = expand (Rng.split_named rng "ca") (mix t ~epoch Ca cc) t.c in
+  let rng = snap_rng t epoch cc in
+  let toplist, hosting, dns, ca = layer_assignments t ~epoch rng cc in
   let zones = Zone_db.create () in
   let tls = Handshake.create () in
   let assigned = Hashtbl.create t.c in
@@ -262,15 +329,9 @@ let snapshot t ?(epoch = May_2023) cc =
       (* A answer: primary provider, with a multi-CDN secondary for a few
          sites that shows through from non-home vantages. *)
       let alt =
-        if float_of_int (strhash domain 97 mod 10_000) /. 10_000.0 < multi_cdn_fraction then begin
-          let alt_p =
-            if Provider.equal h Registry.amazon then
-              Provider.make ~name:"Fastly" ~home:"US"
-            else Registry.amazon
-          in
-          Some (alt_p, register_provider t alt_p)
-        end
-        else None
+        match alt_provider h domain with
+        | Some alt_p -> Some (alt_p, register_provider t alt_p)
+        | None -> None
       in
       let primary_addr vantage =
         (* Anycast providers answer with one global address; others with a

@@ -54,9 +54,22 @@ type snapshot = {
           provider's home country per {!Language} *)
 }
 
+val prepare : t -> ?epoch:epoch -> string list -> unit
+(** Perform, in canonical sequential order, every shared-state mutation
+    the given countries' snapshots would trigger: network registration
+    (ASN and prefix allocation, geolocation-error draws) and CA issuer
+    registration.  After [prepare], {!snapshot} for those countries
+    touches shared state read-only, so snapshots may be taken
+    concurrently from several domains — and, because the registration
+    order is fixed here rather than by measurement scheduling, the
+    resulting worlds are bit-identical to a fully sequential run.
+    Idempotent per (epoch, country); safe to call repeatedly. *)
+
 val snapshot : t -> ?epoch:epoch -> string -> snapshot
 (** Materialize one country's measurable state.  Deterministic in
-    (seed, country, epoch); not cached — drop the reference when done. *)
+    (seed, country, epoch); not cached — drop the reference when done.
+    Thread-safe once {!prepare} has covered the country (and correct —
+    merely order-sensitive in prefix allocation — even when it hasn't). *)
 
 val multi_cdn_fraction : float
 (** Fraction of sites served by a secondary provider from some vantages

@@ -1,0 +1,218 @@
+(* webdep_par: the domain pool's combinators (order, exceptions, nesting),
+   domain-safety of the obs metrics under concurrent hammering, and the
+   headline guarantee — measure_all returns an identical dataset at any
+   jobs value. *)
+
+module Par = Webdep_par
+module Pool = Webdep_par.Pool
+module Metrics = Webdep_obs.Metrics
+module World = Webdep_worldgen.World
+module Measure = Webdep_pipeline.Measure
+module D = Webdep.Dataset
+
+let check = Alcotest.check
+
+(* --- pool combinators --------------------------------------------------- *)
+
+let test_map_matches_list_map () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let xs = List.init 1000 Fun.id in
+      check (Alcotest.list Alcotest.int) "map = List.map"
+        (List.map (fun x -> (x * 7) + 1) xs)
+        (Pool.map p (fun x -> (x * 7) + 1) xs);
+      check (Alcotest.list Alcotest.int) "empty" [] (Pool.map p succ []);
+      check (Alcotest.list Alcotest.int) "singleton" [ 42 ] (Pool.map p succ [ 41 ]))
+
+let test_map_array_order () =
+  Pool.with_pool ~jobs:3 (fun p ->
+      let arr = Array.init 500 string_of_int in
+      let out = Pool.map_array p (fun s -> s ^ "!") arr in
+      check Alcotest.int "length" 500 (Array.length out);
+      Array.iteri
+        (fun i s -> check Alcotest.string "slot order" (string_of_int i ^ "!") s)
+        out)
+
+let test_parallel_for_covers_all () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let hits = Array.init 300 (fun _ -> Atomic.make 0) in
+      Pool.parallel_for p ~n:300 (fun i -> ignore (Atomic.fetch_and_add hits.(i) 1));
+      Array.iteri
+        (fun i h -> check Alcotest.int (Printf.sprintf "index %d once" i) 1 (Atomic.get h))
+        hits)
+
+let test_exception_propagates () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      (match Pool.map p (fun x -> if x = 37 then failwith "boom" else x) (List.init 100 Fun.id) with
+      | _ -> Alcotest.fail "expected exception"
+      | exception Failure msg -> check Alcotest.string "message" "boom" msg);
+      (* The pool survives a failed run. *)
+      check (Alcotest.list Alcotest.int) "pool still works" [ 2; 3 ]
+        (Pool.map p succ [ 1; 2 ]))
+
+let test_nested_map_falls_back () =
+  Pool.with_pool ~jobs:4 (fun p ->
+      let out =
+        Pool.map p
+          (fun i ->
+            (* A nested combinator on the same pool must run sequentially
+               rather than deadlock waiting for busy lanes. *)
+            List.fold_left ( + ) 0 (Pool.map p (fun j -> (i * 10) + j) [ 0; 1; 2 ]))
+          (List.init 50 Fun.id)
+      in
+      check (Alcotest.list Alcotest.int) "nested results"
+        (List.init 50 (fun i -> (3 * 10 * i) + 3))
+        out)
+
+let test_jobs_one_is_sequential () =
+  Pool.with_pool ~jobs:1 (fun p ->
+      (* No worker domains: observable through side-effect ordering. *)
+      let trace = ref [] in
+      let out = Pool.map p (fun i -> trace := i :: !trace; i) [ 1; 2; 3; 4 ] in
+      check (Alcotest.list Alcotest.int) "in order" [ 4; 3; 2; 1 ] !trace;
+      check (Alcotest.list Alcotest.int) "result" [ 1; 2; 3; 4 ] out)
+
+let qcheck_map_equals_list_map =
+  QCheck.Test.make ~name:"Par.map f = List.map f for any list and jobs" ~count:30
+    QCheck.(pair (int_range 1 6) (small_list small_int))
+    (fun (jobs, xs) ->
+      Par.map ~jobs (fun x -> (x * 3) - 1) xs = List.map (fun x -> (x * 3) - 1) xs)
+
+(* --- domain-safety of the metrics registry ------------------------------ *)
+
+let test_metrics_hammer () =
+  (* Raw Domain.spawn (not the pool): 4 domains each bump a counter and
+     observe into a histogram; exact totals prove no update was lost. *)
+  let cnt = Metrics.counter "test.par.hammer_counter" in
+  let h = Metrics.histogram "test.par.hammer_hist" in
+  let per_domain = 25_000 in
+  let n_domains = 4 in
+  let body () =
+    for _ = 1 to per_domain do
+      Metrics.incr cnt;
+      Metrics.observe h 1.0
+    done
+  in
+  let domains = List.init n_domains (fun _ -> Domain.spawn body) in
+  List.iter Domain.join domains;
+  check Alcotest.int "counter exact" (n_domains * per_domain) (Metrics.value cnt);
+  check Alcotest.int "histogram count exact" (n_domains * per_domain) (Metrics.count h);
+  check (Alcotest.float 1e-6) "histogram sum exact"
+    (float_of_int (n_domains * per_domain))
+    (Metrics.sum h);
+  check (Alcotest.float 1e-6) "mean" 1.0 (Metrics.mean h);
+  check (Alcotest.option (Alcotest.float 0.0)) "min" (Some 1.0) (Metrics.min_value h);
+  check (Alcotest.option (Alcotest.float 0.0)) "max" (Some 1.0) (Metrics.max_value h)
+
+let test_concurrent_registration () =
+  (* Creating the same metric from several domains must yield one
+     physical counter, not racing duplicates. *)
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            let c = Metrics.counter "test.par.shared_by_name" in
+            Metrics.incr c))
+  in
+  List.iter Domain.join domains;
+  check Alcotest.int "all increments on one counter" 4
+    (Metrics.value (Metrics.counter "test.par.shared_by_name"))
+
+(* --- determinism of the parallel pipeline ------------------------------- *)
+
+let entity_eq (a : D.entity option) b = a = b
+
+let country_data_equal (a : D.country_data) (b : D.country_data) =
+  a.D.country = b.D.country
+  && List.length a.D.sites = List.length b.D.sites
+  && List.for_all2
+       (fun (x : D.site) (y : D.site) ->
+         x.D.domain = y.D.domain
+         && entity_eq x.D.hosting y.D.hosting
+         && entity_eq x.D.dns y.D.dns
+         && entity_eq x.D.ca y.D.ca
+         && x.D.tld = y.D.tld
+         && x.D.hosting_geo = y.D.hosting_geo
+         && x.D.ns_geo = y.D.ns_geo
+         && x.D.hosting_anycast = y.D.hosting_anycast
+         && x.D.ns_anycast = y.D.ns_anycast
+         && x.D.language = y.D.language)
+       a.D.sites b.D.sites
+
+let test_measure_all_jobs_invariant () =
+  let countries = [ "US"; "RU"; "BR"; "PT"; "JP" ] in
+  (* Two fresh worlds with the same seed: the jobs=4 sweep must produce
+     exactly the jobs=1 dataset, including shared-state effects like
+     geolocation and anycast. *)
+  let ds1 =
+    Measure.measure_all ~countries ~jobs:1 (World.create ~c:120 ~seed:77 ())
+  in
+  let ds4 =
+    Measure.measure_all ~countries ~jobs:4 (World.create ~c:120 ~seed:77 ())
+  in
+  List.iter
+    (fun cc ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s identical at jobs 1 and 4" cc)
+        true
+        (country_data_equal (D.country_exn ds1 cc) (D.country_exn ds4 cc)))
+    countries
+
+let test_prepare_then_snapshot_matches_direct () =
+  (* Snapshot after prepare = snapshot without prepare, same world seed:
+     prepare only front-loads registrations, never changes assignments. *)
+  let w1 = World.create ~c:100 ~seed:5 () in
+  let direct = World.snapshot w1 "DE" in
+  let w2 = World.create ~c:100 ~seed:5 () in
+  World.prepare w2 [ "DE" ];
+  let prepared = World.snapshot w2 "DE" in
+  let domains s = Webdep_crux.Toplist.domains s.World.toplist in
+  check (Alcotest.list Alcotest.string) "same toplist" (domains direct) (domains prepared);
+  List.iter
+    (fun d ->
+      let get s = Hashtbl.find s.World.assigned d in
+      Alcotest.(check bool) ("assigned " ^ d) true (get direct = get prepared))
+    (domains direct)
+
+let test_bootstrap_jobs_invariant () =
+  let rng () = Webdep_stats.Rng.create 31 in
+  let data = Array.init 400 (fun i -> float_of_int (i mod 23)) in
+  let stat arr = Array.fold_left ( +. ) 0.0 arr /. float_of_int (Array.length arr) in
+  let lo1, hi1 =
+    Webdep_stats.Bootstrap.percentile_interval ~iterations:200 ~jobs:1 (rng ()) ~statistic:stat data
+  in
+  let lo4, hi4 =
+    Webdep_stats.Bootstrap.percentile_interval ~iterations:200 ~jobs:4 (rng ()) ~statistic:stat data
+  in
+  check (Alcotest.float 0.0) "lo identical" lo1 lo4;
+  check (Alcotest.float 0.0) "hi identical" hi1 hi4;
+  let se1 = Webdep_stats.Bootstrap.standard_error ~jobs:1 (rng ()) ~statistic:stat data in
+  let se4 = Webdep_stats.Bootstrap.standard_error ~jobs:4 (rng ()) ~statistic:stat data in
+  check (Alcotest.float 0.0) "stderr identical" se1 se4
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "webdep_par"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "map matches List.map" `Quick test_map_matches_list_map;
+          Alcotest.test_case "map_array keeps order" `Quick test_map_array_order;
+          Alcotest.test_case "parallel_for covers all" `Quick test_parallel_for_covers_all;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "nested map falls back" `Quick test_nested_map_falls_back;
+          Alcotest.test_case "jobs=1 sequential" `Quick test_jobs_one_is_sequential;
+          qtest qcheck_map_equals_list_map;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "4-domain hammer, exact totals" `Quick test_metrics_hammer;
+          Alcotest.test_case "concurrent registration" `Quick test_concurrent_registration;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "measure_all jobs-invariant" `Slow test_measure_all_jobs_invariant;
+          Alcotest.test_case "prepare = direct snapshot" `Quick
+            test_prepare_then_snapshot_matches_direct;
+          Alcotest.test_case "bootstrap jobs-invariant" `Quick test_bootstrap_jobs_invariant;
+        ] );
+    ]
