@@ -11,7 +11,8 @@
      WEBDEP_BENCH_JOBS  worker domains (also --jobs N / -j N on argv;
                         default: the machine's recommended domain count,
                         1 = the exact sequential path)
-     WEBDEP_BENCH_SKIP_TIMINGS  set to skip the Bechamel section
+     WEBDEP_BENCH_SKIP_TIMINGS  set to skip the per-figure Bechamel
+                        section (the kernels phase always runs)
      WEBDEP_BENCH_V     set to raise the Logs level to debug
      WEBDEP_BENCH_TRACE set to stream spans to the console
 
@@ -213,7 +214,7 @@ let fig2 () =
       name
       (String.concat "," (List.map string_of_int (Array.to_list counts)))
       (Webdep_emd.Centralization.score d)
-      (Webdep_emd.Centralization.via_transport d)
+      (Webdep_emd.Centralization.via_transport ~fast:false d)
   in
   show "A" a;
   show "B" b;
@@ -1057,7 +1058,8 @@ let ablation_emd () =
     let d = Webdep_emd.Dist.of_counts counts in
     let gap =
       Float.abs
-        (Webdep_emd.Centralization.score d -. Webdep_emd.Centralization.via_transport d)
+        (Webdep_emd.Centralization.score d
+        -. Webdep_emd.Centralization.via_transport ~fast:false d)
     in
     max_gap := Float.max !max_gap gap
   done;
@@ -1074,7 +1076,7 @@ let ablation_emd () =
     (Unix.gettimeofday () -. t0) /. float_of_int !iters
   in
   let closed = time (fun () -> Webdep_emd.Centralization.score d) in
-  let solver = time (fun () -> Webdep_emd.Centralization.via_transport d) in
+  let solver = time (fun () -> Webdep_emd.Centralization.via_transport ~fast:false d) in
   Printf.printf "closed form: %.2e s/call, solver (C=40): %.2e s/call (x%.0f slower)\n" closed
     solver (solver /. closed)
 
@@ -1113,9 +1115,44 @@ let ablation_clustering () =
    Bechamel timings: one Test.make per table/figure
    ======================================================================== *)
 
-let timings () =
+(* Run each Bechamel test as its own Benchmark.all on a pool lane and
+   OLS-fit ns/run; the per-test raw tables merge into one (their keys
+   are disjoint: "webdep/<test name>").  At --jobs 1 this is the exact
+   sequential run; prefer that for clean absolute numbers, since
+   concurrent lanes share cores and inflate per-run times.  Shared by
+   the per-figure timings section and the always-on kernels phase. *)
+let bechamel_rows ?jobs tests =
   let open Bechamel in
   let open Toolkit in
+  let cfg = Benchmark.cfg ~limit:60 ~quota:(Time.second 0.15) ~kde:None () in
+  let raws =
+    Webdep_par.map ?jobs
+      (fun test ->
+        Benchmark.all cfg Instance.[ monotonic_clock ]
+          (Test.make_grouped ~name:"webdep" [ test ]))
+      tests
+  in
+  let raw = Hashtbl.create 64 in
+  List.iter (fun tbl -> Hashtbl.iter (Hashtbl.add raw) tbl) raws;
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun name est acc ->
+      match Analyze.OLS.estimates est with
+      | Some [ ns ] -> (name, ns) :: acc
+      | _ -> (name, nan) :: acc)
+    results []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let pretty_ns ns =
+  if Float.is_nan ns then "n/a"
+  else if ns > 1e9 then Printf.sprintf "%8.2f s" (ns /. 1e9)
+  else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
+  else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
+  else Printf.sprintf "%8.0f ns" ns
+
+let timings () =
+  let open Bechamel in
   section "Timings" "Bechamel (one Test.make per table/figure)";
   let cl = Lazy.force hosting_classification in
   let small_counts = [| 20; 10; 5; 3; 2 |] in
@@ -1141,7 +1178,7 @@ let timings () =
     [
       Test.make ~name:"fig1_rank_curves" (stage (fun () -> Metrics.rank_curve ds Hosting "AZ"));
       Test.make ~name:"fig2_emd_transport"
-        (stage (fun () -> Webdep_emd.Centralization.via_transport small_dist));
+        (stage (fun () -> Webdep_emd.Centralization.via_transport ~fast:false small_dist));
       Test.make ~name:"fig3_calibration"
         (stage (fun () ->
              Webdep_worldgen.Calibrate.counts ~c:2000 ~n_providers:200 ~target:0.111 ()));
@@ -1186,7 +1223,7 @@ let timings () =
       Test.make ~name:"ablation_closed_form"
         (stage (fun () -> Webdep_emd.Centralization.score small_dist));
       Test.make ~name:"ablation_transport"
-        (stage (fun () -> Webdep_emd.Centralization.via_transport small_dist));
+        (stage (fun () -> Webdep_emd.Centralization.via_transport ~fast:false small_dist));
       Test.make ~name:"ext_language_crosstab"
         (stage (fun () -> Webdep.Language_analysis.language_breakdown ds "AF"));
       Test.make ~name:"ext_baselines_gini"
@@ -1200,44 +1237,123 @@ let timings () =
         (stage (fun () -> Webdep.Tld_analysis.breakdown ds "AT"));
     ]
   in
-  let cfg = Benchmark.cfg ~limit:60 ~quota:(Time.second 0.15) ~kde:None () in
-  (* Each Test.make runs as its own Benchmark.all on a pool lane; the
-     per-test raw tables merge into one (their keys are disjoint:
-     "webdep/<test name>").  At --jobs 1 this is the exact sequential
-     run; prefer that for clean absolute numbers, since concurrent lanes
-     share cores and inflate per-run times. *)
-  let raws =
-    Webdep_par.map
-      (fun test ->
-        Benchmark.all cfg Instance.[ monotonic_clock ]
-          (Test.make_grouped ~name:"webdep" [ test ]))
-      tests
-  in
-  let raw = Hashtbl.create 64 in
-  List.iter (fun tbl -> Hashtbl.iter (Hashtbl.add raw) tbl) raws;
-  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |] in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
-    Hashtbl.fold
-      (fun name est acc ->
-        match Analyze.OLS.estimates est with
-        | Some [ ns ] -> (name, ns) :: acc
-        | _ -> (name, nan) :: acc)
-      results []
-    |> List.sort (fun (a, _) (b, _) -> compare a b)
-  in
+  let rows = bechamel_rows tests in
   Printf.printf "%-48s %16s\n" "benchmark" "time per run";
-  List.iter
-    (fun (name, ns) ->
-      let pretty =
-        if Float.is_nan ns then "n/a"
-        else if ns > 1e9 then Printf.sprintf "%8.2f s" (ns /. 1e9)
-        else if ns > 1e6 then Printf.sprintf "%8.2f ms" (ns /. 1e6)
-        else if ns > 1e3 then Printf.sprintf "%8.2f us" (ns /. 1e3)
-        else Printf.sprintf "%8.0f ns" ns
-      in
-      Printf.printf "%-48s %16s\n" name pretty)
-    rows
+  List.iter (fun (name, ns) -> Printf.printf "%-48s %16s\n" name (pretty_ns ns)) rows
+
+(* ========================================================================
+   Hot-path kernels (always run): old-vs-new transport solver and
+   cached-vs-uncached measurement.  WEBDEP_BENCH_SKIP_TIMINGS only skips
+   the per-figure Bechamel section above — these numbers back the perf
+   claims, so CI asserts on the "kernels" object in BENCH_obs.json.
+   ======================================================================== *)
+
+let kernel_json : (string * Json.t) list ref = ref []
+
+(* A deterministic balanced instance: integer supplies/demands and dyadic
+   eighth costs, so both solvers see bit-identical arithmetic.  Supplies
+   start at [m] so every demand bucket stays positive even at n = 1. *)
+let transport_instance ~n ~m =
+  let supply = Array.init n (fun i -> float_of_int (m + ((i * 5 + 3) mod 9))) in
+  let total = int_of_float (Array.fold_left ( +. ) 0.0 supply) in
+  let q = total / m and r = total mod m in
+  let demand = Array.init m (fun j -> float_of_int (q + if j < r then 1 else 0)) in
+  let cost i j = float_of_int (((i * 7) + (j * 13)) mod 8) /. 8.0 in
+  (supply, demand, cost)
+
+let kernel_sizes = [ (8, 8); (16, 16); (32, 32); (64, 64); (1, 64); (64, 1) ]
+
+let kernels () =
+  section "Kernels" "Dijkstra-potential transport vs reference; resolver cache";
+  let stage = Bechamel.Staged.stage in
+  let tests =
+    List.concat_map
+      (fun (n, m) ->
+        let supply, demand, cost = transport_instance ~n ~m in
+        [
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "transport_ref_%dx%d" n m)
+            (stage (fun () -> Webdep_emd.Transport.solve_reference ~supply ~demand ~cost));
+          Bechamel.Test.make
+            ~name:(Printf.sprintf "transport_new_%dx%d" n m)
+            (stage (fun () -> Webdep_emd.Transport.solve ~supply ~demand ~cost));
+        ])
+      kernel_sizes
+  in
+  (* Sequential lanes: the old-vs-new ratios are the point here, and
+     concurrent lanes sharing cores skew them unpredictably. *)
+  let rows = bechamel_rows ~jobs:1 tests in
+  let ns_of name =
+    match List.assoc_opt ("webdep/" ^ name) rows with Some ns -> ns | None -> nan
+  in
+  Printf.printf "%-12s %16s %16s %10s\n" "n x m" "reference" "dijkstra" "speedup";
+  let transport_json =
+    List.map
+      (fun (n, m) ->
+        let ref_ns = ns_of (Printf.sprintf "transport_ref_%dx%d" n m) in
+        let new_ns = ns_of (Printf.sprintf "transport_new_%dx%d" n m) in
+        let speedup = ref_ns /. new_ns in
+        Printf.printf "%-12s %16s %16s %9.2fx\n"
+          (Printf.sprintf "%dx%d" n m)
+          (pretty_ns ref_ns) (pretty_ns new_ns) speedup;
+        ( Printf.sprintf "%dx%d" n m,
+          Json.Obj
+            [
+              ("ref_ns", Json.Float ref_ns);
+              ("new_ns", Json.Float new_ns);
+              ("speedup", Json.Float speedup);
+            ] ))
+      kernel_sizes
+  in
+  (* Cached-vs-uncached measurement over a fixed sample, sequential so
+     the wall clocks compare the resolver work alone.  The datasets must
+     be identical — caching may only change the work, never the data. *)
+  let sample = [ "US"; "RU"; "BR"; "DE"; "JP"; "IN"; "FR"; "TH" ] in
+  let uncached_ds, uncached_s =
+    Span.timed ~name:"bench.kernels.measure_uncached" (fun () ->
+        Measure.measure_all ~cache:false ~countries:sample ~jobs:1 world)
+  in
+  let cached_ds, cached_s =
+    Span.timed ~name:"bench.kernels.measure_cached" (fun () ->
+        Measure.measure_all ~countries:sample ~jobs:1 world)
+  in
+  let identical =
+    List.for_all (fun cc -> D.country_exn uncached_ds cc = D.country_exn cached_ds cc) sample
+  in
+  (* The registry was reset at the previous phase boundary and the
+     uncached run creates no caches, so these totals belong to the
+     cached run alone. *)
+  let counter name = Obs_metrics.value (Obs_metrics.counter name) in
+  let response_hits = counter "dns.cache.response.hits" in
+  let response_misses = counter "dns.cache.response.misses" in
+  let glue_hits = counter "dns.cache.glue.hits" in
+  let glue_misses = counter "dns.cache.glue.misses" in
+  Printf.printf
+    "measure_all (%d countries, --jobs 1): uncached %.2fs, cached %.2fs (x%.2f), datasets \
+     identical: %b\n"
+    (List.length sample) uncached_s cached_s (uncached_s /. cached_s) identical;
+  Printf.printf
+    "dns.cache.response: %d hits / %d misses; dns.cache.glue: %d hits / %d misses\n"
+    response_hits response_misses glue_hits glue_misses;
+  if not identical then
+    prerr_endline "webdep bench: WARNING: cached dataset differs from uncached";
+  kernel_json :=
+    [
+      ("transport", Json.Obj transport_json);
+      ( "measure_cached",
+        Json.Obj
+          [
+            ("countries", Json.Int (List.length sample));
+            ("uncached_s", Json.Float uncached_s);
+            ("cached_s", Json.Float cached_s);
+            ("speedup", Json.Float (uncached_s /. cached_s));
+            ("identical", Json.Bool identical);
+            ("response_hits", Json.Int response_hits);
+            ("response_misses", Json.Int response_misses);
+            ("glue_hits", Json.Int glue_hits);
+            ("glue_misses", Json.Int glue_misses);
+          ] );
+    ]
 
 (* ========================================================================
    main
@@ -1247,15 +1363,21 @@ let timings () =
    what each table/figure consumed from the pipeline and simulators. *)
 let phase_counters : (string * (string * int) list) list ref = ref []
 
-(* BENCH_obs.json, schema webdep-bench/2:
+(* BENCH_obs.json, schema webdep-bench/3:
    - phases_s:        bench-locally recorded per-phase wall seconds
                       (includes world_create / measure_all / the 2025
                       measurement inside "longitudinal")
    - phase_counters:  nonzero counters attributable to each phase alone
+                      (the "kernels" entry carries the dns.cache.* totals
+                      of the cached measurement run)
    - metrics:         the registry snapshot taken right after the
                       measurement sweep (pipeline counters/histograms)
    - speedup_probe:   seq-vs-par wall clock + determinism check
-                      (absent at --jobs 1) *)
+                      (absent at --jobs 1)
+   - kernels:         hot-path micro-benchmarks — transport solver
+                      old-vs-new ns/run per shape, and cached-vs-uncached
+                      measure_all wall clock with cache hit/miss totals
+                      and the dataset-equality verdict *)
 let write_bench_json path =
   let phases =
     List.rev_map (fun (name, s) -> (name, Json.Float s)) !recorded_phases
@@ -1287,7 +1409,7 @@ let write_bench_json path =
   let doc =
     Json.Obj
       ([
-         ("schema", Json.String "webdep-bench/2");
+         ("schema", Json.String "webdep-bench/3");
          ("c", Json.Int c);
          ("seed", Json.Int seed);
          ("jobs", Json.Int jobs);
@@ -1296,7 +1418,7 @@ let write_bench_json path =
          ("phase_counters", Json.Obj counters_json);
        ]
       @ speedup_json
-      @ [ ("metrics", measure_metrics) ])
+      @ [ ("kernels", Json.Obj !kernel_json); ("metrics", measure_metrics) ])
   in
   let oc = open_out path in
   output_string oc (Json.to_string doc);
@@ -1343,5 +1465,7 @@ let () =
       ("ablation_c_sensitivity", ablation_c_sensitivity);
     ];
   if Sys.getenv_opt "WEBDEP_BENCH_SKIP_TIMINGS" = None then phase "timings" timings;
+  (* The kernels phase always runs — CI's BENCH diff asserts on it. *)
+  phase "kernels" kernels;
   let total = write_bench_json "BENCH_obs.json" in
   Printf.printf "\ntotal bench time: %.1fs\n" total

@@ -39,23 +39,63 @@ let entity_of site = function
   | Ca -> site.ca
   | Tld -> Some site.tld
 
-let counts_table sites layer =
-  let tbl = Hashtbl.create 256 in
+(* Dense tally: one interned id per distinct (name, country) entity,
+   counts in an int array indexed by id.  Avoids hashing a fresh string
+   pair per site the way the old (string * string)-keyed Hashtbl did. *)
+type tally = {
+  syms : Symbol.t;
+  mutable entities : entity array; (* id -> entity *)
+  mutable counts : int array; (* id -> count *)
+}
+
+let dummy_entity = { name = ""; country = "" }
+
+let tally_create () =
+  {
+    syms = Symbol.create ~size:256 ();
+    entities = Array.make 256 dummy_entity;
+    counts = Array.make 256 0;
+  }
+
+let tally_add t e =
+  (* \x1f (unit separator) cannot appear in entity labels, so the joined
+     key is injective on (name, country). *)
+  let before = Symbol.count t.syms in
+  let id = Symbol.intern t.syms (e.name ^ "\x1f" ^ e.country) in
+  if id = Array.length t.counts then begin
+    let counts = Array.make (2 * id) 0 in
+    Array.blit t.counts 0 counts 0 id;
+    t.counts <- counts;
+    let entities = Array.make (2 * id) dummy_entity in
+    Array.blit t.entities 0 entities 0 id;
+    t.entities <- entities
+  end;
+  if id = before then t.entities.(id) <- e;
+  t.counts.(id) <- t.counts.(id) + 1
+
+let tally_sites t sites layer =
   List.iter
-    (fun s ->
-      match entity_of s layer with
-      | None -> ()
-      | Some e ->
-          let key = (e.name, e.country) in
-          Hashtbl.replace tbl key (1 + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
-    sites;
-  tbl
+    (fun s -> match entity_of s layer with None -> () | Some e -> tally_add t e)
+    sites
 
 let counts_by_entity t layer cc =
   let cd = country_exn t cc in
-  let tbl = counts_table cd.sites layer in
-  Hashtbl.fold (fun (name, country) k acc -> ({ name; country }, k) :: acc) tbl []
-  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  let ty = tally_create () in
+  tally_sites ty cd.sites layer;
+  let out = ref [] in
+  for id = Symbol.count ty.syms - 1 downto 0 do
+    out := (ty.entities.(id), ty.counts.(id)) :: !out
+  done;
+  (* Count-descending with a deterministic tie-break (the old Hashtbl
+     fold left ties in table-layout order). *)
+  List.sort
+    (fun (e1, a) (e2, b) ->
+      let c = Int.compare b a in
+      if c <> 0 then c
+      else
+        let c = String.compare e1.name e2.name in
+        if c <> 0 then c else String.compare e1.country e2.country)
+    !out
 
 let distribution t layer cc =
   let counts = List.map snd (counts_by_entity t layer cc) in
@@ -63,17 +103,14 @@ let distribution t layer cc =
   Webdep_emd.Dist.of_counts (Array.of_list counts)
 
 let merged_distribution t layer =
-  let tbl = Hashtbl.create 4096 in
-  Hashtbl.iter
-    (fun _ cd ->
-      let local = counts_table cd.sites layer in
-      Hashtbl.iter
-        (fun key k ->
-          Hashtbl.replace tbl key (k + Option.value ~default:0 (Hashtbl.find_opt tbl key)))
-        local)
-    t.by_country;
-  let counts = Hashtbl.fold (fun _ k acc -> k :: acc) tbl [] in
-  Webdep_emd.Dist.of_counts (Array.of_list counts)
+  let ty = tally_create () in
+  List.iter
+    (fun cc ->
+      match country t cc with
+      | Some cd -> tally_sites ty cd.sites layer
+      | None -> ())
+    t.order;
+  Webdep_emd.Dist.of_counts (Array.sub ty.counts 0 (Symbol.count ty.syms))
 
 let entity_share t layer cc ~name =
   let cd = country_exn t cc in

@@ -1,0 +1,37 @@
+type t = {
+  mutable names : string array;
+  mutable count : int;
+  index : (string, int) Hashtbl.t;
+}
+
+let create ?(size = 64) () =
+  let size = max 1 size in
+  { names = Array.make size ""; count = 0; index = Hashtbl.create size }
+
+let intern t name =
+  match Hashtbl.find_opt t.index name with
+  | Some id -> id
+  | None ->
+      let id = t.count in
+      if id = Array.length t.names then begin
+        let bigger = Array.make (2 * id) "" in
+        Array.blit t.names 0 bigger 0 id;
+        t.names <- bigger
+      end;
+      t.names.(id) <- name;
+      t.count <- id + 1;
+      Hashtbl.replace t.index name id;
+      id
+
+let find t name = Hashtbl.find_opt t.index name
+
+let name t id =
+  if id < 0 || id >= t.count then invalid_arg "Symbol.name: id out of range";
+  t.names.(id)
+
+let count t = t.count
+
+let iter f t =
+  for id = 0 to t.count - 1 do
+    f id t.names.(id)
+  done

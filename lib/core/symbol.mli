@@ -1,0 +1,28 @@
+(** String interner: maps labels (provider names, org/country codes) to
+    dense integer ids so hot loops can tally into int-indexed arrays
+    instead of hashing heap-allocated string keys repeatedly.
+
+    Ids are assigned in first-intern order, starting at 0, so an interner
+    doubles as an order-preserving deduplicator.  Not thread-safe: create
+    one per worker (the measurement pipeline builds one per sweep on a
+    single domain). *)
+
+type t
+
+val create : ?size:int -> unit -> t
+(** Fresh interner; [size] is an initial capacity hint (default 64). *)
+
+val intern : t -> string -> int
+(** Id of the label, allocating the next dense id on first sight. *)
+
+val find : t -> string -> int option
+(** Id of the label if already interned, without allocating one. *)
+
+val name : t -> int -> string
+(** Inverse of {!intern}.  @raise Invalid_argument on an unknown id. *)
+
+val count : t -> int
+(** Number of distinct labels interned; valid ids are [0..count-1]. *)
+
+val iter : (int -> string -> unit) -> t -> unit
+(** Iterate ids in ascending (first-intern) order. *)

@@ -1,0 +1,43 @@
+type 'a t = {
+  tbl : (string, 'a) Hashtbl.t;
+  h : Webdep_obs.Metrics.counter;
+  m : Webdep_obs.Metrics.counter;
+}
+
+let create ?(size = 4096) ~name () =
+  {
+    tbl = Hashtbl.create size;
+    h = Webdep_obs.Metrics.counter (name ^ ".hits");
+    m = Webdep_obs.Metrics.counter (name ^ ".misses");
+  }
+
+(* '|' cannot appear in country codes, so the joined key is injective on
+   (vantage, qname). *)
+let key ~vantage qname = vantage ^ "|" ^ qname
+
+let find t ~vantage qname =
+  match Hashtbl.find_opt t.tbl (key ~vantage qname) with
+  | Some _ as hit ->
+      Webdep_obs.Metrics.incr t.h;
+      hit
+  | None ->
+      Webdep_obs.Metrics.incr t.m;
+      None
+
+let add t ~vantage qname v = Hashtbl.replace t.tbl (key ~vantage qname) v
+
+let find_or_compute t ~vantage qname f =
+  let k = key ~vantage qname in
+  match Hashtbl.find_opt t.tbl k with
+  | Some v ->
+      Webdep_obs.Metrics.incr t.h;
+      v
+  | None ->
+      Webdep_obs.Metrics.incr t.m;
+      let v = f () in
+      Hashtbl.add t.tbl k v;
+      v
+
+let length t = Hashtbl.length t.tbl
+let hits t = Webdep_obs.Metrics.value t.h
+let misses t = Webdep_obs.Metrics.value t.m

@@ -62,8 +62,8 @@ let build db =
     db ();
   (* Every glue host is an authoritative server at its addresses. *)
   Zone_db.fold_hosts
-    (fun host answer () ->
-      let addrs = Zone_db.resolve_answer ~vantage:"US" answer in
+    (fun host _answer () ->
+      let addrs = Zone_db.host_addr db ~vantage:"US" host in
       Hashtbl.replace auth_addrs host addrs;
       List.iter (fun a -> Hashtbl.replace roles (Ipv4.addr_to_int a) Auth) addrs)
     db ();
@@ -109,7 +109,7 @@ let query t ~server ~vantage ~qname =
   | Some Auth -> (
       match Zone_db.domain_data t.db qname with
       | None -> Name_error
-      | Some (ns_hosts, answer) ->
+      | Some (ns_hosts, _answer) ->
           (* Only answer for zones this server actually hosts. *)
           let serves =
             List.exists
@@ -123,7 +123,10 @@ let query t ~server ~vantage ~qname =
           else
             match Zone_db.cname_of t.db qname with
             | Some target -> Cname target
-            | None -> Answer (Zone_db.resolve_answer ~vantage answer))
+            | None ->
+                Answer
+                  (Option.value ~default:[]
+                     (Zone_db.answer_addrs t.db ~vantage qname)))
 
 let tld_count t = Hashtbl.length t.tlds
 let auth_server_count t = Hashtbl.length t.auth_addrs

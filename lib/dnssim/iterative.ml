@@ -14,43 +14,93 @@ let m_nxdomain = Webdep_obs.Metrics.counter "dns.iterative.nxdomain"
 let m_servfail = Webdep_obs.Metrics.counter "dns.iterative.servfail"
 let m_depth = Webdep_obs.Metrics.histogram "dns.iterative.query_depth"
 
-let resolve hierarchy ~vantage qname =
-  let queries = ref 0 and referrals = ref 0 in
-  let rec start qname aliases =
-    if aliases > max_cname then Error (Servfail "cname chain too long")
-    else walk qname aliases (Hierarchy.root_addrs hierarchy) 0
-  and walk qname aliases servers depth =
-    if depth > max_depth then Error (Servfail "referral chain too long")
-    else
-      match servers with
-      | [] -> Error (Servfail "no servers to ask")
-      | server :: _ -> (
-          incr queries;
-          match Hierarchy.query hierarchy ~server ~vantage ~qname with
-          | Hierarchy.Answer addrs -> Ok addrs
-          | Hierarchy.Cname target ->
-              (* Restart from the root hints for the alias target, as a
-                 cacheless iterative resolver does. *)
-              start target (aliases + 1)
-          | Hierarchy.Name_error -> Error Nxdomain
-          | Hierarchy.Referral { glue; _ } ->
-              incr referrals;
-              let next = List.concat_map snd glue in
-              if next = [] then Error (Servfail "referral without glue")
-              else walk qname aliases next (depth + 1))
-  in
-  let result = start qname 0 in
-  Webdep_obs.Metrics.incr ~by:!queries m_queries;
-  Webdep_obs.Metrics.incr ~by:!referrals m_referrals;
-  (match result with
-  | Ok _ -> Webdep_obs.Metrics.observe m_depth (float_of_int !queries)
-  | Error Nxdomain -> Webdep_obs.Metrics.incr m_nxdomain
-  | Error (Servfail _) -> Webdep_obs.Metrics.incr m_servfail);
-  match result with
-  | Ok addrs -> Ok (addrs, { queries = !queries; referrals = !referrals })
-  | Error e -> Error e
+(* Recursive-resolver cache: full results keyed (vantage, qname), plus
+   the TLD zone cuts learned from root referrals keyed (vantage, label).
+   A warm cut lets the walk start at the TLD servers — exactly the root
+   queries a real recursive resolver stops sending once its NS cache is
+   primed. *)
+type cache = {
+  results : (Webdep_netsim.Ipv4.addr list, error) result Cache.t;
+  cuts : Webdep_netsim.Ipv4.addr list Cache.t;
+}
 
-let resolve_a hierarchy ~vantage qname =
-  match resolve hierarchy ~vantage qname with
+let make_cache () =
+  {
+    results = Cache.create ~name:"dns.cache.iterative" ();
+    cuts = Cache.create ~size:512 ~name:"dns.cache.zone_cut" ();
+  }
+
+let tld_of qname =
+  match String.rindex_opt qname '.' with
+  | None -> qname
+  | Some i -> String.sub qname (i + 1) (String.length qname - i - 1)
+
+let resolve ?cache hierarchy ~vantage qname =
+  let compute () =
+    let queries = ref 0 and referrals = ref 0 in
+    let rec start qname aliases =
+      if aliases > max_cname then Error (Servfail "cname chain too long")
+      else begin
+        (* Resume from the deepest cached zone cut, else the root hints. *)
+        match cache with
+        | Some c -> (
+            match Cache.find c.cuts ~vantage (tld_of qname) with
+            | Some servers -> walk qname aliases servers 1
+            | None -> walk qname aliases (Hierarchy.root_addrs hierarchy) 0)
+        | None -> walk qname aliases (Hierarchy.root_addrs hierarchy) 0
+      end
+    and walk qname aliases servers depth =
+      if depth > max_depth then Error (Servfail "referral chain too long")
+      else
+        match servers with
+        | [] -> Error (Servfail "no servers to ask")
+        | server :: _ -> (
+            incr queries;
+            match Hierarchy.query hierarchy ~server ~vantage ~qname with
+            | Hierarchy.Answer addrs -> Ok addrs
+            | Hierarchy.Cname target ->
+                (* Restart (from cache or root hints) for the alias
+                   target, as a recursive resolver does. *)
+                start target (aliases + 1)
+            | Hierarchy.Name_error -> Error Nxdomain
+            | Hierarchy.Referral { zone; glue; _ } ->
+                incr referrals;
+                let next = List.concat_map snd glue in
+                if next = [] then Error (Servfail "referral without glue")
+                else begin
+                  (* TLD zone labels have no dot; domain-level referrals
+                     do.  Only the former are worth remembering. *)
+                  (match cache with
+                  | Some c when not (String.contains zone '.') ->
+                      Cache.add c.cuts ~vantage zone next
+                  | _ -> ());
+                  walk qname aliases next (depth + 1)
+                end)
+    in
+    let result = start qname 0 in
+    Webdep_obs.Metrics.incr ~by:!queries m_queries;
+    Webdep_obs.Metrics.incr ~by:!referrals m_referrals;
+    (match result with
+    | Ok _ -> Webdep_obs.Metrics.observe m_depth (float_of_int !queries)
+    | Error Nxdomain -> Webdep_obs.Metrics.incr m_nxdomain
+    | Error (Servfail _) -> Webdep_obs.Metrics.incr m_servfail);
+    match result with
+    | Ok addrs -> Ok (addrs, { queries = !queries; referrals = !referrals })
+    | Error e -> Error e
+  in
+  match cache with
+  | None -> compute ()
+  | Some c -> (
+      match Cache.find c.results ~vantage qname with
+      | Some (Ok addrs) -> Ok (addrs, { queries = 0; referrals = 0 })
+      | Some (Error e) -> Error e
+      | None ->
+          let r = compute () in
+          Cache.add c.results ~vantage qname
+            (match r with Ok (addrs, _) -> Ok addrs | Error e -> Error e);
+          r)
+
+let resolve_a ?cache hierarchy ~vantage qname =
+  match resolve ?cache hierarchy ~vantage qname with
   | Ok (addr :: _, _) -> Some addr
   | Ok ([], _) | Error _ -> None

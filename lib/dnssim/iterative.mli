@@ -26,11 +26,23 @@ val m_depth : Webdep_obs.Metrics.histogram
 (** Queries per {e successful} resolution — the pipeline's mean_queries
     comes from deltas of this histogram. *)
 
+type cache
+(** Recursive-resolver memory: full results keyed [(vantage, qname)] and
+    TLD zone cuts learned from root referrals keyed [(vantage, label)] —
+    with a warm cut the walk starts at the TLD servers instead of the
+    root.  Not thread-safe; create one per worker/sweep.  Hit/miss
+    counters: [dns.cache.iterative.*] and [dns.cache.zone_cut.*]. *)
+
+val make_cache : unit -> cache
+
 val resolve :
+  ?cache:cache ->
   Hierarchy.t -> vantage:string -> string -> (Webdep_netsim.Ipv4.addr list * stats, error) result
-(** Resolve a qname's A records from scratch (no cache).  [Servfail]
-    carries a reason (lame delegation, referral loop, missing glue). *)
+(** Resolve a qname's A records; without [?cache] every resolution walks
+    from the root hints.  A result-cache hit reports zero queries and
+    referrals (nothing was asked).  [Servfail] carries a reason (lame
+    delegation, referral loop, missing glue). *)
 
 val resolve_a :
-  Hierarchy.t -> vantage:string -> string -> Webdep_netsim.Ipv4.addr option
+  ?cache:cache -> Hierarchy.t -> vantage:string -> string -> Webdep_netsim.Ipv4.addr option
 (** First address, if resolution succeeds. *)

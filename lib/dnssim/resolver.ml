@@ -13,33 +13,59 @@ let m_lookups = Webdep_obs.Metrics.counter "dns.flat.lookups"
 let m_nxdomain = Webdep_obs.Metrics.counter "dns.flat.nxdomain"
 let m_cname_chased = Webdep_obs.Metrics.counter "dns.flat.cname_chased"
 
+(* Sweep-scoped resolver cache.  The response memo holds full lookups;
+   the glue memo holds per-nameserver-host addresses, which is where the
+   reuse actually is: a handful of DNS providers serve thousands of
+   sites, so their NS glue repeats on almost every lookup. *)
+type cache = {
+  responses : (response, error) result Cache.t;
+  glue : Webdep_netsim.Ipv4.addr list Cache.t;
+}
+
+let make_cache () =
+  {
+    responses = Cache.create ~name:"dns.cache.response" ();
+    glue = Cache.create ~size:1024 ~name:"dns.cache.glue" ();
+  }
+
 (* Follow a CNAME chain to the terminal A answer; a broken or cyclic
    chain yields no addresses (a resolver would SERVFAIL). *)
 let rec chase db ~vantage domain depth =
-  match Zone_db.domain_data db domain with
+  match Zone_db.answer_addrs db ~vantage domain with
   | None -> []
-  | Some (_, answer) -> (
+  | Some own -> (
       match Zone_db.cname_of db domain with
       | Some target when depth < max_cname_depth -> (
           Webdep_obs.Metrics.incr m_cname_chased;
           match chase db ~vantage target (depth + 1) with
-          | [] -> Zone_db.resolve_answer ~vantage answer
+          | [] -> own
           | addrs -> addrs)
       | Some _ -> []
-      | None -> Zone_db.resolve_answer ~vantage answer)
+      | None -> own)
 
-let resolve db ~vantage domain =
+let resolve ?cache db ~vantage domain =
   Webdep_obs.Metrics.incr m_lookups;
-  match Zone_db.domain_data db domain with
-  | None ->
-      Webdep_obs.Metrics.incr m_nxdomain;
-      Error Nxdomain
-  | Some (ns_hosts, _) ->
-      let a = chase db ~vantage domain 0 in
-      let ns_addrs = List.concat_map (Zone_db.host_addr db ~vantage) ns_hosts in
-      Ok { a; ns_hosts; ns_addrs }
+  let compute () =
+    match Zone_db.domain_data db domain with
+    | None ->
+        Webdep_obs.Metrics.incr m_nxdomain;
+        Error Nxdomain
+    | Some (ns_hosts, _) ->
+        let a = chase db ~vantage domain 0 in
+        let glue_of host =
+          match cache with
+          | None -> Zone_db.host_addr db ~vantage host
+          | Some c ->
+              Cache.find_or_compute c.glue ~vantage host (fun () ->
+                  Zone_db.host_addr db ~vantage host)
+        in
+        Ok { a; ns_hosts; ns_addrs = List.concat_map glue_of ns_hosts }
+  in
+  match cache with
+  | None -> compute ()
+  | Some c -> Cache.find_or_compute c.responses ~vantage domain compute
 
-let resolve_a db ~vantage domain =
-  match resolve db ~vantage domain with
+let resolve_a ?cache db ~vantage domain =
+  match resolve ?cache db ~vantage domain with
   | Ok { a = addr :: _; _ } -> Some addr
   | Ok { a = []; _ } | Error Nxdomain -> None

@@ -20,9 +20,23 @@ val m_nxdomain : Webdep_obs.Metrics.counter
 val m_cname_chased : Webdep_obs.Metrics.counter
 (** CNAME links followed while chasing to the terminal A answer. *)
 
-val resolve : Zone_db.t -> vantage:string -> string -> (response, error) result
-(** [resolve db ~vantage domain]; [vantage] is the probing country code
-    (the paper's university vantage is modelled as "US"). *)
+type cache
+(** Memo in front of {!resolve}: a [(vantage, domain)]-keyed response
+    table plus a [(vantage, ns_host)]-keyed glue table (the glue memo
+    carries most of the hits — a few DNS providers serve nearly every
+    site).  Not thread-safe; create one per worker/sweep.  Hit/miss
+    counters appear in the obs registry as [dns.cache.response.*] and
+    [dns.cache.glue.*]. *)
 
-val resolve_a : Zone_db.t -> vantage:string -> string -> Webdep_netsim.Ipv4.addr option
+val make_cache : unit -> cache
+
+val resolve :
+  ?cache:cache -> Zone_db.t -> vantage:string -> string -> (response, error) result
+(** [resolve db ~vantage domain]; [vantage] is the probing country code
+    (the paper's university vantage is modelled as "US").  With [?cache],
+    repeat lookups are memoized; a cached lookup still counts in
+    {!m_lookups} but skips the per-answer counters. *)
+
+val resolve_a :
+  ?cache:cache -> Zone_db.t -> vantage:string -> string -> Webdep_netsim.Ipv4.addr option
 (** First A record, if any. *)

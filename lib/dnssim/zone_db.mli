@@ -37,10 +37,19 @@ val add_host : t -> host:string -> a:answer -> unit
 val domain_data : t -> string -> (string list * answer) option
 (** [(ns_hosts, a)] for a domain. *)
 
+val answer_addrs : t -> vantage:string -> string -> Webdep_netsim.Ipv4.addr list option
+(** A domain's own A answer from a vantage (no CNAME chasing); [None] if
+    the domain is unknown.  Geo answers hit the per-country index cooked
+    at registration (sorted array + binary search), not a list scan. *)
+
 val host_addr : t -> vantage:string -> string -> Webdep_netsim.Ipv4.addr list
-(** Resolve a hostname's glue from a vantage country; [[]] if unknown. *)
+(** Resolve a hostname's glue from a vantage country; [[]] if unknown.
+    Uses the same cooked index as {!answer_addrs}. *)
 
 val resolve_answer : vantage:string -> answer -> Webdep_netsim.Ipv4.addr list
+(** One-shot resolution of a bare answer value.  For stored entries
+    prefer {!answer_addrs}/{!host_addr}, which reuse the precomputed
+    index instead of cooking the answer per call. *)
 
 val domain_count : t -> int
 

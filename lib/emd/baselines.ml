@@ -3,10 +3,12 @@ let top_n d n = Dist.top_share d n
 let hhi = Centralization.hhi
 
 let gini d =
-  let sorted = Dist.sorted_desc d in
+  (* One ascending Float.compare sort; the old code sorted descending via
+     Dist.sorted_desc and immediately re-sorted ascending with
+     polymorphic compare. *)
+  let sorted = Dist.masses d in
+  Array.sort Float.compare sorted;
   let n = Array.length sorted in
-  Array.sort compare sorted;
-  (* ascending now *)
   let total = Dist.total d in
   let weighted = ref 0.0 in
   Array.iteri (fun i m -> weighted := !weighted +. (float_of_int (i + 1) *. m)) sorted;

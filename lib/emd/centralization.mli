@@ -31,10 +31,15 @@ val hhi : Dist.t -> float
 val upper_bound : c:int -> float
 (** [1 − 1/C], the maximum attainable 𝒮 for [C] websites. *)
 
-val via_transport : Dist.t -> float
-(** 𝒮 computed by the general transportation solver on the explicit
-    reference distribution — exponentially slower; exists to validate the
-    closed form (Appendix A ablation).  Intended for small [C]. *)
+val via_transport : ?fast:bool -> Dist.t -> float
+(** 𝒮 via the transport formulation against the explicit uniform
+    reference.  With [fast] (the default) the uniform reference admits a
+    closed form — the ground distance is independent of the demand
+    bucket, so every feasible flow has identical work
+    [Σ a_i·(a_i − 1)/C²] and the flow network is skipped entirely.
+    [~fast:false] builds the full C-bucket network and runs
+    {!Transport.solve}; it exists to validate the closed form (Appendix A
+    ablation) and is intended for small [C]. *)
 
 (** US DoJ Herfindahl interpretation bands the paper cites for context
     (§3.2): competitive (<0.10), moderately concentrated (0.10–0.18),

@@ -1,16 +1,53 @@
 type t = { masses : float array; total : float }
 
+(* Single pass, no intermediate list: count the positive masses, then
+   fill an exactly-sized array. *)
 let validate masses =
-  Array.iter (fun m -> if m < 0.0 then invalid_arg "Dist: negative mass") masses;
-  let positive = Array.of_list (List.filter (fun m -> m > 0.0) (Array.to_list masses)) in
-  if Array.length positive = 0 then invalid_arg "Dist: no positive mass";
-  positive
+  let n = Array.length masses in
+  let positive = ref 0 in
+  for i = 0 to n - 1 do
+    let m = masses.(i) in
+    if m < 0.0 then invalid_arg "Dist: negative mass";
+    if m > 0.0 then incr positive
+  done;
+  if !positive = 0 then invalid_arg "Dist: no positive mass";
+  if !positive = n then Array.copy masses
+  else begin
+    let out = Array.make !positive 0.0 in
+    let k = ref 0 in
+    for i = 0 to n - 1 do
+      if masses.(i) > 0.0 then begin
+        out.(!k) <- masses.(i);
+        incr k
+      end
+    done;
+    out
+  end
 
 let of_masses masses =
   let masses = validate masses in
   { masses; total = Array.fold_left ( +. ) 0.0 masses }
 
-let of_counts counts = of_masses (Array.map float_of_int counts)
+let of_counts counts =
+  let n = Array.length counts in
+  let positive = ref 0 in
+  for i = 0 to n - 1 do
+    let c = counts.(i) in
+    if c < 0 then invalid_arg "Dist: negative mass";
+    if c > 0 then incr positive
+  done;
+  if !positive = 0 then invalid_arg "Dist: no positive mass";
+  let out = Array.make !positive 0.0 in
+  let k = ref 0 in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    if counts.(i) > 0 then begin
+      out.(!k) <- float_of_int counts.(i);
+      total := !total + counts.(i);
+      incr k
+    end
+  done;
+  { masses = out; total = float_of_int !total }
 
 let uniform_reference c =
   if c <= 0 then invalid_arg "Dist.uniform_reference: c must be positive";
@@ -22,7 +59,9 @@ let size t = Array.length t.masses
 
 let sorted_desc t =
   let c = Array.copy t.masses in
-  Array.sort (fun a b -> compare b a) c;
+  (* Float.compare, not polymorphic compare: the specialized comparison
+     avoids a caml_compare call per element in this hot sort. *)
+  Array.sort (fun a b -> Float.compare b a) c;
   c
 
 let shares t = Array.map (fun m -> m /. t.total) t.masses

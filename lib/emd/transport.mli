@@ -5,12 +5,17 @@
     ground-distance function [d i j], find nonnegative flows [f_ij] with
     row sums [a_i] and column sums [r_j] minimizing [Σ f_ij · d i j].
 
-    The solver is successive shortest augmenting paths with node potentials
-    on the bipartite flow network; each augmentation saturates an edge, so
-    the number of augmentations is O(n·m) independent of the mass moved.
-    It is exact and intended for moderate instance sizes (validation of the
-    closed form, custom ground distances); production centralization
-    scoring uses the O(n) closed form in {!Centralization}. *)
+    Both solvers run successive shortest augmenting paths on the bipartite
+    flow network; each augmentation saturates an edge, so the number of
+    augmentations is O(n·m) independent of the mass moved.  {!solve} keeps
+    Johnson node potentials so each augmentation is a binary-heap Dijkstra
+    over nonnegative reduced costs, terminated as soon as the sink settles
+    (one initial Bellman–Ford seeds the potentials); {!solve_reference} is
+    the original implementation that
+    re-runs Bellman–Ford over the full residual graph on every
+    augmentation, kept as an oracle for differential testing.  Production
+    centralization scoring uses the O(n) closed form in
+    {!Centralization}. *)
 
 type solution = {
   work : float;  (** minimal total work Σ f_ij·d_ij *)
@@ -19,10 +24,17 @@ type solution = {
 
 val solve :
   supply:float array -> demand:float array -> cost:(int -> int -> float) -> solution
-(** @raise Invalid_argument if a supply/demand is negative, either side is
+(** Dijkstra-with-potentials solver on a flat-array residual graph.
+    @raise Invalid_argument if a supply/demand is negative, either side is
     empty, or totals differ by more than a 1e-6 relative tolerance. *)
+
+val solve_reference :
+  supply:float array -> demand:float array -> cost:(int -> int -> float) -> solution
+(** The original Bellman–Ford-per-augmentation solver.  Same contract as
+    {!solve}; asymptotically slower (O(V·E) per augmentation instead of
+    O(E log V)).  Kept for differential testing and benchmarking. *)
 
 val emd :
   supply:float array -> demand:float array -> cost:(int -> int -> float) -> float
 (** Work normalized by total flow — the EMD value of Appendix A when
-    [0 <= d_ij <= 1]. *)
+    [0 <= d_ij <= 1].  Uses {!solve}. *)

@@ -2,8 +2,15 @@ type network = {
   org : Org.t;
   asn : int;
   pops : (string * Ipv4.prefix) list;
+  pop_index : (string, Ipv4.prefix) Hashtbl.t;
+  hq_prefix : Ipv4.prefix;
   anycast : bool;
 }
+
+let pop_near network ~near =
+  match Hashtbl.find_opt network.pop_index near with
+  | Some p -> p
+  | None -> network.hq_prefix
 
 type t = {
   as_db : As_db.t;
@@ -74,19 +81,22 @@ let register_network t ~name ~country ?(anycast = false) ?(presence = []) () =
             (cc, p))
           countries
       in
-      let network = { org; asn; pops; anycast } in
+      (* Country → prefix index, so per-site address picks don't rescan
+         the pops list (global providers have one pop per country). *)
+      let pop_index = Hashtbl.create (List.length pops) in
+      List.iter
+        (fun (cc, p) ->
+          if not (Hashtbl.mem pop_index cc) then Hashtbl.add pop_index cc p)
+        pops;
+      let network =
+        { org; asn; pops; pop_index; hq_prefix = snd (List.hd pops); anycast }
+      in
       Hashtbl.replace t.networks name network;
       network
 
 let find_network t name = Hashtbl.find_opt t.networks name
 
-let address_in _t network ~near rng =
-  let prefix =
-    match List.assoc_opt near network.pops with
-    | Some p -> p
-    | None -> snd (List.hd network.pops)
-  in
-  Ipv4.random_addr rng prefix
+let address_in _t network ~near rng = Ipv4.random_addr rng (pop_near network ~near)
 
 let origin_as t addr = Prefix_table.lookup t.pfx2as addr
 

@@ -21,8 +21,16 @@ type network = {
   pops : (string * Ipv4.prefix) list;
       (** points of presence: country code → prefix; the HQ country is
           always present and listed first *)
+  pop_index : (string, Ipv4.prefix) Hashtbl.t;
+      (** [pops] as a country-keyed index, built at registration; treat
+          as read-only *)
+  hq_prefix : Ipv4.prefix;  (** the HQ pop's prefix (head of [pops]) *)
   anycast : bool;
 }
+
+val pop_near : network -> near:string -> Ipv4.prefix
+(** The network's prefix in [near], falling back to HQ — an indexed
+    lookup replacing the former linear scan over [pops]. *)
 
 val create : ?geo_accuracy:float -> Webdep_stats.Rng.t -> t
 (** [geo_accuracy] feeds the {!Geo_db} error model (default 1.0). *)

@@ -52,10 +52,10 @@ let tld_entity domain =
 let org_entity (org : Webdep_netsim.Org.t) =
   { Dataset.name = org.Webdep_netsim.Org.name; country = org.Webdep_netsim.Org.country }
 
-let measure_site internet ca_db zones tls ~vantage ~content ?resolve_a domain =
+let measure_site internet ca_db zones tls ~vantage ~content ?cache ?resolve_a domain =
   Metric.incr m_sites;
   Metric.incr m_dns_queries;
-  let resolved = Resolver.resolve zones ~vantage domain in
+  let resolved = Resolver.resolve ?cache zones ~vantage domain in
   let hosting_ip, ns_ip =
     match resolved with
     | Error Resolver.Nxdomain ->
@@ -119,34 +119,45 @@ let measure_site internet ca_db zones tls ~vantage ~content ?resolve_a domain =
 
 type resolution = Flat | Iterative
 
-let measure_snapshot ?(vantage = default_vantage) ?(resolution = Flat) world
-    (snap : World.snapshot) =
+let measure_snapshot ?(vantage = default_vantage) ?(resolution = Flat) ?(cache = true)
+    world (snap : World.snapshot) =
   let internet = World.internet world in
   let ca_db = World.ca_db world in
   let content domain = Hashtbl.find_opt snap.World.content_language domain in
+  (* One resolver cache per snapshot: the snapshot is measured by a
+     single worker domain, so the cache needs no lock, and per-snapshot
+     scoping keeps the aggregate hit/miss counters independent of how
+     countries are spread over domains (jobs-invariance). *)
+  let rcache = if cache then Some (Resolver.make_cache ()) else None in
   let resolve_a =
     match resolution with
     | Flat -> None
     | Iterative ->
         let hierarchy = Webdep_dnssim.Hierarchy.build snap.World.zones in
-        Some (fun domain -> Webdep_dnssim.Iterative.resolve_a hierarchy ~vantage domain)
+        let icache =
+          if cache then Some (Webdep_dnssim.Iterative.make_cache ()) else None
+        in
+        Some
+          (fun domain ->
+            Webdep_dnssim.Iterative.resolve_a ?cache:icache hierarchy ~vantage domain)
   in
   let sites =
     List.map
       (measure_site internet ca_db snap.World.zones snap.World.tls ~vantage ~content
-         ?resolve_a)
+         ?cache:rcache ?resolve_a)
       (Toplist.domains snap.World.toplist)
   in
   { Dataset.country = snap.World.country; sites }
 
-let measure_country ?vantage ?resolution ?epoch world cc =
+let measure_country ?vantage ?resolution ?cache ?epoch world cc =
   (* Per-country span: the name carries the country so the registry dump
      exposes one duration histogram per country. *)
   Obs.Span.with_ ~name:("measure_country." ^ cc)
     ~attrs:[ ("country", cc) ]
-    (fun () -> measure_snapshot ?vantage ?resolution world (World.snapshot world ?epoch cc))
+    (fun () ->
+      measure_snapshot ?vantage ?resolution ?cache world (World.snapshot world ?epoch cc))
 
-let measure_all ?vantage ?resolution ?epoch ?countries ?jobs world =
+let measure_all ?vantage ?resolution ?cache ?epoch ?countries ?jobs world =
   let countries = Option.value ~default:(World.countries world) countries in
   Obs.Span.with_ ~name:"measure_all"
     ~attrs:[ ("countries", string_of_int (List.length countries)) ]
@@ -160,7 +171,7 @@ let measure_all ?vantage ?resolution ?epoch ?countries ?jobs world =
         (Webdep_par.map ?jobs
            (fun cc ->
              Logs.debug (fun m -> m "measuring %s" cc);
-             measure_country ?vantage ?resolution ?epoch world cc)
+             measure_country ?vantage ?resolution ?cache ?epoch world cc)
            countries))
 
 type resolution_stats = {
@@ -204,12 +215,15 @@ let iterative_resolution_stats ?(vantage = default_vantage) ?epoch world cc =
 let discover_redundancy ~vantages ?epoch world cc =
   let snap = World.snapshot world ?epoch cc in
   let internet = World.internet world in
+  (* The cache is keyed on (vantage, qname), so sharing one across the
+     vantage sweep is sound; the NS-glue memo repeats across sites. *)
+  let cache = Resolver.make_cache () in
   List.map
     (fun domain ->
       let providers =
         List.filter_map
           (fun vantage ->
-            match Resolver.resolve_a snap.World.zones ~vantage domain with
+            match Resolver.resolve_a ~cache snap.World.zones ~vantage domain with
             | None -> None
             | Some ip ->
                 Option.map
@@ -234,12 +248,16 @@ let measure_with_probes ~per_country_probes ?missing ?epoch ~seed world countrie
   List.map
     (fun cc ->
       let snap = World.snapshot world ?epoch cc in
-      let counts = Hashtbl.create 512 in
+      let cache = Resolver.make_cache () in
+      (* Interned provider names with a dense int tally: one string hash
+         per site (the intern), integer array bumps thereafter. *)
+      let syms = Webdep.Symbol.create ~size:128 () in
+      let counts = ref (Array.make 128 0) in
       List.iter
         (fun domain ->
           let probe = Webdep_dnssim.Probe.pick pool rng ~country:cc in
           match
-            Resolver.resolve_a snap.World.zones
+            Resolver.resolve_a ~cache snap.World.zones
               ~vantage:probe.Webdep_dnssim.Probe.country domain
           with
           | None -> ()
@@ -247,17 +265,22 @@ let measure_with_probes ~per_country_probes ?missing ?epoch ~seed world countrie
               match Internet.org_of_addr internet ip with
               | None -> ()
               | Some org ->
-                  let name = org.Webdep_netsim.Org.name in
-                  Hashtbl.replace counts name
-                    (1 + Option.value ~default:0 (Hashtbl.find_opt counts name))))
+                  let id = Webdep.Symbol.intern syms org.Webdep_netsim.Org.name in
+                  if id = Array.length !counts then begin
+                    let bigger = Array.make (2 * id) 0 in
+                    Array.blit !counts 0 bigger 0 id;
+                    counts := bigger
+                  end;
+                  !counts.(id) <- !counts.(id) + 1))
         (Toplist.domains snap.World.toplist);
-      (* Sort by provider name: [Hashtbl.fold] order depends on the
-         table's internal layout, and [Dist.of_counts] normalizes in
-         input order, so an unsorted fold made the scores depend on
-         hashing accidents rather than on the measurement alone. *)
+      (* Sort by provider name: ids are in first-seen order, and
+         [Dist.of_counts] normalizes in input order, so an unsorted
+         tally would make the scores depend on resolution accidents
+         rather than on the measurement alone. *)
+      let labelled = ref [] in
+      Webdep.Symbol.iter (fun id name -> labelled := (name, !counts.(id)) :: !labelled) syms;
       let dist =
-        Hashtbl.fold (fun name k acc -> (name, k) :: acc) counts []
-        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+        List.sort (fun (a, _) (b, _) -> String.compare a b) !labelled
         |> List.map snd |> Array.of_list |> Webdep_emd.Dist.of_counts
       in
       (cc, Webdep_emd.Centralization.score dist))

@@ -22,6 +22,7 @@ type resolution =
 val measure_country :
   ?vantage:string ->
   ?resolution:resolution ->
+  ?cache:bool ->
   ?epoch:Webdep_worldgen.World.epoch ->
   Webdep_worldgen.World.t ->
   string ->
@@ -31,15 +32,24 @@ val measure_country :
 val measure_snapshot :
   ?vantage:string ->
   ?resolution:resolution ->
+  ?cache:bool ->
   Webdep_worldgen.World.t ->
   Webdep_worldgen.World.snapshot ->
   Webdep.Dataset.country_data
 (** Measure an already-materialized snapshot (used when the caller also
-    needs the snapshot's ground truth). *)
+    needs the snapshot's ground truth).
+
+    [cache] (default [true]) puts a recursive-resolver-style memo in
+    front of DNS resolution for the duration of the snapshot — response,
+    NS-glue and (in iterative mode) TLD zone-cut tables keyed on
+    [(vantage, qname)].  Answers are deterministic per (vantage, qname),
+    so caching never changes the dataset, only the work; hit/miss
+    counters land in the obs registry under [dns.cache.*]. *)
 
 val measure_all :
   ?vantage:string ->
   ?resolution:resolution ->
+  ?cache:bool ->
   ?epoch:Webdep_worldgen.World.epoch ->
   ?countries:string list ->
   ?jobs:int ->
@@ -51,7 +61,9 @@ val measure_all :
     Countries fan out across the {!Webdep_par} domain pool ([?jobs]
     overrides the configured lane count; [1] forces the sequential
     path).  The world is {!Webdep_worldgen.World.prepare}d first, so the
-    returned dataset is bit-identical for every [jobs] value. *)
+    returned dataset is bit-identical for every [jobs] value; resolver
+    caches (see {!measure_snapshot}) are created per snapshot, keeping
+    that invariant regardless of [cache]. *)
 
 type resolution_stats = {
   domains : int;

@@ -117,33 +117,40 @@ let mix t ?(epoch = May_2023) layer cc =
 
 let all_codes = List.map (fun c -> c.Webdep_geo.Country.code) Webdep_geo.Country.all
 
+let name_set names =
+  let set = Hashtbl.create (List.length names) in
+  List.iter (fun n -> Hashtbl.replace set n ()) names;
+  set
+
 let global_names =
   let names =
     List.map (fun p -> p.Provider.name) (Registry.hosting_global @ Registry.dns_global)
   in
   "Cloudflare" :: "Amazon" :: names
 
-let is_global p = List.mem p.Provider.name global_names
+let global_name_set = name_set global_names
+
+let is_global p = Hashtbl.mem global_name_set p.Provider.name
 
 let anycast_names =
   [ "Cloudflare"; "NSONE"; "Neustar UltraDNS"; "Verisign DNS"; "Dyn"; "DNS Made Easy";
     "easyDNS" ]
 
+let anycast_name_set = name_set anycast_names
+
 let register_provider t p =
   Mutex.protect t.lock @@ fun () ->
-  let anycast = List.mem p.Provider.name anycast_names in
+  let anycast = Hashtbl.mem anycast_name_set p.Provider.name in
   let presence = if is_global p then all_codes else [] in
   Internet.register_network t.internet ~name:p.Provider.name ~country:p.Provider.home
     ~anycast ~presence ()
 
 (* Stable per-site address inside a network, preferring the point of
-   presence nearest the client country. *)
+   presence nearest the client country.  Runs inside per-vantage Dynamic
+   answer closures, i.e. on every DNS query, so it uses the network's
+   country-indexed pop table rather than scanning the pops list. *)
 let stable_addr (net : Internet.network) ~near idx =
-  let prefix =
-    match List.assoc_opt near net.Internet.pops with
-    | Some p -> p
-    | None -> snd (List.hd net.Internet.pops)
-  in
+  let prefix = Internet.pop_near net ~near in
   Ipv4.nth_addr prefix (idx mod Ipv4.prefix_size prefix)
 
 (* --- Certificates ----------------------------------------------------- *)
@@ -168,6 +175,30 @@ let ensure_ca_registered t (owner_p : Provider.t) =
       done
     end
   end
+
+(* Sweep-local registration memo: one world-lock round-trip per distinct
+   provider per sweep instead of several per site.  Skipping the repeat
+   calls is safe — registering an already-known provider or CA is a
+   no-op on shared state — so first registrations still happen in the
+   exact order [prepare]/[snapshot] would otherwise produce. *)
+let sweep_registrars t =
+  let nets = Hashtbl.create 64 in
+  let cas = Hashtbl.create 64 in
+  let register p =
+    match Hashtbl.find_opt nets p.Provider.name with
+    | Some net -> net
+    | None ->
+        let net = register_provider t p in
+        Hashtbl.replace nets p.Provider.name net;
+        net
+  in
+  let ensure_ca a =
+    if not (Hashtbl.mem cas a.Provider.name) then begin
+      Hashtbl.replace cas a.Provider.name ();
+      ensure_ca_registered t a
+    end
+  in
+  (register, ensure_ca)
 
 let issuer_cn_for owner_name domain =
   Printf.sprintf "%s Issuing CA R%d" owner_name (1 + (strhash domain 7 mod 2))
@@ -278,14 +309,15 @@ let prepare t ?(epoch = May_2023) ccs =
         if fresh then begin
           let rng = snap_rng t epoch cc in
           let toplist, hosting, dns, ca = layer_assignments t ~epoch rng cc in
+          let register, ensure_ca = sweep_registrars t in
           List.iteri
             (fun i domain ->
               let h = hosting.(i) and d = dns.(i) and a = ca.(i) in
-              ignore (register_provider t h);
-              ignore (register_provider t d);
-              ensure_ca_registered t a;
+              ignore (register h);
+              ignore (register d);
+              ensure_ca a;
               match alt_provider h domain with
-              | Some alt_p -> ignore (register_provider t alt_p)
+              | Some alt_p -> ignore (register alt_p)
               | None -> ())
             (Toplist.domains toplist)
         end
@@ -308,13 +340,14 @@ let snapshot t ?(epoch = May_2023) cc =
   let assigned = Hashtbl.create t.c in
   let content_language = Hashtbl.create t.c in
   let glue_done = Hashtbl.create 512 in
+  let register, ensure_ca = sweep_registrars t in
   let day0 = 19_500 (* arbitrary simulation clock origin *) in
   Array.iteri
     (fun i domain ->
       let h = hosting.(i) and d = dns.(i) and a = ca.(i) in
-      let h_net = register_provider t h in
-      let d_net = register_provider t d in
-      ensure_ca_registered t a;
+      let h_net = register h in
+      let d_net = register d in
+      ensure_ca a;
       (* Nameservers: two hosts per DNS provider, glue registered once. *)
       let slug = Provider.slug d in
       let ns_hosts = [ "ns1." ^ slug ^ ".sim"; "ns2." ^ slug ^ ".sim" ] in
@@ -330,7 +363,7 @@ let snapshot t ?(epoch = May_2023) cc =
          sites that shows through from non-home vantages. *)
       let alt =
         match alt_provider h domain with
-        | Some alt_p -> Some (alt_p, register_provider t alt_p)
+        | Some alt_p -> Some (alt_p, register alt_p)
         | None -> None
       in
       let primary_addr vantage =

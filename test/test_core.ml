@@ -377,9 +377,55 @@ let test_validate_too_few () =
     (Invalid_argument "Validate.correlate: too few shared countries") (fun () ->
       ignore (Validate.correlate ~home:[ ("AA", 0.1) ] ~probes:[ ("AA", 0.1) ]))
 
+(* --- Symbol ----------------------------------------------------------------- *)
+
+let test_symbol_round_trip () =
+  let t = Symbol.create () in
+  let a = Symbol.intern t "Cloudflare" in
+  let b = Symbol.intern t "Amazon" in
+  Alcotest.(check int) "dense ids" 0 a;
+  Alcotest.(check int) "next id" 1 b;
+  Alcotest.(check int) "re-intern is stable" a (Symbol.intern t "Cloudflare");
+  Alcotest.(check string) "name round-trips" "Cloudflare" (Symbol.name t a);
+  Alcotest.(check string) "name round-trips (2)" "Amazon" (Symbol.name t b);
+  Alcotest.(check (option int)) "find" (Some b) (Symbol.find t "Amazon");
+  Alcotest.(check (option int)) "find missing" None (Symbol.find t "GoDaddy");
+  Alcotest.(check int) "count" 2 (Symbol.count t)
+
+let test_symbol_growth () =
+  (* Interning past the initial capacity grows the name table without
+     disturbing ids or names. *)
+  let t = Symbol.create ~size:2 () in
+  let names = List.init 100 (Printf.sprintf "provider-%03d") in
+  let ids = List.map (Symbol.intern t) names in
+  Alcotest.(check (list int)) "first-seen order" (List.init 100 Fun.id) ids;
+  Alcotest.(check int) "count" 100 (Symbol.count t);
+  List.iteri
+    (fun id name ->
+      Alcotest.(check string) (Printf.sprintf "name %d survives growth" id) name
+        (Symbol.name t id))
+    names;
+  let seen = ref [] in
+  Symbol.iter (fun id name -> seen := (id, name) :: !seen) t;
+  Alcotest.(check int) "iter covers all" 100 (List.length !seen);
+  Alcotest.(check bool) "iter ascending" true
+    (List.for_all2 (fun (id, _) want -> id = want) (List.rev !seen) (List.init 100 Fun.id))
+
+let test_symbol_out_of_range () =
+  let t = Symbol.create () in
+  ignore (Symbol.intern t "only");
+  Alcotest.check_raises "out of range" (Invalid_argument "Symbol.name: id out of range")
+    (fun () -> ignore (Symbol.name t 1))
+
 let () =
   Alcotest.run "webdep_core"
     [
+      ( "symbol",
+        [
+          Alcotest.test_case "round trip" `Quick test_symbol_round_trip;
+          Alcotest.test_case "growth" `Quick test_symbol_growth;
+          Alcotest.test_case "out of range" `Quick test_symbol_out_of_range;
+        ] );
       ( "dataset",
         [
           Alcotest.test_case "basics" `Quick test_dataset_basics;

@@ -228,6 +228,128 @@ let test_cname_iterative_matches_flat () =
     (Resolver.resolve_a db ~vantage:"US" "www.shop.example.com"
     = Iterative.resolve_a h ~vantage:"US" "www.shop.example.com")
 
+(* --- Cache ------------------------------------------------------------------ *)
+
+let counter_value name = Webdep_obs.Metrics.value (Webdep_obs.Metrics.counter name)
+
+let test_cache_basic () =
+  Webdep_obs.Registry.reset ();
+  let c = Cache.create ~name:"dns.cache.test" () in
+  Alcotest.(check (option int)) "cold miss" None (Cache.find c ~vantage:"US" "a.example");
+  Cache.add c ~vantage:"US" "a.example" 7;
+  Alcotest.(check (option int)) "hit" (Some 7) (Cache.find c ~vantage:"US" "a.example");
+  Alcotest.(check (option int)) "vantage keyed" None (Cache.find c ~vantage:"DE" "a.example");
+  Alcotest.(check int) "one entry" 1 (Cache.length c);
+  Alcotest.(check int) "hit counter" 1 (Cache.hits c);
+  Alcotest.(check int) "miss counter" 2 (Cache.misses c)
+
+let test_cache_find_or_compute () =
+  let c = Cache.create ~name:"dns.cache.test" () in
+  let calls = ref 0 in
+  let f () =
+    incr calls;
+    42
+  in
+  Alcotest.(check int) "computed" 42 (Cache.find_or_compute c ~vantage:"US" "x" f);
+  Alcotest.(check int) "memoized" 42 (Cache.find_or_compute c ~vantage:"US" "x" f);
+  Alcotest.(check int) "computed once" 1 !calls
+
+let test_resolver_cache_transparent () =
+  (* Caching may change the work, never the answers — across static, geo,
+     CNAME-chained and missing names, from several vantages. *)
+  let db = cname_db () in
+  Zone_db.add_domain db ~domain:"cdn.example" ~ns_hosts:[]
+    ~a:(Zone_db.Geo ([ ("DE", [ addr "10.2.0.1" ]) ], [ addr "10.1.0.1" ]));
+  let cache = Resolver.make_cache () in
+  List.iter
+    (fun domain ->
+      List.iter
+        (fun vantage ->
+          (* Twice with the cache: the second resolve exercises the hit path. *)
+          let uncached = Resolver.resolve db ~vantage domain in
+          if Resolver.resolve ~cache db ~vantage domain <> uncached then
+            Alcotest.failf "cold cache changes %s from %s" domain vantage;
+          if Resolver.resolve ~cache db ~vantage domain <> uncached then
+            Alcotest.failf "warm cache changes %s from %s" domain vantage)
+        [ "US"; "DE"; "JP" ])
+    [ "shop.example.com"; "cdn.example"; "www.shop.example.com"; "missing.example" ]
+
+let test_resolver_cache_counters () =
+  Webdep_obs.Registry.reset ();
+  let db = db_with_example () in
+  let cache = Resolver.make_cache () in
+  ignore (Resolver.resolve ~cache db ~vantage:"US" "example.com");
+  Alcotest.(check int) "cold: one response miss" 1 (counter_value "dns.cache.response.misses");
+  Alcotest.(check int) "cold: no response hit" 0 (counter_value "dns.cache.response.hits");
+  ignore (Resolver.resolve ~cache db ~vantage:"US" "example.com");
+  Alcotest.(check int) "warm: one response hit" 1 (counter_value "dns.cache.response.hits");
+  (* A different vantage is a different key. *)
+  ignore (Resolver.resolve ~cache db ~vantage:"DE" "example.com");
+  Alcotest.(check int) "vantage keyed" 2 (counter_value "dns.cache.response.misses")
+
+let test_resolver_glue_reuse () =
+  (* Two domains on the same nameservers: the second resolution reuses
+     the glue memo — the paper-world pattern where a handful of DNS
+     providers serve nearly every site. *)
+  Webdep_obs.Registry.reset ();
+  let db = db_with_example () in
+  Zone_db.add_domain db ~domain:"other.com"
+    ~ns_hosts:[ "ns1.dns.sim"; "ns2.dns.sim" ]
+    ~a:(Zone_db.Static [ addr "10.0.0.3" ]);
+  let cache = Resolver.make_cache () in
+  ignore (Resolver.resolve ~cache db ~vantage:"US" "example.com");
+  Alcotest.(check int) "cold glue misses" 2 (counter_value "dns.cache.glue.misses");
+  Alcotest.(check int) "cold glue hits" 0 (counter_value "dns.cache.glue.hits");
+  ignore (Resolver.resolve ~cache db ~vantage:"US" "other.com");
+  Alcotest.(check int) "glue reused" 2 (counter_value "dns.cache.glue.hits");
+  Alcotest.(check int) "no new glue misses" 2 (counter_value "dns.cache.glue.misses")
+
+let test_iterative_cache_result_memo () =
+  let db = big_db () in
+  let h = Hierarchy.build db in
+  let cache = Iterative.make_cache () in
+  (match Iterative.resolve ~cache h ~vantage:"US" "shop.example.com" with
+  | Ok ([ a ], stats) ->
+      Alcotest.(check string) "cold answer" "10.0.1.1" (Ipv4.addr_to_string a);
+      Alcotest.(check int) "cold walk costs 3 queries" 3 stats.Iterative.queries
+  | _ -> Alcotest.fail "should resolve");
+  match Iterative.resolve ~cache h ~vantage:"US" "shop.example.com" with
+  | Ok ([ a ], stats) ->
+      Alcotest.(check string) "warm answer" "10.0.1.1" (Ipv4.addr_to_string a);
+      Alcotest.(check int) "no queries" 0 stats.Iterative.queries;
+      Alcotest.(check int) "no referrals" 0 stats.Iterative.referrals
+  | _ -> Alcotest.fail "should resolve from cache"
+
+let test_iterative_cache_zone_cut () =
+  (* A warm TLD cut lets a sibling domain's walk skip the root: 2 queries
+     and 1 referral instead of 3 and 2. *)
+  let db = big_db () in
+  Zone_db.add_domain db ~domain:"pay.example.com" ~ns_hosts:[ "ns1.alpha.sim" ]
+    ~a:(Zone_db.Static [ addr "10.0.1.2" ]);
+  let h = Hierarchy.build db in
+  let cache = Iterative.make_cache () in
+  (match Iterative.resolve ~cache h ~vantage:"US" "shop.example.com" with
+  | Ok (_, stats) -> Alcotest.(check int) "cold from root" 3 stats.Iterative.queries
+  | _ -> Alcotest.fail "should resolve");
+  match Iterative.resolve ~cache h ~vantage:"US" "pay.example.com" with
+  | Ok ([ a ], stats) ->
+      Alcotest.(check string) "sibling answer" "10.0.1.2" (Ipv4.addr_to_string a);
+      Alcotest.(check int) "warm cut skips the root" 2 stats.Iterative.queries;
+      Alcotest.(check int) "one referral" 1 stats.Iterative.referrals
+  | _ -> Alcotest.fail "should resolve via the cut"
+
+let test_iterative_cache_vantage_keyed () =
+  let h = Hierarchy.build (big_db ()) in
+  let cache = Iterative.make_cache () in
+  let from v =
+    Ipv4.addr_to_string (Option.get (Iterative.resolve_a ~cache h ~vantage:v "blog.example.org"))
+  in
+  Alcotest.(check string) "DE geo answer" "10.0.2.2" (from "DE");
+  Alcotest.(check string) "US default answer" "10.0.2.1" (from "US");
+  (* Warm repeats keep the split-horizon answers apart. *)
+  Alcotest.(check string) "DE again" "10.0.2.2" (from "DE");
+  Alcotest.(check string) "US again" "10.0.2.1" (from "US")
+
 (* --- Probe ------------------------------------------------------------------ *)
 
 let test_probe_pool () =
@@ -286,6 +408,17 @@ let () =
           Alcotest.test_case "cycle terminates" `Quick test_cname_cycle_terminates;
           Alcotest.test_case "iterative restarts" `Quick test_cname_iterative_restarts;
           Alcotest.test_case "iterative = flat" `Quick test_cname_iterative_matches_flat;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "basic" `Quick test_cache_basic;
+          Alcotest.test_case "find_or_compute" `Quick test_cache_find_or_compute;
+          Alcotest.test_case "resolver transparent" `Quick test_resolver_cache_transparent;
+          Alcotest.test_case "resolver counters" `Quick test_resolver_cache_counters;
+          Alcotest.test_case "glue reuse" `Quick test_resolver_glue_reuse;
+          Alcotest.test_case "iterative result memo" `Quick test_iterative_cache_result_memo;
+          Alcotest.test_case "iterative zone cut" `Quick test_iterative_cache_zone_cut;
+          Alcotest.test_case "iterative vantage keyed" `Quick test_iterative_cache_vantage_keyed;
         ] );
       ( "probe",
         [

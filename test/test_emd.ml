@@ -94,6 +94,52 @@ let test_transport_flow_conservation () =
   Array.iteri (fun i s -> check_float ~eps:1e-6 (Printf.sprintf "out %d" i) supply.(i) s) out;
   Array.iteri (fun j d -> check_float ~eps:1e-6 (Printf.sprintf "in %d" j) demand.(j) d) into
 
+let test_solver_matches_reference_shapes () =
+  (* Degenerate shapes the general property may not hit: single supplier,
+     single demand bucket, and the 1x1 trivial instance. *)
+  let cost i j = float_of_int (((i * 7) + (j * 13)) mod 8) /. 8.0 in
+  List.iter
+    (fun (supply, demand) ->
+      let a = Transport.solve ~supply ~demand ~cost in
+      let b = Transport.solve_reference ~supply ~demand ~cost in
+      check_float ~eps:1e-9 "work matches reference" b.Transport.work a.Transport.work)
+    [
+      ([| 12.0 |], [| 3.0; 4.0; 5.0 |]);
+      ([| 3.0; 4.0; 5.0 |], [| 12.0 |]);
+      ([| 2.0; 2.0; 2.0; 2.0 |], [| 8.0 |]);
+      ([| 10.0 |], [| 10.0 |]);
+    ]
+
+let prop_solver_matches_reference =
+  (* Differential test of the Dijkstra-with-potentials solver against the
+     Bellman–Ford oracle: integer masses and dyadic-eighth costs (some
+     negative, to exercise the potential seeding) keep the arithmetic
+     exact, so the optima must agree to well under 1e-9. *)
+  QCheck.Test.make ~name:"Dijkstra+potentials = Bellman-Ford reference" ~count:120
+    QCheck.(
+      triple
+        (list_of_size (Gen.int_range 1 7) (int_range 1 9))
+        (int_range 1 7) (int_range 0 1000))
+    (fun (supply_counts, m, salt) ->
+      let supply = Array.of_list (List.map float_of_int supply_counts) in
+      let total = List.fold_left ( + ) 0 supply_counts in
+      let q = total / m and r = total mod m in
+      let demand = Array.init m (fun j -> float_of_int (q + if j < r then 1 else 0)) in
+      let cost i j = float_of_int ((((i * 31) + (j * 17) + salt) mod 16) - 2) /. 8.0 in
+      let a = Transport.solve ~supply ~demand ~cost in
+      let b = Transport.solve_reference ~supply ~demand ~cost in
+      (* The fast solver's flows must also be a feasible transport plan. *)
+      let out = Array.make (Array.length supply) 0.0 in
+      let into = Array.make m 0.0 in
+      List.iter
+        (fun (i, j, f) ->
+          out.(i) <- out.(i) +. f;
+          into.(j) <- into.(j) +. f)
+        a.Transport.flows;
+      Array.for_all2 (fun s o -> Float.abs (s -. o) < 1e-6) supply out
+      && Array.for_all2 (fun d i -> Float.abs (d -. i) < 1e-6) demand into
+      && Float.abs (a.Transport.work -. b.Transport.work) < 1e-9)
+
 let prop_transport_matches_cdf_1d =
   QCheck.Test.make ~name:"1-D transport equals CDF distance" ~count:60
     QCheck.(
@@ -155,16 +201,19 @@ let test_doj_bands () =
     (Centralization.doj_band_to_string (Centralization.doj_band 0.3))
 
 let test_closed_form_equals_transport_small () =
-  (* Appendix A: the closed form is the transportation optimum. *)
+  (* Appendix A: the closed form is the transportation optimum — checked
+     through both the default fast path and the general solver. *)
   List.iter
     (fun counts ->
       let d = Dist.of_counts counts in
       let closed = Centralization.score d in
-      let via = Centralization.via_transport d in
-      check_float ~eps:1e-6
-        (Printf.sprintf "closed form for %s"
-           (String.concat "," (List.map string_of_int (Array.to_list counts))))
-        closed via)
+      let name =
+        Printf.sprintf "closed form for %s"
+          (String.concat "," (List.map string_of_int (Array.to_list counts)))
+      in
+      check_float ~eps:1e-6 name closed (Centralization.via_transport d);
+      check_float ~eps:1e-6 (name ^ " (solver)") closed
+        (Centralization.via_transport ~fast:false d))
     [ [| 5; 3; 2 |]; [| 10 |]; [| 1; 1; 1; 1 |]; [| 7; 2; 1 |]; [| 4; 4; 4 |] ]
 
 let prop_closed_form_equals_transport =
@@ -296,6 +345,9 @@ let () =
           Alcotest.test_case "unbalanced raises" `Quick test_transport_unbalanced_raises;
           Alcotest.test_case "negative raises" `Quick test_transport_negative_raises;
           Alcotest.test_case "flow conservation" `Quick test_transport_flow_conservation;
+          Alcotest.test_case "solver = reference (1xm, nx1)" `Quick
+            test_solver_matches_reference_shapes;
+          qtest prop_solver_matches_reference;
           qtest prop_transport_matches_cdf_1d;
         ] );
       ( "centralization",
