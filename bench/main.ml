@@ -1356,6 +1356,106 @@ let kernels () =
     ]
 
 (* ========================================================================
+   Faults (always run): the robustness plane's cost and behaviour.
+   Three sequential sweeps over the same fixed sample:
+     clean      measure_all, no fault plumbing at all
+     zero_rate  measure_sweep with an enabled rate-0 plan + retries —
+                every query consults the plan but nothing ever fires;
+                its wall clock against "clean" is the overhead claim,
+                and the datasets must be identical
+     faulted    rate 0.05 with 3 retries — how much slower, how many
+                faults fired, how many queries recovered, and whether
+                every country still clears the coverage threshold
+   ======================================================================== *)
+
+module Faults = Webdep_faults.Fault_plan
+module Retry = Webdep_faults.Retry
+
+let faults_json : (string * Json.t) list ref = ref []
+
+let faults () =
+  section "Faults" "fault-injection overhead, retry recovery, coverage";
+  let sample = [ "US"; "RU"; "BR"; "DE"; "JP"; "IN"; "FR"; "TH" ] in
+  let counter name = Obs_metrics.value (Obs_metrics.counter name) in
+  let clean_ds, clean_s =
+    Span.timed ~name:"bench.faults.measure_clean" (fun () ->
+        Measure.measure_all ~countries:sample ~jobs:1 world)
+  in
+  let zero_opts =
+    {
+      Measure.no_faults with
+      plan = Faults.make ~rate:0.0 ~seed:7 ();
+      retry = Retry.of_max_retries 3;
+      coverage_threshold = 0.9;
+    }
+  in
+  let zero_sweep, zero_s =
+    Span.timed ~name:"bench.faults.measure_zero_rate" (fun () ->
+        Measure.measure_sweep ~countries:sample ~jobs:1 ~faults:zero_opts world)
+  in
+  let identical =
+    List.for_all
+      (fun cc ->
+        D.country_exn clean_ds cc = D.country_exn zero_sweep.Measure.dataset cc)
+      sample
+  in
+  (* Counter deltas isolate the faulted run: fault.injected.* can only
+     fire there, but retry.* may also move on genuine transient errors
+     in the zero-rate sweep. *)
+  let retry_before = counter "retry.attempts" in
+  let faulted_opts =
+    { zero_opts with plan = Faults.make ~rate:0.05 ~seed:7 () }
+  in
+  let faulted_sweep, faulted_s =
+    Span.timed ~name:"bench.faults.measure_faulted" (fun () ->
+        Measure.measure_sweep ~countries:sample ~jobs:1 ~faults:faulted_opts world)
+  in
+  let injected_kinds =
+    [
+      "dns_timeout"; "dns_servfail"; "dns_refused"; "packet_loss";
+      "lame_delegation"; "tls_truncated"; "tls_failed";
+    ]
+    |> List.map (fun k -> (k, counter ("fault.injected." ^ k)))
+  in
+  let injected_total = List.fold_left (fun acc (_, v) -> acc + v) 0 injected_kinds in
+  let retry_attempts = counter "retry.attempts" - retry_before in
+  let recovered = counter "retry.recovered" in
+  let exhausted = counter "retry.exhausted" in
+  let degraded = counter "pipeline.sites.degraded" in
+  let failed = counter "pipeline.sites.failed" in
+  let insufficient = List.length faulted_sweep.Measure.insufficient in
+  Printf.printf
+    "measure (%d countries, --jobs 1): clean %.2fs, rate-0 plan %.2fs (x%.2f overhead), \
+     datasets identical: %b\n"
+    (List.length sample) clean_s zero_s (zero_s /. clean_s) identical;
+  Printf.printf
+    "rate 0.05 + 3 retries: %.2fs (x%.2f), %d faults injected, %d retries \
+     (%d recovered, %d exhausted), %d degraded / %d failed sites, %d countries \
+     below coverage threshold\n"
+    faulted_s (faulted_s /. clean_s) injected_total retry_attempts recovered
+    exhausted degraded failed insufficient;
+  if not identical then
+    prerr_endline "webdep bench: WARNING: rate-0 fault sweep differs from measure_all";
+  faults_json :=
+    [
+      ("countries", Json.Int (List.length sample));
+      ("clean_s", Json.Float clean_s);
+      ("zero_rate_s", Json.Float zero_s);
+      ("overhead", Json.Float (zero_s /. clean_s));
+      ("identical", Json.Bool identical);
+      ("faulted_s", Json.Float faulted_s);
+      ( "injected",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) injected_kinds) );
+      ("injected_total", Json.Int injected_total);
+      ("retry_attempts", Json.Int retry_attempts);
+      ("retry_recovered", Json.Int recovered);
+      ("retry_exhausted", Json.Int exhausted);
+      ("sites_degraded", Json.Int degraded);
+      ("sites_failed", Json.Int failed);
+      ("insufficient_countries", Json.Int insufficient);
+    ]
+
+(* ========================================================================
    main
    ======================================================================== *)
 
@@ -1363,7 +1463,7 @@ let kernels () =
    what each table/figure consumed from the pipeline and simulators. *)
 let phase_counters : (string * (string * int) list) list ref = ref []
 
-(* BENCH_obs.json, schema webdep-bench/3:
+(* BENCH_obs.json, schema webdep-bench/4:
    - phases_s:        bench-locally recorded per-phase wall seconds
                       (includes world_create / measure_all / the 2025
                       measurement inside "longitudinal")
@@ -1377,7 +1477,11 @@ let phase_counters : (string * (string * int) list) list ref = ref []
    - kernels:         hot-path micro-benchmarks — transport solver
                       old-vs-new ns/run per shape, and cached-vs-uncached
                       measure_all wall clock with cache hit/miss totals
-                      and the dataset-equality verdict *)
+                      and the dataset-equality verdict
+   - faults:          robustness-plane cost — rate-0 plan overhead vs
+                      plain measure_all (with the identity verdict) and
+                      the rate-0.05 sweep's injection/retry/coverage
+                      totals *)
 let write_bench_json path =
   let phases =
     List.rev_map (fun (name, s) -> (name, Json.Float s)) !recorded_phases
@@ -1409,7 +1513,7 @@ let write_bench_json path =
   let doc =
     Json.Obj
       ([
-         ("schema", Json.String "webdep-bench/3");
+         ("schema", Json.String "webdep-bench/4");
          ("c", Json.Int c);
          ("seed", Json.Int seed);
          ("jobs", Json.Int jobs);
@@ -1418,7 +1522,11 @@ let write_bench_json path =
          ("phase_counters", Json.Obj counters_json);
        ]
       @ speedup_json
-      @ [ ("kernels", Json.Obj !kernel_json); ("metrics", measure_metrics) ])
+      @ [
+          ("kernels", Json.Obj !kernel_json);
+          ("faults", Json.Obj !faults_json);
+          ("metrics", measure_metrics);
+        ])
   in
   let oc = open_out path in
   output_string oc (Json.to_string doc);
@@ -1465,7 +1573,9 @@ let () =
       ("ablation_c_sensitivity", ablation_c_sensitivity);
     ];
   if Sys.getenv_opt "WEBDEP_BENCH_SKIP_TIMINGS" = None then phase "timings" timings;
-  (* The kernels phase always runs — CI's BENCH diff asserts on it. *)
+  (* The kernels and faults phases always run — CI's BENCH diff asserts
+     on them. *)
   phase "kernels" kernels;
+  phase "faults" faults;
   let total = write_bench_json "BENCH_obs.json" in
   Printf.printf "\ntotal bench time: %.1fs\n" total

@@ -104,14 +104,84 @@ let obs_term =
   in
   Term.(const obs_setup $ trace $ metrics $ verbose $ jobs)
 
-let measure ~seed ~c ?countries () =
+(* --- fault injection ---------------------------------------------------- *)
+
+(* Robustness flags: a fault plan (deterministic in --fault-seed, off at
+   --fault-rate 0), a retry budget, the per-country coverage gate, and
+   an optional checkpoint file for interrupted sweeps. *)
+
+let faults_setup rate fault_seed max_retries coverage_threshold checkpoint =
+  if rate < 0.0 || rate > 1.0 then begin
+    Printf.eprintf "webdep: --fault-rate must be within [0, 1] (got %g)\n" rate;
+    exit 124
+  end;
+  let faults =
+    if rate = 0.0 then None
+    else
+      Some
+        {
+          Measure.plan = Webdep_faults.Fault_plan.make ~rate ~seed:fault_seed ();
+          retry = Webdep_faults.Retry.of_max_retries max_retries;
+          coverage_threshold;
+          quarantine_after = 3;
+        }
+  in
+  (faults, checkpoint)
+
+let faults_term =
+  let rate =
+    Arg.(value & opt float 0.0 & info [ "fault-rate" ] ~docv:"P"
+           ~doc:"Probability a simulated server/query key misbehaves \
+                 (timeouts, SERVFAIL, lame delegation, packet loss, broken \
+                 TLS).  0 disables fault injection entirely; the output is \
+                 then identical to a run without these flags.")
+  in
+  let fault_seed =
+    Arg.(value & opt int 7 & info [ "fault-seed" ] ~docv:"SEED"
+           ~doc:"Seed of the deterministic fault plan (independent of the \
+                 world seed).")
+  in
+  let max_retries =
+    Arg.(value & opt int 3 & info [ "max-retries" ] ~docv:"N"
+           ~doc:"Retries after the first attempt for transient DNS/TLS \
+                 failures (deterministic exponential backoff, simulated \
+                 clock).")
+  in
+  let coverage_threshold =
+    Arg.(value & opt float 0.9 & info [ "coverage-threshold" ] ~docv:"R"
+           ~doc:"Minimum per-country fraction of measured (non-failed) \
+                 sites; countries below it are reported as \
+                 insufficient_coverage and withheld from the output.")
+  in
+  let checkpoint =
+    Arg.(value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE"
+           ~doc:"Append completed country shards to $(docv) and resume past \
+                 them on restart (same sweep parameters required).")
+  in
+  Term.(const faults_setup $ rate $ fault_seed $ max_retries $ coverage_threshold
+        $ checkpoint)
+
+let measure ~seed ~c ?countries ?(faults = (None, None)) () =
   let world = World.create ~c ~seed () in
-  (world, Measure.measure_all ?countries world)
+  let fault_opts, checkpoint = faults in
+  match (fault_opts, checkpoint) with
+  | None, None -> (world, Measure.measure_all ?countries world)
+  | _ ->
+      let sweep =
+        Measure.measure_sweep ?countries ?faults:fault_opts ?checkpoint world
+      in
+      List.iter
+        (fun (c : Measure.country_coverage) ->
+          if List.mem c.Measure.cc sweep.Measure.insufficient then
+            Printf.eprintf "insufficient_coverage %s: %.1f%% measured\n"
+              c.Measure.cc (100.0 *. c.Measure.ratio))
+        sweep.Measure.coverage;
+      (world, sweep.Measure.dataset)
 
 (* --- scores ------------------------------------------------------------- *)
 
-let run_scores () layer seed c countries top =
-  let _, ds = measure ~seed ~c ?countries:(normalize_countries countries) () in
+let run_scores () layer seed c countries top faults =
+  let _, ds = measure ~seed ~c ?countries:(normalize_countries countries) ~faults () in
   Printf.printf "%-5s %-4s %10s %10s %8s\n" "rank" "cc" "S" "paper" "diff";
   List.iteri
     (fun i (cc, s) ->
@@ -123,7 +193,8 @@ let run_scores () layer seed c countries top =
 let scores_cmd =
   let doc = "Per-country centralization scores for a layer (Tables 5-8)." in
   Cmd.v (Cmd.info "scores" ~doc)
-    Term.(const run_scores $ obs_term $ layer_arg $ seed_arg $ c_arg $ countries_arg $ top_arg)
+    Term.(const run_scores $ obs_term $ layer_arg $ seed_arg $ c_arg $ countries_arg
+          $ top_arg $ faults_term)
 
 (* --- report -------------------------------------------------------------- *)
 

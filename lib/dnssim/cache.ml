@@ -26,7 +26,14 @@ let find t ~vantage qname =
 
 let add t ~vantage qname v = Hashtbl.replace t.tbl (key ~vantage qname) v
 
-let find_or_compute t ~vantage qname f =
+(* Shared across every cache instance: how many computed values were
+   deliberately NOT memoized because the caller judged them transient
+   (a cached SERVFAIL must not mask a later successful retry). *)
+let m_negative_skip = Webdep_obs.Metrics.counter "dns.cache.negative_skip"
+
+let negative_skip () = Webdep_obs.Metrics.incr m_negative_skip
+
+let find_or_compute ?(cache_if = fun _ -> true) t ~vantage qname f =
   let k = key ~vantage qname in
   match Hashtbl.find_opt t.tbl k with
   | Some v ->
@@ -35,7 +42,7 @@ let find_or_compute t ~vantage qname f =
   | None ->
       Webdep_obs.Metrics.incr t.m;
       let v = f () in
-      Hashtbl.add t.tbl k v;
+      if cache_if v then Hashtbl.add t.tbl k v else negative_skip ();
       v
 
 let length t = Hashtbl.length t.tbl

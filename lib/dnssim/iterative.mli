@@ -7,7 +7,15 @@ type stats = {
   referrals : int;  (** delegations followed *)
 }
 
-type error = Nxdomain | Servfail of string
+type error = Resolver.error =
+  | Nxdomain
+  | Timeout
+  | Refused
+  | Servfail of string
+(** Same canonical error as {!Resolver.error}: only [Nxdomain] is
+    definitive; [Timeout] means every server in a delegation set lost
+    the query (injected packet loss); [Servfail] carries a reason (lame
+    delegation, referral loop, missing glue, over-long CNAME chain). *)
 
 val m_queries : Webdep_obs.Metrics.counter
 (** Total questions asked across every resolution this process ran. *)
@@ -20,7 +28,10 @@ val m_nxdomain : Webdep_obs.Metrics.counter
 
 val m_servfail : Webdep_obs.Metrics.counter
 (** Resolutions that ended in SERVFAIL (lame delegation, referral loop,
-    missing glue, over-long CNAME chain). *)
+    missing glue, over-long CNAME chain) or REFUSED. *)
+
+val m_timeout : Webdep_obs.Metrics.counter
+(** Resolutions where every server in a delegation set timed out. *)
 
 val m_depth : Webdep_obs.Metrics.histogram
 (** Queries per {e successful} resolution — the pipeline's mean_queries
@@ -37,12 +48,21 @@ val make_cache : unit -> cache
 
 val resolve :
   ?cache:cache ->
+  ?faults:Webdep_faults.Fault_plan.t ->
+  ?retry:Webdep_faults.Retry.policy ->
   Hierarchy.t -> vantage:string -> string -> (Webdep_netsim.Ipv4.addr list * stats, error) result
 (** Resolve a qname's A records; without [?cache] every resolution walks
     from the root hints.  A result-cache hit reports zero queries and
-    referrals (nothing was asked).  [Servfail] carries a reason (lame
-    delegation, referral loop, missing glue). *)
+    referrals (nothing was asked); transient errors are never memoized.
+    [?faults] injects deterministic per-server packet loss and lame
+    delegations — the walk fails over to the next server in the set,
+    each extra question counted in {!m_queries}.  [?retry] re-runs the
+    whole walk on transient failure; on success [stats] reflects the
+    final attempt. *)
 
 val resolve_a :
-  ?cache:cache -> Hierarchy.t -> vantage:string -> string -> Webdep_netsim.Ipv4.addr option
+  ?cache:cache ->
+  ?faults:Webdep_faults.Fault_plan.t ->
+  ?retry:Webdep_faults.Retry.policy ->
+  Hierarchy.t -> vantage:string -> string -> Webdep_netsim.Ipv4.addr option
 (** First address, if resolution succeeds. *)

@@ -4,7 +4,25 @@ type response = {
   ns_addrs : Webdep_netsim.Ipv4.addr list;
 }
 
-type error = Nxdomain
+(* The canonical resolution error, shared by the flat and iterative
+   resolvers.  Nxdomain is definitive (the name does not exist);
+   everything else is transient and eligible for retry. *)
+type error = Nxdomain | Timeout | Refused | Servfail of string
+
+let error_message = function
+  | Nxdomain -> "NXDOMAIN"
+  | Timeout -> "query timed out"
+  | Refused -> "REFUSED"
+  | Servfail msg -> "SERVFAIL: " ^ msg
+
+let retryable = function
+  | Nxdomain -> false
+  | Timeout | Refused | Servfail _ -> true
+
+(* Definitive results (including NXDOMAIN) are safe to memoize;
+   transient failures must not be, or a cached SERVFAIL would mask a
+   later successful retry. *)
+let cacheable = function Ok _ | Error Nxdomain -> true | Error _ -> false
 
 let max_cname_depth = 5
 
@@ -43,29 +61,44 @@ let rec chase db ~vantage domain depth =
       | Some _ -> []
       | None -> own)
 
-let resolve ?cache db ~vantage domain =
+module Faults = Webdep_faults.Fault_plan
+module Retry = Webdep_faults.Retry
+
+let resolve ?cache ?(faults = Faults.disabled) ?(retry = Retry.no_retry) db
+    ~vantage domain =
   Webdep_obs.Metrics.incr m_lookups;
+  let attempt_once ~attempt =
+    match Faults.dns_fault faults ~vantage ~qname:domain ~attempt with
+    | Faults.Fault Faults.Dns_timeout -> Error Timeout
+    | Faults.Fault Faults.Dns_refused -> Error Refused
+    | Faults.Fault _ ->
+        Error (Servfail "injected: authoritative server failure")
+    | Faults.No_fault -> (
+        match Zone_db.domain_data db domain with
+        | None ->
+            Webdep_obs.Metrics.incr m_nxdomain;
+            Error Nxdomain
+        | Some (ns_hosts, _) ->
+            let a = chase db ~vantage domain 0 in
+            let glue_of host =
+              match cache with
+              | None -> Zone_db.host_addr db ~vantage host
+              | Some c ->
+                  Cache.find_or_compute c.glue ~vantage host (fun () ->
+                      Zone_db.host_addr db ~vantage host)
+            in
+            Ok { a; ns_hosts; ns_addrs = List.concat_map glue_of ns_hosts })
+  in
   let compute () =
-    match Zone_db.domain_data db domain with
-    | None ->
-        Webdep_obs.Metrics.incr m_nxdomain;
-        Error Nxdomain
-    | Some (ns_hosts, _) ->
-        let a = chase db ~vantage domain 0 in
-        let glue_of host =
-          match cache with
-          | None -> Zone_db.host_addr db ~vantage host
-          | Some c ->
-              Cache.find_or_compute c.glue ~vantage host (fun () ->
-                  Zone_db.host_addr db ~vantage host)
-        in
-        Ok { a; ns_hosts; ns_addrs = List.concat_map glue_of ns_hosts }
+    Retry.run retry ~key:(vantage ^ "|" ^ domain) ~retryable attempt_once
   in
   match cache with
   | None -> compute ()
-  | Some c -> Cache.find_or_compute c.responses ~vantage domain compute
+  | Some c ->
+      Cache.find_or_compute ~cache_if:cacheable c.responses ~vantage domain
+        compute
 
-let resolve_a ?cache db ~vantage domain =
-  match resolve ?cache db ~vantage domain with
+let resolve_a ?cache ?faults ?retry db ~vantage domain =
+  match resolve ?cache ?faults ?retry db ~vantage domain with
   | Ok { a = addr :: _; _ } -> Some addr
-  | Ok { a = []; _ } | Error Nxdomain -> None
+  | Ok { a = []; _ } | Error _ -> None

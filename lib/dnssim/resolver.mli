@@ -9,7 +9,23 @@ type response = {
   ns_addrs : Webdep_netsim.Ipv4.addr list;  (** their glue addresses *)
 }
 
-type error = Nxdomain
+type error =
+  | Nxdomain  (** definitive: the name does not exist *)
+  | Timeout  (** transient: query timed out (injected) *)
+  | Refused  (** transient: server answered REFUSED (injected) *)
+  | Servfail of string  (** transient: server failure, with detail *)
+(** The canonical resolution error shared by the flat and iterative
+    resolvers.  Only {!Nxdomain} is definitive; the rest are transient
+    and eligible for retry. *)
+
+val error_message : error -> string
+
+val retryable : error -> bool
+(** [true] for every transient error, [false] for {!Nxdomain}. *)
+
+val cacheable : ('a, error) result -> bool
+(** Whether a result may be memoized: [Ok] and [Error Nxdomain] are
+    definitive; transient errors must never be cached. *)
 
 val m_lookups : Webdep_obs.Metrics.counter
 (** Total flat lookups issued. *)
@@ -31,12 +47,27 @@ type cache
 val make_cache : unit -> cache
 
 val resolve :
-  ?cache:cache -> Zone_db.t -> vantage:string -> string -> (response, error) result
+  ?cache:cache ->
+  ?faults:Webdep_faults.Fault_plan.t ->
+  ?retry:Webdep_faults.Retry.policy ->
+  Zone_db.t ->
+  vantage:string ->
+  string ->
+  (response, error) result
 (** [resolve db ~vantage domain]; [vantage] is the probing country code
     (the paper's university vantage is modelled as "US").  With [?cache],
-    repeat lookups are memoized; a cached lookup still counts in
-    {!m_lookups} but skips the per-answer counters. *)
+    repeat lookups are memoized (transient errors excepted); a cached
+    lookup still counts in {!m_lookups} but skips the per-answer
+    counters.  [?faults] (default: no faults) injects deterministic
+    timeouts/SERVFAIL/REFUSED per the plan; [?retry] (default: single
+    attempt) governs how transient failures are retried. *)
 
 val resolve_a :
-  ?cache:cache -> Zone_db.t -> vantage:string -> string -> Webdep_netsim.Ipv4.addr option
+  ?cache:cache ->
+  ?faults:Webdep_faults.Fault_plan.t ->
+  ?retry:Webdep_faults.Retry.policy ->
+  Zone_db.t ->
+  vantage:string ->
+  string ->
+  Webdep_netsim.Ipv4.addr option
 (** First A record, if any. *)

@@ -1,0 +1,183 @@
+(* Checkpoint/resume for interrupted sweeps.
+
+   JSON-lines file: a header line carrying a schema tag plus the sweep
+   parameters, then one line per completed country shard.  On open we
+   load every entry whose line parses; a corrupt trailing line (the
+   process was killed mid-write) is dropped and the file is rewritten
+   with only the intact entries before appending resumes.  A header
+   that does not match the current sweep parameters invalidates the
+   whole file — resuming under different parameters would silently mix
+   two different worlds. *)
+
+module Json = Webdep_obs.Json
+module D = Webdep.Dataset
+
+let schema = "webdep-checkpoint/1"
+
+let m_written = Webdep_obs.Metrics.counter "checkpoint.countries_written"
+let m_resumed = Webdep_obs.Metrics.counter "checkpoint.countries_resumed"
+
+type entry = {
+  country : string;
+  tally : Degrade.tally;
+  data : D.country_data;
+}
+
+type t = {
+  path : string;
+  lock : Mutex.t;
+  oc : out_channel;
+  loaded : (string, entry) Hashtbl.t;
+}
+
+(* --- (de)serialization ------------------------------------------------- *)
+
+let opt_string = function None -> Json.Null | Some s -> Json.String s
+
+let entity_to_json (e : D.entity) =
+  Json.Obj [ ("name", Json.String e.name); ("country", Json.String e.country) ]
+
+let opt_entity = function None -> Json.Null | Some e -> entity_to_json e
+
+let site_to_json (s : D.site) =
+  Json.Obj
+    [
+      ("domain", Json.String s.domain);
+      ("hosting", opt_entity s.hosting);
+      ("dns", opt_entity s.dns);
+      ("ca", opt_entity s.ca);
+      ("tld", entity_to_json s.tld);
+      ("hosting_geo", opt_string s.hosting_geo);
+      ("ns_geo", opt_string s.ns_geo);
+      ("hosting_anycast", Json.Bool s.hosting_anycast);
+      ("ns_anycast", Json.Bool s.ns_anycast);
+      ("language", opt_string s.language);
+    ]
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("country", Json.String e.country);
+      ("clean", Json.Int e.tally.Degrade.clean);
+      ("degraded", Json.Int e.tally.Degrade.degraded);
+      ("failed", Json.Int e.tally.Degrade.failed);
+      ("sites", Json.List (List.map site_to_json e.data.D.sites));
+    ]
+
+exception Bad of string
+
+let get key obj =
+  match Json.member key obj with
+  | Some v -> v
+  | None -> raise (Bad ("missing field " ^ key))
+
+let to_string_j = function Json.String s -> s | _ -> raise (Bad "expected string")
+let to_int_j = function Json.Int i -> i | _ -> raise (Bad "expected int")
+let to_bool_j = function Json.Bool b -> b | _ -> raise (Bad "expected bool")
+
+let to_opt f = function Json.Null -> None | v -> Some (f v)
+
+let entity_of_json v : D.entity =
+  { name = to_string_j (get "name" v); country = to_string_j (get "country" v) }
+
+let site_of_json v : D.site =
+  {
+    domain = to_string_j (get "domain" v);
+    hosting = to_opt entity_of_json (get "hosting" v);
+    dns = to_opt entity_of_json (get "dns" v);
+    ca = to_opt entity_of_json (get "ca" v);
+    tld = entity_of_json (get "tld" v);
+    hosting_geo = to_opt to_string_j (get "hosting_geo" v);
+    ns_geo = to_opt to_string_j (get "ns_geo" v);
+    hosting_anycast = to_bool_j (get "hosting_anycast" v);
+    ns_anycast = to_bool_j (get "ns_anycast" v);
+    language = to_opt to_string_j (get "language" v);
+  }
+
+let entry_of_json v =
+  let country = to_string_j (get "country" v) in
+  let sites =
+    match get "sites" v with
+    | Json.List l -> List.map site_of_json l
+    | _ -> raise (Bad "sites: expected list")
+  in
+  {
+    country;
+    tally =
+      {
+        Degrade.clean = to_int_j (get "clean" v);
+        degraded = to_int_j (get "degraded" v);
+        failed = to_int_j (get "failed" v);
+      };
+    data = { D.country = country; sites };
+  }
+
+(* --- file handling ----------------------------------------------------- *)
+
+let header_line meta =
+  Json.to_string (Json.Obj (("schema", Json.String schema) :: meta))
+
+let read_lines path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file -> close_in ic; List.rev acc
+    in
+    go []
+  end
+
+(* Entries from an existing file, in file order.  Stops at the first
+   line that fails to parse (mid-write kill); returns [] when the
+   header is absent or does not match the current sweep. *)
+let load_entries ~header path =
+  match read_lines path with
+  | [] -> []
+  | h :: rest when String.equal h header ->
+      let rec go acc = function
+        | [] -> List.rev acc
+        | line :: rest -> (
+            match entry_of_json (Json.parse line) with
+            | e -> go (e :: acc) rest
+            | exception (Bad _ | Json.Parse_error _) -> List.rev acc)
+      in
+      go [] rest
+  | _ :: _ -> []
+
+let open_ ~path ~meta =
+  let header = header_line meta in
+  let entries = load_entries ~header path in
+  (* Rewrite the file from the intact prefix: drops corrupt trailing
+     lines and stale files from mismatched sweeps in one stroke. *)
+  let oc = open_out path in
+  output_string oc header;
+  output_char oc '\n';
+  List.iter
+    (fun e ->
+      output_string oc (Json.to_string (entry_to_json e));
+      output_char oc '\n')
+    entries;
+  flush oc;
+  let loaded = Hashtbl.create 64 in
+  List.iter (fun e -> Hashtbl.replace loaded e.country e) entries;
+  { path; lock = Mutex.create (); oc; loaded }
+
+let find t country =
+  match Hashtbl.find_opt t.loaded country with
+  | Some e ->
+      Webdep_obs.Metrics.incr m_resumed;
+      Some e
+  | None -> None
+
+let loaded t = Hashtbl.length t.loaded
+
+let record t e =
+  Mutex.protect t.lock (fun () ->
+      output_string t.oc (Json.to_string (entry_to_json e));
+      output_char t.oc '\n';
+      flush t.oc);
+  Webdep_obs.Metrics.incr m_written
+
+let close t = close_out t.oc

@@ -1,0 +1,42 @@
+(* Consecutive-failure quarantine.
+
+   Scoped per snapshot (one per measured country), so membership is a
+   deterministic function of that country's domain sequence and the
+   fault plan — independent of how country shards are scheduled across
+   domains. Not thread-safe; never shared across workers. *)
+
+type t = {
+  threshold : int;
+  counts : (string, int) Hashtbl.t;
+  mutable quarantined : int;
+}
+
+let m_added = Webdep_obs.Metrics.counter "fault.quarantine.added"
+let m_skipped = Webdep_obs.Metrics.counter "fault.quarantine.skipped"
+
+let create ?(threshold = 3) () =
+  { threshold = Stdlib.max 1 threshold; counts = Hashtbl.create 64; quarantined = 0 }
+
+let active t key =
+  match Hashtbl.find_opt t.counts key with
+  | Some n when n >= t.threshold ->
+      Webdep_obs.Metrics.incr m_skipped;
+      true
+  | _ -> false
+
+let record_failure t key =
+  let n = 1 + Option.value ~default:0 (Hashtbl.find_opt t.counts key) in
+  Hashtbl.replace t.counts key n;
+  if n = t.threshold then begin
+    t.quarantined <- t.quarantined + 1;
+    Webdep_obs.Metrics.incr m_added
+  end
+
+let record_success t key =
+  match Hashtbl.find_opt t.counts key with
+  | None -> ()
+  | Some n ->
+      if n >= t.threshold then t.quarantined <- t.quarantined - 1;
+      Hashtbl.remove t.counts key
+
+let quarantined t = t.quarantined

@@ -1,0 +1,25 @@
+(** Consecutive-failure quarantine for failing measurement targets.
+
+    After [threshold] consecutive failures a key is quarantined and
+    subsequent probes are skipped (counted as Failed) instead of
+    burning retry budget.  A success clears the key.  Instances are
+    scoped to one snapshot and are not thread-safe. *)
+
+type t
+
+val create : ?threshold:int -> unit -> t
+(** [threshold] defaults to 3; clamped to >= 1. *)
+
+val active : t -> string -> bool
+(** Whether the key is currently quarantined.  Increments
+    [fault.quarantine.skipped] when it answers [true]. *)
+
+val record_failure : t -> string -> unit
+(** Increments [fault.quarantine.added] when the key crosses the
+    threshold. *)
+
+val record_success : t -> string -> unit
+(** Clears the key's failure streak (and quarantine membership). *)
+
+val quarantined : t -> int
+(** Number of currently quarantined keys. *)

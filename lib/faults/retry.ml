@@ -1,0 +1,83 @@
+(* Bounded retry with deterministic exponential backoff.
+
+   Backoff delays are *simulated*: they are computed, budgeted and
+   recorded in the retry.backoff_ms histogram, but never slept — the
+   simulation has no wall clock to wait on.  Jitter is a pure hash of
+   (key, attempt) so a retried query behaves identically at any --jobs
+   and across runs. *)
+
+type policy = {
+  max_attempts : int;     (* total attempts, first try included *)
+  base_backoff_ms : float;
+  multiplier : float;
+  jitter_ms : float;      (* uniform [0, jitter_ms) added per backoff *)
+  budget_ms : float;      (* simulated per-query budget; 0 = unlimited *)
+}
+
+let no_retry =
+  { max_attempts = 1; base_backoff_ms = 0.0; multiplier = 2.0;
+    jitter_ms = 0.0; budget_ms = 0.0 }
+
+let default =
+  { max_attempts = 4; base_backoff_ms = 50.0; multiplier = 2.0;
+    jitter_ms = 25.0; budget_ms = 5_000.0 }
+
+let of_max_retries n = { default with max_attempts = 1 + Stdlib.max 0 n }
+
+let m_attempts = Webdep_obs.Metrics.counter "retry.attempts"
+let m_recovered = Webdep_obs.Metrics.counter "retry.recovered"
+let m_exhausted = Webdep_obs.Metrics.counter "retry.exhausted"
+
+let h_backoff =
+  Webdep_obs.Metrics.histogram
+    ~bounds:[| 1.0; 5.0; 10.0; 25.0; 50.0; 100.0; 250.0; 500.0; 1000.0; 2500.0 |]
+    "retry.backoff_ms"
+
+(* FNV-1a + SplitMix64 finalizer, local so Retry stays usable without a
+   Fault_plan in hand (the TLS probe retries against a predicate). *)
+let jitter01 key attempt =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h 0x100000001B3L)
+    key;
+  h := Int64.logxor !h (Int64.of_int (0x9E + attempt));
+  h := Int64.mul !h 0x100000001B3L;
+  let z = !h in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  Int64.to_float (Int64.shift_right_logical z 11) /. 9007199254740992.0
+
+let backoff_ms p ~key ~attempt =
+  (* attempt >= 1: delay before the [attempt]-th retry *)
+  let expo = p.base_backoff_ms *. (p.multiplier ** float_of_int (attempt - 1)) in
+  expo +. (p.jitter_ms *. jitter01 key attempt)
+
+let run p ~key ~retryable f =
+  let rec go attempt spent_ms =
+    match f ~attempt with
+    | Ok _ as ok ->
+        if attempt > 0 then Webdep_obs.Metrics.incr m_recovered;
+        ok
+    | Error e as err ->
+        if not (retryable e) then err
+        else if attempt + 1 >= p.max_attempts then begin
+          Webdep_obs.Metrics.incr m_exhausted;
+          err
+        end
+        else begin
+          let d = backoff_ms p ~key ~attempt:(attempt + 1) in
+          if p.budget_ms > 0.0 && spent_ms +. d > p.budget_ms then begin
+            Webdep_obs.Metrics.incr m_exhausted;
+            err
+          end
+          else begin
+            Webdep_obs.Metrics.incr m_attempts;
+            Webdep_obs.Metrics.observe h_backoff d;
+            go (attempt + 1) (spent_ms +. d)
+          end
+        end
+  in
+  go 0 0.0

@@ -1,0 +1,41 @@
+(** Bounded retry with deterministic exponential backoff.
+
+    Backoff delays are simulated — computed, budgeted against
+    [budget_ms] and recorded in the [retry.backoff_ms] histogram, but
+    never slept.  Jitter is a pure hash of (key, attempt), so retry
+    behavior is identical at any [--jobs] and across runs. *)
+
+type policy = {
+  max_attempts : int;     (** total attempts, first try included *)
+  base_backoff_ms : float;
+  multiplier : float;
+  jitter_ms : float;      (** uniform [0, jitter_ms) added per backoff *)
+  budget_ms : float;      (** simulated per-query budget; 0 = unlimited *)
+}
+
+val no_retry : policy
+(** Single attempt, no backoff — the legacy behavior. *)
+
+val default : policy
+(** 4 attempts, 50ms base, x2 multiplier, 25ms jitter, 5s budget. *)
+
+val of_max_retries : int -> policy
+(** [of_max_retries n] is {!default} with [n] retries after the first
+    attempt ([max_attempts = n + 1]); [n <= 0] means no retries. *)
+
+val backoff_ms : policy -> key:string -> attempt:int -> float
+(** Simulated delay before retry number [attempt] (>= 1) of [key].
+    Deterministic; exposed for tests. *)
+
+val run :
+  policy ->
+  key:string ->
+  retryable:('e -> bool) ->
+  (attempt:int -> ('a, 'e) result) ->
+  ('a, 'e) result
+(** [run p ~key ~retryable f] calls [f ~attempt:0], retrying on
+    [Error e] while [retryable e], attempts remain, and the simulated
+    backoff fits the budget.  Returns the first [Ok] or the last
+    [Error].  Counters: [retry.attempts] per retry issued,
+    [retry.recovered] when a retry turns the result around,
+    [retry.exhausted] when the budget or attempt cap is hit. *)

@@ -15,6 +15,11 @@ let default_vantage = "US"
    spans. *)
 module Obs = Webdep_obs
 module Metric = Webdep_obs.Metrics
+module Faults = Webdep_faults.Fault_plan
+module Retry = Webdep_faults.Retry
+module Quarantine = Webdep_faults.Quarantine
+module Degrade = Webdep_faults.Degrade
+module Checkpoint = Webdep_faults.Checkpoint
 
 let m_sites = Metric.counter "pipeline.sites.measured"
 let m_dns_queries = Metric.counter "pipeline.dns.queries"
@@ -24,6 +29,12 @@ let m_tls_failures = Metric.counter "pipeline.tls.handshake_failures"
 let m_anycast_hosting = Metric.counter "pipeline.anycast.hosting_hits"
 let m_anycast_ns = Metric.counter "pipeline.anycast.ns_hits"
 let m_lang_detected = Metric.counter "pipeline.lang.detected"
+let m_sites_degraded = Metric.counter "pipeline.sites.degraded"
+let m_sites_failed = Metric.counter "pipeline.sites.failed"
+let m_insufficient = Metric.counter "coverage.insufficient"
+
+let h_coverage =
+  Metric.histogram ~bounds:[| 0.5; 0.8; 0.9; 0.95; 0.99; 1.0 |] "coverage.ratio"
 
 let tld_of_domain domain =
   match String.rindex_opt domain '.' with
@@ -52,75 +63,164 @@ let tld_entity domain =
 let org_entity (org : Webdep_netsim.Org.t) =
   { Dataset.name = org.Webdep_netsim.Org.name; country = org.Webdep_netsim.Org.country }
 
-let measure_site internet ca_db zones tls ~vantage ~content ?cache ?resolve_a domain =
-  Metric.incr m_sites;
-  Metric.incr m_dns_queries;
-  let resolved = Resolver.resolve ?cache zones ~vantage domain in
-  let hosting_ip, ns_ip =
-    match resolved with
-    | Error Resolver.Nxdomain ->
-        Metric.incr m_dns_nxdomain;
-        (None, None)
-    | Ok { Resolver.a; ns_addrs; _ } ->
-        ((match a with ip :: _ -> Some ip | [] -> None),
-         match ns_addrs with ip :: _ -> Some ip | [] -> None)
-  in
-  (* An alternative A-resolution strategy (iterative walk) may replace the
-     flat lookup; NS data still comes from the same authoritative store. *)
-  let hosting_ip = match resolve_a with Some f -> f domain | None -> hosting_ip in
-  let hosting = Option.bind hosting_ip (Internet.org_of_addr internet) in
-  let dns = Option.bind ns_ip (Internet.org_of_addr internet) in
-  let hosting_geo = Option.bind hosting_ip (Internet.geolocate internet) in
-  let ns_geo = Option.bind ns_ip (Internet.geolocate internet) in
-  let hosting_anycast =
-    match hosting_ip with Some ip -> Internet.is_anycast_addr internet ip | None -> false
-  in
-  let ns_anycast =
-    match ns_ip with Some ip -> Internet.is_anycast_addr internet ip | None -> false
-  in
-  if hosting_anycast then Metric.incr m_anycast_hosting;
-  if ns_anycast then Metric.incr m_anycast_ns;
-  let ca =
-    match hosting_ip with
-    | None -> None
-    | Some addr -> (
-        Metric.incr m_tls_handshakes;
-        match Handshake.handshake tls ~addr ~sni:domain with
-        | None ->
-            Metric.incr m_tls_failures;
-            None
-        | Some cert ->
-            Option.map
-              (fun (o : Tls_ca.owner) ->
-                { Dataset.name = o.Tls_ca.name; country = o.Tls_ca.country })
-              (Tls_ca.owner_of_issuer ca_db cert.Webdep_tlssim.Cert.issuer_cn))
-  in
-  let language =
-    (* Fetch the page and run language detection, as the paper does with
-       LangDetect; only possible when the site resolved. *)
-    match hosting_ip with
-    | None -> None
-    | Some _ ->
-        Option.map (fun truth -> Langdetect.detect ~domain truth) (content domain)
-  in
-  (match language with Some _ -> Metric.incr m_lang_detected | None -> ());
+(* Fault-handling context for a sweep: the plan decides which simulated
+   servers misbehave, the retry policy bounds how hard we push back, the
+   coverage threshold gates per-country metric emission, and the
+   quarantine threshold caps consecutive failures per target. *)
+type fault_opts = {
+  plan : Faults.t;
+  retry : Retry.policy;
+  coverage_threshold : float;
+  quarantine_after : int;
+}
+
+let no_faults =
+  {
+    plan = Faults.disabled;
+    retry = Retry.no_retry;
+    coverage_threshold = 0.0;
+    quarantine_after = 3;
+  }
+
+let failed_site domain =
   {
     Dataset.domain;
-    hosting = Option.map org_entity hosting;
-    dns = Option.map org_entity dns;
-    ca;
+    hosting = None;
+    dns = None;
+    ca = None;
     tld = tld_entity domain;
-    hosting_geo;
-    ns_geo;
-    hosting_anycast;
-    ns_anycast;
-    language;
+    hosting_geo = None;
+    ns_geo = None;
+    hosting_anycast = false;
+    ns_anycast = false;
+    language = None;
   }
+
+let measure_site internet ca_db zones tls ~vantage ~content ?cache ?resolve_a ~fo
+    ~quarantine domain =
+  Metric.incr m_sites;
+  let faulted = Faults.enabled fo.plan in
+  if faulted && Quarantine.active quarantine domain then begin
+    (* K consecutive failures: stop burning retry budget on this target. *)
+    Metric.incr m_sites_failed;
+    (failed_site domain, Degrade.Failed)
+  end
+  else begin
+    Metric.incr m_dns_queries;
+    let resolved =
+      Resolver.resolve ?cache ~faults:fo.plan ~retry:fo.retry zones ~vantage domain
+    in
+    let hosting_ip, ns_ip =
+      match resolved with
+      | Error Resolver.Nxdomain ->
+          Metric.incr m_dns_nxdomain;
+          (None, None)
+      | Error _ ->
+          (* Transient failure that survived the retry budget. *)
+          (None, None)
+      | Ok { Resolver.a; ns_addrs; _ } ->
+          ((match a with ip :: _ -> Some ip | [] -> None),
+           match ns_addrs with ip :: _ -> Some ip | [] -> None)
+    in
+    (* An alternative A-resolution strategy (iterative walk) may replace the
+       flat lookup; NS data still comes from the same authoritative store. *)
+    let hosting_ip = match resolve_a with Some f -> f domain | None -> hosting_ip in
+    let hosting = Option.bind hosting_ip (Internet.org_of_addr internet) in
+    let dns = Option.bind ns_ip (Internet.org_of_addr internet) in
+    let hosting_geo = Option.bind hosting_ip (Internet.geolocate internet) in
+    let ns_geo = Option.bind ns_ip (Internet.geolocate internet) in
+    let hosting_anycast =
+      match hosting_ip with Some ip -> Internet.is_anycast_addr internet ip | None -> false
+    in
+    let ns_anycast =
+      match ns_ip with Some ip -> Internet.is_anycast_addr internet ip | None -> false
+    in
+    if hosting_anycast then Metric.incr m_anycast_hosting;
+    if ns_anycast then Metric.incr m_anycast_ns;
+    let ca =
+      match hosting_ip with
+      | None -> None
+      | Some addr -> (
+          Metric.incr m_tls_handshakes;
+          let hs =
+            if not faulted then Handshake.handshake tls ~addr ~sni:domain
+            else
+              (* Retry only handshakes the plan interfered with: a site
+                 that genuinely has no TLS fails identically on every
+                 attempt, so retrying it would only distort counters. *)
+              match
+                Retry.run fo.retry ~key:("tls|" ^ domain)
+                  ~retryable:(fun () -> Faults.tls_faulty fo.plan ~sni:domain)
+                  (fun ~attempt ->
+                    match
+                      Handshake.handshake ~faults:fo.plan ~attempt tls ~addr
+                        ~sni:domain
+                    with
+                    | Some cert -> Ok cert
+                    | None -> Error ())
+              with
+              | Ok cert -> Some cert
+              | Error () -> None
+          in
+          match hs with
+          | None ->
+              Metric.incr m_tls_failures;
+              None
+          | Some cert ->
+              Option.map
+                (fun (o : Tls_ca.owner) ->
+                  { Dataset.name = o.Tls_ca.name; country = o.Tls_ca.country })
+                (Tls_ca.owner_of_issuer ca_db cert.Webdep_tlssim.Cert.issuer_cn))
+    in
+    let language =
+      (* Fetch the page and run language detection, as the paper does with
+         LangDetect; only possible when the site resolved. *)
+      match hosting_ip with
+      | None -> None
+      | Some _ ->
+          Option.map (fun truth -> Langdetect.detect ~domain truth) (content domain)
+    in
+    (match language with Some _ -> Metric.incr m_lang_detected | None -> ());
+    let site =
+      {
+        Dataset.domain;
+        hosting = Option.map org_entity hosting;
+        dns = Option.map org_entity dns;
+        ca;
+        tld = tld_entity domain;
+        hosting_geo;
+        ns_geo;
+        hosting_anycast;
+        ns_anycast;
+        language;
+      }
+    in
+    let outcome : Degrade.outcome =
+      if Option.is_none hosting_ip then Failed
+      else if
+        faulted
+        && (Faults.dns_faulty fo.plan ~vantage ~qname:domain
+           || Faults.tls_faulty fo.plan ~sni:domain)
+      then Degraded (* a fault touched it, even if retries recovered *)
+      else Clean
+    in
+    if faulted then begin
+      match (outcome, resolved) with
+      | Degrade.Failed, Error e when Resolver.retryable e ->
+          Quarantine.record_failure quarantine domain
+      | _ -> Quarantine.record_success quarantine domain
+    end;
+    (match outcome with
+    | Degrade.Degraded -> Metric.incr m_sites_degraded
+    | Degrade.Failed -> Metric.incr m_sites_failed
+    | Degrade.Clean -> ());
+    (site, outcome)
+  end
 
 type resolution = Flat | Iterative
 
-let measure_snapshot ?(vantage = default_vantage) ?(resolution = Flat) ?(cache = true)
-    world (snap : World.snapshot) =
+let measure_snapshot_cov ?(vantage = default_vantage) ?(resolution = Flat)
+    ?(cache = true) ?(faults = no_faults) ?quarantine world (snap : World.snapshot) =
   let internet = World.internet world in
   let ca_db = World.ca_db world in
   let content domain = Hashtbl.find_opt snap.World.content_language domain in
@@ -139,25 +239,77 @@ let measure_snapshot ?(vantage = default_vantage) ?(resolution = Flat) ?(cache =
         in
         Some
           (fun domain ->
-            Webdep_dnssim.Iterative.resolve_a ?cache:icache hierarchy ~vantage domain)
+            Webdep_dnssim.Iterative.resolve_a ?cache:icache ~faults:faults.plan
+              ~retry:faults.retry hierarchy ~vantage domain)
   in
+  (* Quarantine state defaults to snapshot scope; callers re-probing the
+     same shard (checkpointed re-runs, watchdog loops) pass their own so
+     failure streaks span probes. *)
+  let quarantine =
+    match quarantine with
+    | Some q -> q
+    | None -> Quarantine.create ~threshold:faults.quarantine_after ()
+  in
+  let tally = ref Degrade.empty in
   let sites =
     List.map
-      (measure_site internet ca_db snap.World.zones snap.World.tls ~vantage ~content
-         ?cache:rcache ?resolve_a)
+      (fun domain ->
+        let site, outcome =
+          measure_site internet ca_db snap.World.zones snap.World.tls ~vantage
+            ~content ?cache:rcache ?resolve_a ~fo:faults ~quarantine domain
+        in
+        tally := Degrade.add !tally outcome;
+        site)
       (Toplist.domains snap.World.toplist)
   in
-  { Dataset.country = snap.World.country; sites }
+  ({ Dataset.country = snap.World.country; sites }, !tally)
 
-let measure_country ?vantage ?resolution ?cache ?epoch world cc =
+let measure_snapshot ?vantage ?resolution ?cache world snap =
+  fst (measure_snapshot_cov ?vantage ?resolution ?cache world snap)
+
+let measure_country_cov ?vantage ?resolution ?cache ?epoch ?faults ?quarantine
+    world cc =
   (* Per-country span: the name carries the country so the registry dump
      exposes one duration histogram per country. *)
   Obs.Span.with_ ~name:("measure_country." ^ cc)
     ~attrs:[ ("country", cc) ]
     (fun () ->
-      measure_snapshot ?vantage ?resolution ?cache world (World.snapshot world ?epoch cc))
+      measure_snapshot_cov ?vantage ?resolution ?cache ?faults ?quarantine world
+        (World.snapshot world ?epoch cc))
 
-let measure_all ?vantage ?resolution ?cache ?epoch ?countries ?jobs world =
+let measure_country ?vantage ?resolution ?cache ?epoch world cc =
+  fst (measure_country_cov ?vantage ?resolution ?cache ?epoch world cc)
+
+type country_coverage = {
+  cc : string;
+  tally : Degrade.tally;
+  ratio : float;
+  resumed : bool;
+}
+
+type sweep = {
+  dataset : Dataset.t;
+  coverage : country_coverage list;
+  insufficient : string list;
+}
+
+let resolution_name = function Flat -> "flat" | Iterative -> "iterative"
+
+let checkpoint_meta ?vantage ?resolution ?epoch ~faults world =
+  let open Webdep_obs.Json in
+  [
+    ("world_seed", Int (World.seed world));
+    ("c", Int (World.c world));
+    ("epoch", String (World.epoch_name (Option.value ~default:World.May_2023 epoch)));
+    ("vantage", String (Option.value ~default:default_vantage vantage));
+    ("resolution", String (resolution_name (Option.value ~default:Flat resolution)));
+    ("fault_seed", Int (Faults.seed faults.plan));
+    ("fault_rate", Float (Faults.rate faults.plan));
+    ("max_attempts", Int faults.retry.Retry.max_attempts);
+  ]
+
+let measure_sweep ?vantage ?resolution ?cache ?epoch ?countries ?jobs
+    ?(faults = no_faults) ?checkpoint world =
   let countries = Option.value ~default:(World.countries world) countries in
   Obs.Span.with_ ~name:"measure_all"
     ~attrs:[ ("countries", string_of_int (List.length countries)) ]
@@ -167,12 +319,70 @@ let measure_all ?vantage ?resolution ?cache ?epoch ?countries ?jobs world =
          before fanning out, so the per-country sweeps are read-only on
          the world and the dataset is bit-identical at any [jobs]. *)
       World.prepare world ?epoch countries;
-      Dataset.of_country_data
-        (Webdep_par.map ?jobs
-           (fun cc ->
-             Logs.debug (fun m -> m "measuring %s" cc);
-             measure_country ?vantage ?resolution ?cache ?epoch world cc)
-           countries))
+      let cp =
+        Option.map
+          (fun path ->
+            let cp =
+              Checkpoint.open_ ~path
+                ~meta:(checkpoint_meta ?vantage ?resolution ?epoch ~faults world)
+            in
+            if Checkpoint.loaded cp > 0 then
+              Logs.info (fun m ->
+                  m "checkpoint %s: resuming past %d completed countries" path
+                    (Checkpoint.loaded cp));
+            cp)
+          checkpoint
+      in
+      let results =
+        Webdep_par.map ?jobs
+          (fun cc ->
+            match Option.bind cp (fun cp -> Checkpoint.find cp cc) with
+            | Some e ->
+                Logs.debug (fun m -> m "resumed %s from checkpoint" cc);
+                (e.Checkpoint.data, e.Checkpoint.tally, true)
+            | None ->
+                Logs.debug (fun m -> m "measuring %s" cc);
+                let data, tally =
+                  measure_country_cov ?vantage ?resolution ?cache ?epoch ~faults
+                    world cc
+                in
+                Option.iter
+                  (fun cp -> Checkpoint.record cp { Checkpoint.country = cc; tally; data })
+                  cp;
+                (data, tally, false))
+          countries
+      in
+      Option.iter Checkpoint.close cp;
+      let coverage =
+        List.map2
+          (fun cc (_, tally, resumed) ->
+            let ratio = Degrade.ratio tally in
+            Metric.observe h_coverage ratio;
+            { cc; tally; ratio; resumed })
+          countries results
+      in
+      let kept, dropped =
+        List.partition
+          (fun (c, _) ->
+            Degrade.sufficient ~threshold:faults.coverage_threshold c.tally)
+          (List.combine coverage (List.map (fun (d, _, _) -> d) results))
+      in
+      let insufficient = List.map (fun (c, _) -> c.cc) dropped in
+      List.iter
+        (fun cc ->
+          Metric.incr m_insufficient;
+          Logs.warn (fun m ->
+              m "insufficient_coverage %s: below threshold %.2f, metrics withheld"
+                cc faults.coverage_threshold))
+        insufficient;
+      {
+        dataset = Dataset.of_country_data (List.map snd kept);
+        coverage;
+        insufficient;
+      })
+
+let measure_all ?vantage ?resolution ?cache ?epoch ?countries ?jobs world =
+  (measure_sweep ?vantage ?resolution ?cache ?epoch ?countries ?jobs world).dataset
 
 type resolution_stats = {
   domains : int;

@@ -19,6 +19,27 @@ type resolution =
       (** ZDNS-mode walk: root hints → TLD referral → authoritative
           answer over the {!Webdep_dnssim.Hierarchy} *)
 
+(** {1 Robustness}
+
+    Fault-handling context threaded through a sweep: which simulated
+    servers misbehave, how failures are retried, when a country's
+    coverage is too thin to trust, and when a failing target is
+    quarantined. *)
+
+type fault_opts = {
+  plan : Webdep_faults.Fault_plan.t;  (** deterministic fault assignment *)
+  retry : Webdep_faults.Retry.policy;  (** DNS + TLS retry/backoff *)
+  coverage_threshold : float;
+      (** minimum (clean+degraded)/total per country for its metrics to
+          be emitted; countries below are reported as insufficient *)
+  quarantine_after : int;  (** consecutive failures before skipping *)
+}
+
+val no_faults : fault_opts
+(** Disabled plan, single attempt, threshold 0 — the legacy pipeline.
+    With this value the measured dataset is byte-identical to the
+    pre-fault pipeline at any [jobs]. *)
+
 val measure_country :
   ?vantage:string ->
   ?resolution:resolution ->
@@ -46,6 +67,34 @@ val measure_snapshot :
     so caching never changes the dataset, only the work; hit/miss
     counters land in the obs registry under [dns.cache.*]. *)
 
+val measure_snapshot_cov :
+  ?vantage:string ->
+  ?resolution:resolution ->
+  ?cache:bool ->
+  ?faults:fault_opts ->
+  ?quarantine:Webdep_faults.Quarantine.t ->
+  Webdep_worldgen.World.t ->
+  Webdep_worldgen.World.snapshot ->
+  Webdep.Dataset.country_data * Webdep_faults.Degrade.tally
+(** {!measure_snapshot} plus the per-outcome tally.  [?faults]
+    (default {!no_faults}) injects per the plan and retries transient
+    failures; [?quarantine] (default: fresh, scoped to this snapshot)
+    lets callers re-probing the same shard carry failure streaks across
+    probes so targets quarantine after [quarantine_after] consecutive
+    failures. *)
+
+val measure_country_cov :
+  ?vantage:string ->
+  ?resolution:resolution ->
+  ?cache:bool ->
+  ?epoch:Webdep_worldgen.World.epoch ->
+  ?faults:fault_opts ->
+  ?quarantine:Webdep_faults.Quarantine.t ->
+  Webdep_worldgen.World.t ->
+  string ->
+  Webdep.Dataset.country_data * Webdep_faults.Degrade.tally
+(** {!measure_country} plus the per-outcome tally. *)
+
 val measure_all :
   ?vantage:string ->
   ?resolution:resolution ->
@@ -64,6 +113,45 @@ val measure_all :
     returned dataset is bit-identical for every [jobs] value; resolver
     caches (see {!measure_snapshot}) are created per snapshot, keeping
     that invariant regardless of [cache]. *)
+
+type country_coverage = {
+  cc : string;
+  tally : Webdep_faults.Degrade.tally;
+  ratio : float;  (** (clean + degraded) / total *)
+  resumed : bool;  (** recovered from the checkpoint, not re-measured *)
+}
+
+type sweep = {
+  dataset : Webdep.Dataset.t;
+      (** countries meeting the coverage threshold only *)
+  coverage : country_coverage list;  (** every requested country *)
+  insufficient : string list;
+      (** countries whose coverage fell below the threshold; their
+          metrics are withheld rather than silently skewed *)
+}
+
+val measure_sweep :
+  ?vantage:string ->
+  ?resolution:resolution ->
+  ?cache:bool ->
+  ?epoch:Webdep_worldgen.World.epoch ->
+  ?countries:string list ->
+  ?jobs:int ->
+  ?faults:fault_opts ->
+  ?checkpoint:string ->
+  Webdep_worldgen.World.t ->
+  sweep
+(** {!measure_all} with graceful degradation.  Fault decisions are pure
+    hashes of the plan seed and query key, so the sweep stays
+    byte-identical at any [jobs] even with faults injected.  Coverage is
+    observed per country in the [coverage.ratio] histogram; countries
+    below [coverage_threshold] are excluded from [dataset] and listed in
+    [insufficient] (counter [coverage.insufficient]).
+
+    [?checkpoint] names a JSON-lines file: completed country shards are
+    appended as they finish, and a later run with the same sweep
+    parameters resumes past them, reproducing the uninterrupted dataset
+    exactly.  A parameter mismatch discards the stale file. *)
 
 type resolution_stats = {
   domains : int;

@@ -325,7 +325,9 @@ let prepare t ?(epoch = May_2023) ccs =
     ccs
 
 let snapshot t ?(epoch = May_2023) cc =
-  if not (Webdep_geo.Country.mem cc) then raise Not_found;
+  if not (Webdep_geo.Country.mem cc) then
+    invalid_arg
+      (Printf.sprintf "World.snapshot: %S is not one of the dataset's countries" cc);
   Webdep_obs.Metrics.incr m_snapshots;
   (* One duration histogram per epoch; the country rides along as a span
      attribute for the trace sinks. *)

@@ -69,7 +69,9 @@ val snapshot : t -> ?epoch:epoch -> string -> snapshot
 (** Materialize one country's measurable state.  Deterministic in
     (seed, country, epoch); not cached — drop the reference when done.
     Thread-safe once {!prepare} has covered the country (and correct —
-    merely order-sensitive in prefix allocation — even when it hasn't). *)
+    merely order-sensitive in prefix allocation — even when it hasn't).
+    @raise Invalid_argument for a code outside the dataset's 150
+    countries — a caller bug, not a measurement failure. *)
 
 val multi_cdn_fraction : float
 (** Fraction of sites served by a secondary provider from some vantages

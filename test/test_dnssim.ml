@@ -18,7 +18,7 @@ let db_with_example () =
 let test_resolve_static () =
   let db = db_with_example () in
   match Resolver.resolve db ~vantage:"US" "example.com" with
-  | Error Resolver.Nxdomain -> Alcotest.fail "should resolve"
+  | Error e -> Alcotest.fail ("should resolve: " ^ Resolver.error_message e)
   | Ok r ->
       Alcotest.(check (list string)) "a records" [ "10.0.0.1" ]
         (List.map Ipv4.addr_to_string r.Resolver.a);

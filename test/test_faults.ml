@@ -1,0 +1,450 @@
+(* webdep_faults: deterministic fault plans, retry/backoff, quarantine,
+   coverage gating and checkpoint/resume.  The invariants here back the
+   robustness acceptance criteria: plans are pure (byte-identical sweeps
+   at any job count), transient failures are never memoized, and an
+   interrupted sweep resumed from its checkpoint reproduces the
+   uninterrupted dataset exactly. *)
+
+module Faults = Webdep_faults.Fault_plan
+module Retry = Webdep_faults.Retry
+module Quarantine = Webdep_faults.Quarantine
+module Degrade = Webdep_faults.Degrade
+module Checkpoint = Webdep_faults.Checkpoint
+module Cache = Webdep_dnssim.Cache
+module Zone_db = Webdep_dnssim.Zone_db
+module Resolver = Webdep_dnssim.Resolver
+module World = Webdep_worldgen.World
+module Measure = Webdep_pipeline.Measure
+module D = Webdep.Dataset
+module Ipv4 = Webdep_netsim.Ipv4
+
+let addr s = Option.get (Ipv4.addr_of_string s)
+
+(* --- fault plan ---------------------------------------------------------- *)
+
+let test_plan_deterministic () =
+  let p1 = Faults.make ~rate:0.2 ~seed:42 () in
+  let p2 = Faults.make ~rate:0.2 ~seed:42 () in
+  for i = 0 to 199 do
+    let qname = Printf.sprintf "site%d.example" i in
+    for attempt = 0 to 3 do
+      Alcotest.(check bool)
+        (Printf.sprintf "same verdict %s@%d" qname attempt)
+        true
+        (Faults.dns_fault p1 ~vantage:"US" ~qname ~attempt
+        = Faults.dns_fault p2 ~vantage:"US" ~qname ~attempt)
+    done
+  done
+
+let test_plan_pure () =
+  (* Verdicts must not depend on what was asked before — purity is what
+     makes a faulted sweep schedule-independent. *)
+  let p = Faults.make ~rate:0.3 ~seed:9 () in
+  let before = Faults.dns_fault p ~vantage:"US" ~qname:"probe.example" ~attempt:0 in
+  for i = 0 to 499 do
+    ignore (Faults.dns_fault p ~vantage:"DE" ~qname:(string_of_int i) ~attempt:0)
+  done;
+  let after = Faults.dns_fault p ~vantage:"US" ~qname:"probe.example" ~attempt:0 in
+  Alcotest.(check bool) "order-independent" true (before = after)
+
+let test_plan_seeds_differ () =
+  let p1 = Faults.make ~rate:0.5 ~seed:1 () in
+  let p2 = Faults.make ~rate:0.5 ~seed:2 () in
+  let differs = ref false in
+  for i = 0 to 199 do
+    let qname = Printf.sprintf "s%d.example" i in
+    if
+      Faults.dns_faulty p1 ~vantage:"US" ~qname
+      <> Faults.dns_faulty p2 ~vantage:"US" ~qname
+    then differs := true
+  done;
+  Alcotest.(check bool) "different seeds, different plans" true !differs
+
+let test_plan_rate_bounds () =
+  let p = Faults.make ~rate:0.1 ~seed:3 () in
+  let faulty = ref 0 in
+  let n = 2000 in
+  for i = 0 to n - 1 do
+    if Faults.dns_faulty p ~vantage:"US" ~qname:(Printf.sprintf "d%d.x" i) then
+      incr faulty
+  done;
+  let observed = float_of_int !faulty /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "observed rate %.3f within [0.05, 0.15]" observed)
+    true
+    (observed > 0.05 && observed < 0.15)
+
+let test_plan_zero_rate_never_fires () =
+  let p = Faults.make ~rate:0.0 ~seed:7 () in
+  Alcotest.(check bool) "enabled" true (Faults.enabled p);
+  for i = 0 to 499 do
+    let qname = Printf.sprintf "z%d.example" i in
+    Alcotest.(check bool) "no dns fault" true
+      (Faults.dns_fault p ~vantage:"US" ~qname ~attempt:0 = Faults.No_fault);
+    Alcotest.(check bool) "no tls fault" true
+      (Faults.tls_fault p ~sni:qname ~attempt:0 = Faults.No_fault)
+  done
+
+let test_transient_faults_recover () =
+  (* With no permanent faults, every faulty key must clear within
+     recover_after attempts. *)
+  let p = Faults.make ~rate:0.5 ~recover_after:3 ~permanent_fraction:0.0 ~seed:5 () in
+  let recovered = ref 0 and faulty = ref 0 in
+  for i = 0 to 299 do
+    let qname = Printf.sprintf "t%d.example" i in
+    if Faults.dns_faulty p ~vantage:"US" ~qname then begin
+      incr faulty;
+      if Faults.dns_fault p ~vantage:"US" ~qname ~attempt:3 = Faults.No_fault then
+        incr recovered
+    end
+  done;
+  Alcotest.(check bool) "some keys faulty" true (!faulty > 50);
+  Alcotest.(check int) "all transient faults recover by attempt 3" !faulty !recovered
+
+let test_permanent_faults_never_recover () =
+  let p = Faults.make ~rate:0.4 ~permanent_fraction:1.0 ~seed:11 () in
+  for i = 0 to 199 do
+    let qname = Printf.sprintf "p%d.example" i in
+    if Faults.dns_faulty p ~vantage:"US" ~qname then
+      Alcotest.(check bool) "still faulty at attempt 50" true
+        (Faults.dns_fault p ~vantage:"US" ~qname ~attempt:50 <> Faults.No_fault)
+  done
+
+(* --- retry --------------------------------------------------------------- *)
+
+let test_retry_budget_exhaustion () =
+  let calls = ref 0 in
+  let policy = Retry.of_max_retries 3 in
+  let r =
+    Retry.run policy ~key:"always-fails" ~retryable:(fun () -> true) (fun ~attempt ->
+        incr calls;
+        Alcotest.(check int) "attempt number" (!calls - 1) attempt;
+        Error ())
+  in
+  Alcotest.(check bool) "still an error" true (r = Error ());
+  Alcotest.(check int) "max_attempts calls" policy.Retry.max_attempts !calls
+
+let test_retry_non_retryable_single_attempt () =
+  let calls = ref 0 in
+  let r =
+    Retry.run (Retry.of_max_retries 5) ~key:"definitive" ~retryable:(fun () -> false)
+      (fun ~attempt:_ ->
+        incr calls;
+        Error ())
+  in
+  Alcotest.(check bool) "error" true (r = Error ());
+  Alcotest.(check int) "one call only" 1 !calls
+
+let test_retry_recovers () =
+  let r =
+    Retry.run (Retry.of_max_retries 3) ~key:"flaky" ~retryable:(fun () -> true)
+      (fun ~attempt -> if attempt >= 2 then Ok "answer" else Error ())
+  in
+  Alcotest.(check bool) "recovered" true (r = Ok "answer")
+
+let test_retry_simulated_budget_cuts_off () =
+  (* A tiny simulated-time budget stops retrying long before the attempt
+     cap. *)
+  let calls = ref 0 in
+  let policy =
+    { (Retry.of_max_retries 50) with Retry.base_backoff_ms = 100.0; budget_ms = 250.0 }
+  in
+  let r =
+    Retry.run policy ~key:"slow" ~retryable:(fun () -> true) (fun ~attempt:_ ->
+        incr calls;
+        Error ())
+  in
+  Alcotest.(check bool) "error" true (r = Error ());
+  Alcotest.(check bool)
+    (Printf.sprintf "budget stopped after %d calls" !calls)
+    true (!calls < 6)
+
+let test_backoff_deterministic_and_growing () =
+  let policy = Retry.default in
+  let d1 = Retry.backoff_ms policy ~key:"k" ~attempt:1 in
+  let d1' = Retry.backoff_ms policy ~key:"k" ~attempt:1 in
+  let d3 = Retry.backoff_ms policy ~key:"k" ~attempt:3 in
+  Alcotest.(check (float 0.0)) "deterministic" d1 d1';
+  Alcotest.(check bool) "exponential growth" true (d3 > 2.0 *. d1);
+  Alcotest.(check bool) "jitter differs by key" true
+    (Retry.backoff_ms policy ~key:"other" ~attempt:1 <> d1)
+
+(* --- quarantine ---------------------------------------------------------- *)
+
+let test_quarantine_after_k_failures () =
+  let q = Quarantine.create ~threshold:3 () in
+  Alcotest.(check bool) "clean at start" false (Quarantine.active q "dom");
+  Quarantine.record_failure q "dom";
+  Quarantine.record_failure q "dom";
+  Alcotest.(check bool) "below threshold" false (Quarantine.active q "dom");
+  Quarantine.record_failure q "dom";
+  Alcotest.(check bool) "quarantined at 3" true (Quarantine.active q "dom");
+  Alcotest.(check int) "count" 1 (Quarantine.quarantined q);
+  Quarantine.record_success q "dom";
+  Alcotest.(check bool) "success clears" false (Quarantine.active q "dom");
+  Alcotest.(check int) "count back to 0" 0 (Quarantine.quarantined q)
+
+let test_quarantine_streak_must_be_consecutive () =
+  let q = Quarantine.create ~threshold:2 () in
+  Quarantine.record_failure q "dom";
+  Quarantine.record_success q "dom";
+  Quarantine.record_failure q "dom";
+  Alcotest.(check bool) "interrupted streak" false (Quarantine.active q "dom")
+
+(* --- cache never memoizes transient failures ----------------------------- *)
+
+let test_cache_negative_skip () =
+  let c = Cache.create ~name:"test.negcache" () in
+  let calls = ref 0 in
+  let compute () =
+    incr calls;
+    if !calls = 1 then Error "transient" else Ok "recovered"
+  in
+  let cache_if = function Ok _ -> true | Error _ -> false in
+  let r1 = Cache.find_or_compute ~cache_if c ~vantage:"US" "d.example" compute in
+  let r2 = Cache.find_or_compute ~cache_if c ~vantage:"US" "d.example" compute in
+  let r3 = Cache.find_or_compute ~cache_if c ~vantage:"US" "d.example" compute in
+  Alcotest.(check bool) "first fails" true (r1 = Error "transient");
+  Alcotest.(check bool) "second recomputes and recovers" true (r2 = Ok "recovered");
+  Alcotest.(check bool) "third served from cache" true (r3 = Ok "recovered");
+  Alcotest.(check int) "compute ran twice" 2 !calls
+
+let test_resolver_does_not_cache_injected_failure () =
+  (* A cached SERVFAIL must not mask a later successful retry: resolve a
+     transiently-faulty domain once without retries (fails), then again
+     with retries through the same cache (must recover). *)
+  let db = Zone_db.create () in
+  let plan = Faults.make ~rate:0.4 ~recover_after:2 ~permanent_fraction:0.0 ~seed:21 () in
+  let faulty_domain =
+    let rec find i =
+      if i > 5000 then Alcotest.fail "no faulty domain found in 5000 draws"
+      else
+        let d = Printf.sprintf "site%d.example" i in
+        if Faults.dns_faulty plan ~vantage:"US" ~qname:d then d else find (i + 1)
+    in
+    find 0
+  in
+  Zone_db.add_domain db ~domain:faulty_domain ~ns_hosts:[ "ns1.x.sim" ]
+    ~a:(Zone_db.Static [ addr "10.0.0.1" ]);
+  Zone_db.add_host db ~host:"ns1.x.sim" ~a:(Zone_db.Static [ addr "10.9.0.1" ]);
+  let cache = Resolver.make_cache () in
+  (match Resolver.resolve ~cache ~faults:plan db ~vantage:"US" faulty_domain with
+  | Error e ->
+      Alcotest.(check bool) "transient error" true (Resolver.retryable e)
+  | Ok _ -> Alcotest.fail "attempt 0 must hit the injected fault");
+  match
+    Resolver.resolve ~cache ~faults:plan ~retry:(Retry.of_max_retries 4) db
+      ~vantage:"US" faulty_domain
+  with
+  | Ok r ->
+      Alcotest.(check (list string)) "recovered answer" [ "10.0.0.1" ]
+        (List.map Ipv4.addr_to_string r.Resolver.a)
+  | Error e ->
+      Alcotest.fail
+        ("retry must recover past the transient fault, got "
+        ^ Resolver.error_message e)
+
+(* --- pipeline: sweeps under faults --------------------------------------- *)
+
+let sample = [ "US"; "RU"; "BR"; "DE" ]
+
+let fault_opts ?(rate = 0.05) ?(threshold = 0.5) ?(retries = 3) ?permanent_fraction
+    () =
+  {
+    Measure.plan = Faults.make ~rate ?permanent_fraction ~seed:7 ();
+    retry = Retry.of_max_retries retries;
+    coverage_threshold = threshold;
+    quarantine_after = 3;
+  }
+
+let country_lists ds = List.map (fun cc -> D.country_exn ds cc) (D.countries ds)
+
+let datasets_equal a b = country_lists a = country_lists b
+
+let test_sweep_jobs_invariant_with_faults () =
+  let world = World.create ~c:300 ~seed:2024 () in
+  let s1 =
+    Measure.measure_sweep ~countries:sample ~jobs:1 ~faults:(fault_opts ()) world
+  in
+  let s4 =
+    Measure.measure_sweep ~countries:sample ~jobs:4 ~faults:(fault_opts ()) world
+  in
+  Alcotest.(check bool) "datasets identical" true
+    (datasets_equal s1.Measure.dataset s4.Measure.dataset);
+  Alcotest.(check bool) "coverage identical" true
+    (s1.Measure.coverage = s4.Measure.coverage)
+
+let test_sweep_zero_rate_identical_to_legacy () =
+  let world = World.create ~c:300 ~seed:2024 () in
+  let plain = Measure.measure_all ~countries:sample world in
+  let zero =
+    Measure.measure_sweep ~countries:sample
+      ~faults:(fault_opts ~rate:0.0 ~threshold:0.9 ()) world
+  in
+  Alcotest.(check bool) "rate-0 plan changes nothing" true
+    (datasets_equal plain zero.Measure.dataset);
+  Alcotest.(check (list string)) "nothing withheld" [] zero.Measure.insufficient
+
+let test_coverage_threshold_gates () =
+  let world = World.create ~c:300 ~seed:2024 () in
+  (* Every resolution fails permanently and is never retried: coverage 0,
+     so a 0.99 threshold must withhold every country... *)
+  let brutal = fault_opts ~rate:1.0 ~threshold:0.99 ~retries:0 ~permanent_fraction:1.0 () in
+  let sweep = Measure.measure_sweep ~countries:sample ~faults:brutal world in
+  Alcotest.(check (list string)) "all withheld" sample sweep.Measure.insufficient;
+  Alcotest.(check (list string)) "empty dataset" [] (D.countries sweep.Measure.dataset);
+  List.iter
+    (fun (c : Measure.country_coverage) ->
+      Alcotest.(check (float 0.0)) ("ratio " ^ c.Measure.cc) 0.0 c.Measure.ratio)
+    sweep.Measure.coverage;
+  (* ...while a 0 threshold keeps them (degraded, not silently dropped). *)
+  let keep_all = { brutal with Measure.coverage_threshold = 0.0 } in
+  let sweep0 = Measure.measure_sweep ~countries:sample ~faults:keep_all world in
+  Alcotest.(check (list string)) "none withheld" [] sweep0.Measure.insufficient;
+  Alcotest.(check (list string)) "all kept" sample (D.countries sweep0.Measure.dataset)
+
+let test_faulted_scores_stay_close () =
+  (* §acceptance: 5% faults with retries must not visibly bias the
+     centralization metric. *)
+  let world = World.create ~c:500 ~seed:2024 () in
+  let clean = Measure.measure_all ~countries:sample world in
+  let faulted =
+    (Measure.measure_sweep ~countries:sample ~faults:(fault_opts ~rate:0.05 ()) world)
+      .Measure.dataset
+  in
+  List.iter
+    (fun cc ->
+      let s_clean = Webdep.Metrics.centralization clean Webdep.Dataset.Hosting cc in
+      let s_faulted = Webdep.Metrics.centralization faulted Webdep.Dataset.Hosting cc in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s drift %.4f within 0.02" cc (abs_float (s_clean -. s_faulted)))
+        true
+        (abs_float (s_clean -. s_faulted) < 0.02))
+    sample
+
+(* --- checkpoint ---------------------------------------------------------- *)
+
+let with_temp_file f =
+  let path = Filename.temp_file "webdep_cp" ".jsonl" in
+  Fun.protect ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ()) (fun () -> f path)
+
+let test_checkpoint_roundtrip () =
+  with_temp_file @@ fun path ->
+  let world = World.create ~c:300 ~seed:2024 () in
+  let faults = fault_opts () in
+  let direct = Measure.measure_sweep ~countries:sample ~faults world in
+  let checkpointed =
+    Measure.measure_sweep ~countries:sample ~faults ~checkpoint:path world
+  in
+  Alcotest.(check bool) "checkpointing changes nothing" true
+    (datasets_equal direct.Measure.dataset checkpointed.Measure.dataset);
+  (* Resume from the complete file: every country short-circuits, and the
+     dataset round-trips through JSON exactly. *)
+  let resumed = Measure.measure_sweep ~countries:sample ~faults ~checkpoint:path world in
+  Alcotest.(check bool) "full resume identical" true
+    (datasets_equal direct.Measure.dataset resumed.Measure.dataset);
+  Alcotest.(check bool) "all countries resumed" true
+    (List.for_all
+       (fun (c : Measure.country_coverage) -> c.Measure.resumed)
+       resumed.Measure.coverage)
+
+let test_checkpoint_interrupted_resume () =
+  with_temp_file @@ fun path ->
+  let world = World.create ~c:300 ~seed:2024 () in
+  let faults = fault_opts () in
+  let full = Measure.measure_sweep ~countries:sample ~faults ~checkpoint:path world in
+  (* Simulate a mid-sweep kill: drop all but the header and the first two
+     completed shards, plus a torn half-written line. *)
+  let lines = ref [] in
+  let ic = open_in path in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  let keep = List.filteri (fun i _ -> i < 3) (List.rev !lines) in
+  let oc = open_out path in
+  List.iter (fun l -> output_string oc (l ^ "\n")) keep;
+  output_string oc "{\"country\":\"BR\",\"clean\":12,\"sit";
+  close_out oc;
+  let resumed = Measure.measure_sweep ~countries:sample ~faults ~checkpoint:path world in
+  Alcotest.(check bool) "interrupted resume reproduces the full dataset" true
+    (datasets_equal full.Measure.dataset resumed.Measure.dataset);
+  Alcotest.(check int) "exactly two shards were resumed" 2
+    (List.length
+       (List.filter
+          (fun (c : Measure.country_coverage) -> c.Measure.resumed)
+          resumed.Measure.coverage))
+
+let test_checkpoint_parameter_mismatch_discards () =
+  with_temp_file @@ fun path ->
+  let world = World.create ~c:300 ~seed:2024 () in
+  let f1 = fault_opts ~rate:0.05 () in
+  ignore (Measure.measure_sweep ~countries:sample ~faults:f1 ~checkpoint:path world);
+  (* Same file, different fault rate: stale shards must not leak in. *)
+  let f2 = fault_opts ~rate:0.2 () in
+  let fresh = Measure.measure_sweep ~countries:sample ~faults:f2 ~checkpoint:path world in
+  Alcotest.(check bool) "nothing resumed across a parameter change" true
+    (List.for_all
+       (fun (c : Measure.country_coverage) -> not c.Measure.resumed)
+       fresh.Measure.coverage);
+  let direct = Measure.measure_sweep ~countries:sample ~faults:f2 world in
+  Alcotest.(check bool) "result matches a checkpoint-free run" true
+    (datasets_equal direct.Measure.dataset fresh.Measure.dataset)
+
+let () =
+  Alcotest.run "webdep_faults"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "deterministic" `Quick test_plan_deterministic;
+          Alcotest.test_case "pure" `Quick test_plan_pure;
+          Alcotest.test_case "seeds differ" `Quick test_plan_seeds_differ;
+          Alcotest.test_case "rate bounds" `Quick test_plan_rate_bounds;
+          Alcotest.test_case "zero rate never fires" `Quick
+            test_plan_zero_rate_never_fires;
+          Alcotest.test_case "transients recover" `Quick test_transient_faults_recover;
+          Alcotest.test_case "permanents persist" `Quick
+            test_permanent_faults_never_recover;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "budget exhaustion" `Quick test_retry_budget_exhaustion;
+          Alcotest.test_case "non-retryable" `Quick
+            test_retry_non_retryable_single_attempt;
+          Alcotest.test_case "recovers" `Quick test_retry_recovers;
+          Alcotest.test_case "simulated budget" `Quick
+            test_retry_simulated_budget_cuts_off;
+          Alcotest.test_case "backoff deterministic" `Quick
+            test_backoff_deterministic_and_growing;
+        ] );
+      ( "quarantine",
+        [
+          Alcotest.test_case "after K failures" `Quick test_quarantine_after_k_failures;
+          Alcotest.test_case "streak consecutive" `Quick
+            test_quarantine_streak_must_be_consecutive;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "negative skip" `Quick test_cache_negative_skip;
+          Alcotest.test_case "no cached SERVFAIL" `Quick
+            test_resolver_does_not_cache_injected_failure;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "jobs-invariant with faults" `Quick
+            test_sweep_jobs_invariant_with_faults;
+          Alcotest.test_case "rate 0 = legacy" `Quick
+            test_sweep_zero_rate_identical_to_legacy;
+          Alcotest.test_case "coverage gating" `Quick test_coverage_threshold_gates;
+          Alcotest.test_case "scores stay close" `Quick test_faulted_scores_stay_close;
+        ] );
+      ( "checkpoint",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_checkpoint_roundtrip;
+          Alcotest.test_case "interrupted resume" `Quick
+            test_checkpoint_interrupted_resume;
+          Alcotest.test_case "parameter mismatch" `Quick
+            test_checkpoint_parameter_mismatch_discards;
+        ] );
+    ]
