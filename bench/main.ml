@@ -101,19 +101,36 @@ let pct x = 100.0 *. x
 (* --- the measured world ------------------------------------------------- *)
 
 (* Per-phase wall-clock seconds, recorded bench-locally because the
-   registry (where the span histograms live) is reset between phases. *)
+   registry (where the span histograms live) is reset between phases.
+   Minor-heap allocation (Gc.minor_words deltas) rides along: it is the
+   stable, scheduler-independent companion to the noisy wall clock, so
+   allocation regressions show up in the baseline diff even when timing
+   jitter hides them. *)
 let recorded_phases : (string * float) list ref = ref []
 let record_phase name seconds = recorded_phases := (name, seconds) :: !recorded_phases
+
+let recorded_minor_words : (string * float) list ref = ref []
+
+let record_minor_words name words =
+  recorded_minor_words := (name, words) :: !recorded_minor_words
 
 let () =
   Printf.printf "webdep bench: c=%d seed=%d jobs=%d — generating and measuring...\n%!" c seed
     jobs
 
+let world_minor_before = Gc.minor_words ()
 let world, world_seconds = Span.timed ~name:"bench.world_create" (fun () -> World.create ~c ~seed ())
-let () = record_phase "world_create" world_seconds
 
+let () =
+  record_phase "world_create" world_seconds;
+  record_minor_words "world_create" (Gc.minor_words () -. world_minor_before)
+
+let measure_minor_before = Gc.minor_words ()
 let ds, measure_seconds = Span.timed ~name:"bench.measure_all" (fun () -> Measure.measure_all world)
-let () = record_phase "measure_all" measure_seconds
+
+let () =
+  record_phase "measure_all" measure_seconds;
+  record_minor_words "measure_all" (Gc.minor_words () -. measure_minor_before)
 
 let () =
   Printf.printf "measured %d (country, site) records in %.1fs\n%!" (D.size ds) measure_seconds;
@@ -720,7 +737,19 @@ let longitudinal () =
         Measure.measure_all ~epoch:World.May_2025 world)
   in
   Printf.printf "(2025 world measured in %.1fs)\n" seconds;
-  let cmp = Webdep.Longitudinal.compare ~focus:"Cloudflare" ~old_ds:ds ~new_ds:ds25 Hosting in
+  (* The incremental path returns a comparison bit-identical to
+     Longitudinal.compare (the store phase asserts it); the churn stats
+     say how much of the delta work the toplist churn actually forced. *)
+  let cmp, churn =
+    Webdep.Longitudinal.compare_incremental ~focus:"Cloudflare" ~old_ds:ds ~new_ds:ds25
+      Hosting
+  in
+  Printf.printf
+    "churn: %d kept (%d relabelled), %d added, %d removed; provider support changed \
+     in %d/%d countries\n"
+    churn.Webdep.Longitudinal.kept churn.Webdep.Longitudinal.relabelled
+    churn.Webdep.Longitudinal.added churn.Webdep.Longitudinal.removed
+    churn.Webdep.Longitudinal.support_changed_countries churn.Webdep.Longitudinal.countries;
   Printf.printf "rho(S 2023, S 2025) = %.4f (paper: %.2f)\n"
     cmp.Webdep.Longitudinal.rho.Correlation.rho Anecdotes.rho_longitudinal;
   let ru = List.find (fun d -> d.Webdep.Longitudinal.country = "RU") cmp.Webdep.Longitudinal.deltas in
@@ -1356,6 +1385,165 @@ let kernels () =
     ]
 
 (* ========================================================================
+   Store (always run): the measurement store's warm-vs-cold cost and the
+   incremental longitudinal path.  Self-contained — a fresh store is
+   filled by a cold 2023+2025 measurement of the fixed sample, then the
+   same measurements run again warm, so the other phases' timings stay
+   comparable with earlier baselines.  CI asserts on the "store" object:
+   warm must be at least 2x faster than cold, datasets (and the exported
+   scores CSV) byte-identical, results invariant under --jobs, and the
+   incremental comparison equal to the full one.
+   ======================================================================== *)
+
+module Store = Webdep_store.Store
+
+let store_json : (string * Json.t) list ref = ref []
+
+let store_phase () =
+  section "Store" "measurement store: warm-vs-cold sweeps, incremental longitudinal";
+  let sample = [ "US"; "RU"; "BR"; "DE"; "JP"; "IN"; "FR"; "TH" ] in
+  let counter name = Obs_metrics.value (Obs_metrics.counter name) in
+  let st = Store.create ~fingerprint:(Measure.store_fingerprint world) () in
+  let cold23, cold23_s =
+    Span.timed ~name:"bench.store.measure_cold" (fun () ->
+        Measure.measure_all ~countries:sample ~jobs:1 ~store:st world)
+  in
+  let cold25, cold25_s =
+    Span.timed ~name:"bench.store.measure_cold_2025" (fun () ->
+        Measure.measure_all ~epoch:World.May_2025 ~countries:sample ~jobs:1 ~store:st
+          world)
+  in
+  let cold_misses = counter "store.misses" in
+  let warm23, warm23_s =
+    Span.timed ~name:"bench.store.measure_warm" (fun () ->
+        Measure.measure_all ~countries:sample ~jobs:1 ~store:st world)
+  in
+  let warm25, warm25_s =
+    Span.timed ~name:"bench.store.measure_warm_2025" (fun () ->
+        Measure.measure_all ~epoch:World.May_2025 ~countries:sample ~jobs:1 ~store:st
+          world)
+  in
+  let warm_hits = counter "store.hits" in
+  let cold_s = cold23_s +. cold25_s and warm_s = warm23_s +. warm25_s in
+  let speedup = cold_s /. warm_s in
+  let identical =
+    List.for_all
+      (fun cc ->
+        D.country_exn cold23 cc = D.country_exn warm23 cc
+        && D.country_exn cold25 cc = D.country_exn warm25 cc)
+      sample
+  in
+  let csv_identical =
+    Webdep.Export.scores_csv cold23 Hosting = Webdep.Export.scores_csv warm23 Hosting
+  in
+  let jobs_invariant =
+    jobs <= 1
+    ||
+    let par23 = Measure.measure_all ~countries:sample ~jobs ~store:st world in
+    List.for_all (fun cc -> D.country_exn par23 cc = D.country_exn warm23 cc) sample
+  in
+  Printf.printf
+    "measure 2023+2025 (%d countries, --jobs 1): cold %.2fs, warm %.2fs (x%.2f), \
+     datasets identical: %b, scores CSV identical: %b, jobs-invariant: %b\n"
+    (List.length sample) cold_s warm_s speedup identical csv_identical jobs_invariant;
+  Printf.printf "store.misses (cold fill) = %d, store.hits (warm re-measure) = %d\n"
+    cold_misses warm_hits;
+  if not (identical && csv_identical && jobs_invariant) then
+    prerr_endline "webdep bench: WARNING: store-backed measurement differs from cold";
+  let cmp_full, full_s =
+    Span.timed ~name:"bench.store.compare_full" (fun () ->
+        Webdep.Longitudinal.compare ~focus:"Cloudflare" ~old_ds:cold23 ~new_ds:cold25
+          Hosting)
+  in
+  let (cmp_incr, churn), incr_s =
+    Span.timed ~name:"bench.store.compare_incremental" (fun () ->
+        Webdep.Longitudinal.compare_incremental ~focus:"Cloudflare" ~old_ds:cold23
+          ~new_ds:cold25 Hosting)
+  in
+  let compare_identical = cmp_full = cmp_incr in
+  Printf.printf
+    "longitudinal: full compare %.4fs, incremental %.4fs (x%.2f), identical: %b \
+     (%d kept / %d relabelled / %d added / %d removed)\n"
+    full_s incr_s (full_s /. incr_s) compare_identical
+    churn.Webdep.Longitudinal.kept churn.Webdep.Longitudinal.relabelled
+    churn.Webdep.Longitudinal.added churn.Webdep.Longitudinal.removed;
+  if not compare_identical then
+    prerr_endline "webdep bench: WARNING: incremental comparison differs from full";
+  (* Small-churn recomputation: the epoch comparison above relabels most
+     kept domains, so the delta path does nearly full work there.  Churn
+     2% of each country's sites instead and recompute every country's
+     score — maintained-tally delta vs full re-tally from the edited
+     site lists, values asserted equal. *)
+  let inc = Webdep_store.Incremental.create cold23 Hosting in
+  List.iter (fun cc -> ignore (Webdep_store.Incremental.score inc cc)) sample;
+  let deltas =
+    List.map
+      (fun cc ->
+        let old_sites = (D.country_exn cold23 cc).D.sites in
+        let new_sites = (D.country_exn cold25 cc).D.sites in
+        let removed = List.filteri (fun i _ -> i mod 50 = 0) old_sites in
+        let added = List.filteri (fun i _ -> i mod 50 = 0) new_sites in
+        (cc, added, removed))
+      sample
+  in
+  let edited =
+    List.map
+      (fun (cc, added, removed) ->
+        let keep =
+          List.filter
+            (fun s -> not (List.memq s removed))
+            (D.country_exn cold23 cc).D.sites
+        in
+        { D.country = cc; D.sites = keep @ added })
+      deltas
+  in
+  let incr_scores, churn_incr_s =
+    Span.timed ~name:"bench.store.churn_incremental" (fun () ->
+        List.iter
+          (fun (cc, added, removed) ->
+            Webdep_store.Incremental.apply inc ~country:cc ~added ~removed)
+          deltas;
+        List.map (fun cc -> Webdep_store.Incremental.score inc cc) sample)
+  in
+  let full_scores, churn_full_s =
+    Span.timed ~name:"bench.store.churn_full" (fun () ->
+        let edited_ds = D.of_country_data edited in
+        List.map (fun cc -> Metrics.centralization edited_ds Hosting cc) sample)
+  in
+  let churn_identical = incr_scores = full_scores in
+  Printf.printf
+    "2%%-churn rescore (%d countries): full re-tally %.2fms, incremental %.2fms \
+     (x%.1f), identical: %b\n"
+    (List.length sample) (1e3 *. churn_full_s) (1e3 *. churn_incr_s)
+    (churn_full_s /. churn_incr_s) churn_identical;
+  if not churn_identical then
+    prerr_endline "webdep bench: WARNING: incremental rescore differs from full";
+  store_json :=
+    [
+      ("countries", Json.Int (List.length sample));
+      ("cold_s", Json.Float cold_s);
+      ("warm_s", Json.Float warm_s);
+      ("speedup", Json.Float speedup);
+      ("identical", Json.Bool identical);
+      ("csv_identical", Json.Bool csv_identical);
+      ("jobs_invariant", Json.Bool jobs_invariant);
+      ("cold_misses", Json.Int cold_misses);
+      ("warm_hits", Json.Int warm_hits);
+      ("compare_full_s", Json.Float full_s);
+      ("compare_incremental_s", Json.Float incr_s);
+      ("compare_identical", Json.Bool compare_identical);
+      ("churn_kept", Json.Int churn.Webdep.Longitudinal.kept);
+      ("churn_relabelled", Json.Int churn.Webdep.Longitudinal.relabelled);
+      ("churn_added", Json.Int churn.Webdep.Longitudinal.added);
+      ("churn_removed", Json.Int churn.Webdep.Longitudinal.removed);
+      ( "support_changed_countries",
+        Json.Int churn.Webdep.Longitudinal.support_changed_countries );
+      ("churn_full_s", Json.Float churn_full_s);
+      ("churn_incremental_s", Json.Float churn_incr_s);
+      ("churn_rescore_identical", Json.Bool churn_identical);
+    ]
+
+(* ========================================================================
    Faults (always run): the robustness plane's cost and behaviour.
    Three sequential sweeps over the same fixed sample:
      clean      measure_all, no fault plumbing at all
@@ -1463,13 +1651,16 @@ let faults () =
    what each table/figure consumed from the pipeline and simulators. *)
 let phase_counters : (string * (string * int) list) list ref = ref []
 
-(* BENCH_obs.json, schema webdep-bench/4:
+(* BENCH_obs.json, schema webdep-bench/5:
    - phases_s:        bench-locally recorded per-phase wall seconds
                       (includes world_create / measure_all / the 2025
                       measurement inside "longitudinal")
+   - phases_minor_words: per-phase minor-heap allocation (Gc.minor_words
+                      deltas) — the noise-free companion to phases_s
    - phase_counters:  nonzero counters attributable to each phase alone
                       (the "kernels" entry carries the dns.cache.* totals
-                      of the cached measurement run)
+                      of the cached measurement run; the "store" entry
+                      carries that phase's store.hits/store.misses)
    - metrics:         the registry snapshot taken right after the
                       measurement sweep (pipeline counters/histograms)
    - speedup_probe:   seq-vs-par wall clock + determinism check
@@ -1478,6 +1669,11 @@ let phase_counters : (string * (string * int) list) list ref = ref []
                       old-vs-new ns/run per shape, and cached-vs-uncached
                       measure_all wall clock with cache hit/miss totals
                       and the dataset-equality verdict
+   - store:           measurement-store effectiveness — cold-vs-warm
+                      wall clock over the fixed sample (both epochs),
+                      hit/miss totals, the byte-identity and
+                      jobs-invariance verdicts, and full-vs-incremental
+                      longitudinal comparison timing with churn totals
    - faults:          robustness-plane cost — rate-0 plan overhead vs
                       plain measure_all (with the identity verdict) and
                       the rate-0.05 sweep's injection/retry/coverage
@@ -1485,6 +1681,10 @@ let phase_counters : (string * (string * int) list) list ref = ref []
 let write_bench_json path =
   let phases =
     List.rev_map (fun (name, s) -> (name, Json.Float s)) !recorded_phases
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let minor_words =
+    List.rev_map (fun (name, w) -> (name, Json.Float w)) !recorded_minor_words
     |> List.sort (fun (a, _) (b, _) -> compare a b)
   in
   let total = List.fold_left (fun acc (_, s) -> acc +. s) 0.0 !recorded_phases in
@@ -1513,17 +1713,19 @@ let write_bench_json path =
   let doc =
     Json.Obj
       ([
-         ("schema", Json.String "webdep-bench/4");
+         ("schema", Json.String "webdep-bench/5");
          ("c", Json.Int c);
          ("seed", Json.Int seed);
          ("jobs", Json.Int jobs);
          ("total_s", Json.Float total);
          ("phases_s", Json.Obj phases);
+         ("phases_minor_words", Json.Obj minor_words);
          ("phase_counters", Json.Obj counters_json);
        ]
       @ speedup_json
       @ [
           ("kernels", Json.Obj !kernel_json);
+          ("store", Json.Obj !store_json);
           ("faults", Json.Obj !faults_json);
           ("metrics", measure_metrics);
         ])
@@ -1537,8 +1739,10 @@ let write_bench_json path =
 
 let () =
   let phase name f =
+    let minor_before = Gc.minor_words () in
     let (), seconds = Span.timed ~name:("bench." ^ name) f in
     record_phase name seconds;
+    record_minor_words name (Gc.minor_words () -. minor_before);
     let nonzero =
       Obs_metrics.fold_counters
         (fun cnt acc ->
@@ -1573,9 +1777,10 @@ let () =
       ("ablation_c_sensitivity", ablation_c_sensitivity);
     ];
   if Sys.getenv_opt "WEBDEP_BENCH_SKIP_TIMINGS" = None then phase "timings" timings;
-  (* The kernels and faults phases always run — CI's BENCH diff asserts
-     on them. *)
+  (* The kernels, store and faults phases always run — CI's BENCH diff
+     asserts on them. *)
   phase "kernels" kernels;
+  phase "store" store_phase;
   phase "faults" faults;
   let total = write_bench_json "BENCH_obs.json" in
   Printf.printf "\ntotal bench time: %.1fs\n" total

@@ -161,14 +161,54 @@ let faults_term =
   Term.(const faults_setup $ rate $ fault_seed $ max_retries $ coverage_threshold
         $ checkpoint)
 
-let measure ~seed ~c ?countries ?(faults = (None, None)) () =
+(* --- measurement store --------------------------------------------------- *)
+
+(* --store FILE memoizes per-(epoch, resolution, vantage, domain)
+   measurements across runs: the file is loaded before the sweep (and
+   discarded with a warning if its fingerprint does not match this
+   world/fault configuration) and rewritten afterwards with everything
+   measured.  Results are byte-identical with or without it. *)
+
+let store_setup path no_store = if no_store then None else path
+
+let store_term =
+  let path =
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"FILE"
+           ~doc:"Persist per-site measurement results in $(docv) and reuse \
+                 them on later runs with the same world parameters \
+                 (seed, toplist size, fault settings).  Output is \
+                 byte-identical to a run without the store.")
+  in
+  let no_store =
+    Arg.(value & flag & info [ "no-store" ]
+           ~doc:"Ignore $(b,--store): measure everything from scratch and \
+                 leave the store file untouched.")
+  in
+  Term.(const store_setup $ path $ no_store)
+
+let with_store ?faults world store_path f =
+  match store_path with
+  | None -> f None
+  | Some path ->
+      let fingerprint = Measure.store_fingerprint ?faults world in
+      let store = Webdep_store.Store.load ~path ~fingerprint in
+      (if Sys.file_exists path && Webdep_store.Store.size store = 0 then
+         Logs.warn (fun m ->
+             m "store %s: fingerprint mismatch or no usable entries, remeasuring"
+               path));
+      let result = f (Some store) in
+      Webdep_store.Store.save store path;
+      result
+
+let measure ~seed ~c ?countries ?(faults = (None, None)) ?store () =
   let world = World.create ~c ~seed () in
   let fault_opts, checkpoint = faults in
+  with_store ?faults:fault_opts world store @@ fun store ->
   match (fault_opts, checkpoint) with
-  | None, None -> (world, Measure.measure_all ?countries world)
+  | None, None -> (world, Measure.measure_all ?countries ?store world)
   | _ ->
       let sweep =
-        Measure.measure_sweep ?countries ?faults:fault_opts ?checkpoint world
+        Measure.measure_sweep ?countries ?faults:fault_opts ?checkpoint ?store world
       in
       List.iter
         (fun (c : Measure.country_coverage) ->
@@ -180,8 +220,10 @@ let measure ~seed ~c ?countries ?(faults = (None, None)) () =
 
 (* --- scores ------------------------------------------------------------- *)
 
-let run_scores () layer seed c countries top faults =
-  let _, ds = measure ~seed ~c ?countries:(normalize_countries countries) ~faults () in
+let run_scores () layer seed c countries top faults store =
+  let _, ds =
+    measure ~seed ~c ?countries:(normalize_countries countries) ~faults ?store ()
+  in
   Printf.printf "%-5s %-4s %10s %10s %8s\n" "rank" "cc" "S" "paper" "diff";
   List.iteri
     (fun i (cc, s) ->
@@ -194,7 +236,7 @@ let scores_cmd =
   let doc = "Per-country centralization scores for a layer (Tables 5-8)." in
   Cmd.v (Cmd.info "scores" ~doc)
     Term.(const run_scores $ obs_term $ layer_arg $ seed_arg $ c_arg $ countries_arg
-          $ top_arg $ faults_term)
+          $ top_arg $ faults_term $ store_term)
 
 (* --- report -------------------------------------------------------------- *)
 
@@ -290,12 +332,24 @@ let usage_cmd =
 
 (* --- longitudinal ------------------------------------------------------------------ *)
 
-let run_longitudinal () seed c countries top =
+let run_longitudinal () seed c countries top store =
   let countries = normalize_countries countries in
   let world = World.create ~c ~seed () in
-  let ds23 = Measure.measure_all ?countries world in
-  let ds25 = Measure.measure_all ~epoch:World.May_2025 ?countries world in
-  let cmp = Webdep.Longitudinal.compare ~focus:"Cloudflare" ~old_ds:ds23 ~new_ds:ds25 Hosting in
+  let ds23, ds25 =
+    with_store world store @@ fun store ->
+    ( Measure.measure_all ?countries ?store world,
+      Measure.measure_all ~epoch:World.May_2025 ?countries ?store world )
+  in
+  let cmp, churn =
+    Webdep.Longitudinal.compare_incremental ~focus:"Cloudflare" ~old_ds:ds23
+      ~new_ds:ds25 Hosting
+  in
+  Logs.info (fun m ->
+      m "churn: %d kept (%d relabelled), %d added, %d removed; support changed in %d/%d countries"
+        churn.Webdep.Longitudinal.kept churn.Webdep.Longitudinal.relabelled
+        churn.Webdep.Longitudinal.added churn.Webdep.Longitudinal.removed
+        churn.Webdep.Longitudinal.support_changed_countries
+        churn.Webdep.Longitudinal.countries);
   Printf.printf "rho = %.3f, mean jaccard = %.3f, Cloudflare %+.1f pts\n"
     cmp.Webdep.Longitudinal.rho.Webdep_stats.Correlation.rho
     cmp.Webdep.Longitudinal.mean_jaccard
@@ -312,7 +366,8 @@ let run_longitudinal () seed c countries top =
 let longitudinal_cmd =
   let doc = "Compare May-2023 and May-2025 measurements (§5.4)." in
   Cmd.v (Cmd.info "longitudinal" ~doc)
-    Term.(const run_longitudinal $ obs_term $ seed_arg $ c_arg $ countries_arg $ top_arg)
+    Term.(const run_longitudinal $ obs_term $ seed_arg $ c_arg $ countries_arg $ top_arg
+          $ store_term)
 
 (* --- validate ----------------------------------------------------------------------- *)
 
@@ -354,8 +409,8 @@ let out_dir_arg =
   Arg.(value & opt string "webdep-data" & info [ "o"; "out" ] ~docv:"DIR"
          ~doc:"Output directory for the CSV files.")
 
-let run_export () layer seed c out_dir =
-  let _, ds = measure ~seed ~c () in
+let run_export () layer seed c out_dir store =
+  let _, ds = measure ~seed ~c ?store () in
   (try Unix.mkdir out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
   let name = Scores.layer_name layer in
   let put file doc =
@@ -370,7 +425,8 @@ let run_export () layer seed c out_dir =
 let export_cmd =
   let doc = "Export scores, insularity and provider usage as CSV (data release)." in
   Cmd.v (Cmd.info "export" ~doc)
-    Term.(const run_export $ obs_term $ layer_arg $ seed_arg $ c_arg $ out_dir_arg)
+    Term.(const run_export $ obs_term $ layer_arg $ seed_arg $ c_arg $ out_dir_arg
+          $ store_term)
 
 (* --- language -------------------------------------------------------------------------- *)
 

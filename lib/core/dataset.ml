@@ -78,6 +78,120 @@ let tally_sites t sites layer =
     (fun s -> match entity_of s layer with None -> () | Some e -> tally_add t e)
     sites
 
+(* Deterministic canonical order for (entity, count) lists: it depends
+   only on the tallied multiset, never on insertion order, so a tally
+   maintained incrementally under churn canonicalizes to the same list a
+   cold re-tally would. *)
+let sort_counts out =
+  List.sort
+    (fun (e1, a) (e2, b) ->
+      let c = Int.compare b a in
+      if c <> 0 then c
+      else
+        let c = String.compare e1.name e2.name in
+        if c <> 0 then c else String.compare e1.country e2.country)
+    out
+
+module Tally = struct
+  type nonrec t = tally
+
+  let create () = tally_create ()
+
+  let key e = e.name ^ "\x1f" ^ e.country
+
+  let add t e =
+    let before = Symbol.count t.syms in
+    let id = Symbol.intern t.syms (key e) in
+    if id = Array.length t.counts then begin
+      let counts = Array.make (2 * id) 0 in
+      Array.blit t.counts 0 counts 0 id;
+      t.counts <- counts;
+      let entities = Array.make (2 * id) dummy_entity in
+      Array.blit t.entities 0 entities 0 id;
+      t.entities <- entities
+    end;
+    if id = before then t.entities.(id) <- e;
+    let c = t.counts.(id) in
+    t.counts.(id) <- c + 1;
+    c = 0
+
+  let remove t e =
+    match Symbol.find t.syms (key e) with
+    | None -> invalid_arg "Dataset.Tally.remove: unknown entity"
+    | Some id ->
+        let c = t.counts.(id) in
+        if c <= 0 then invalid_arg "Dataset.Tally.remove: count already zero";
+        t.counts.(id) <- c - 1;
+        c = 1
+
+  let add_site t layer s =
+    match entity_of s layer with None -> false | Some e -> add t e
+
+  let remove_site t layer s =
+    match entity_of s layer with None -> false | Some e -> remove t e
+
+  let of_sites sites layer =
+    let t = create () in
+    List.iter (fun s -> ignore (add_site t layer s)) sites;
+    t
+
+  (* Re-interning in ascending id order reproduces the exact id
+     assignment, so the copy is indistinguishable from the original. *)
+  let copy t =
+    let n = Symbol.count t.syms in
+    let out = tally_create () in
+    for id = 0 to n - 1 do
+      let e = t.entities.(id) in
+      let id' = Symbol.intern out.syms (key e) in
+      if id' = Array.length out.counts then begin
+        let counts = Array.make (2 * id') 0 in
+        Array.blit out.counts 0 counts 0 id';
+        out.counts <- counts;
+        let entities = Array.make (2 * id') dummy_entity in
+        Array.blit out.entities 0 entities 0 id';
+        out.entities <- entities
+      end;
+      out.entities.(id') <- e;
+      out.counts.(id') <- t.counts.(id)
+    done;
+    out
+
+  let support t =
+    let n = ref 0 in
+    for id = 0 to Symbol.count t.syms - 1 do
+      if t.counts.(id) > 0 then incr n
+    done;
+    !n
+
+  let counts t =
+    let out = ref [] in
+    for id = Symbol.count t.syms - 1 downto 0 do
+      if t.counts.(id) > 0 then out := (t.entities.(id), t.counts.(id)) :: !out
+    done;
+    sort_counts !out
+
+  let distribution t =
+    let cs = List.map snd (counts t) in
+    if cs = [] then raise Not_found;
+    Webdep_emd.Dist.of_positive_counts (Array.of_list cs)
+
+  let name_count t name =
+    let acc = ref 0 in
+    for id = 0 to Symbol.count t.syms - 1 do
+      if t.counts.(id) > 0 && String.equal t.entities.(id).name name then
+        acc := !acc + t.counts.(id)
+    done;
+    !acc
+
+  let home_count t cc =
+    let acc = ref 0 in
+    for id = 0 to Symbol.count t.syms - 1 do
+      if t.counts.(id) > 0 && String.equal t.entities.(id).country cc then
+        acc := !acc + t.counts.(id)
+    done;
+    !acc
+end
+
 let counts_by_entity t layer cc =
   let cd = country_exn t cc in
   let ty = tally_create () in
@@ -88,14 +202,7 @@ let counts_by_entity t layer cc =
   done;
   (* Count-descending with a deterministic tie-break (the old Hashtbl
      fold left ties in table-layout order). *)
-  List.sort
-    (fun (e1, a) (e2, b) ->
-      let c = Int.compare b a in
-      if c <> 0 then c
-      else
-        let c = String.compare e1.name e2.name in
-        if c <> 0 then c else String.compare e1.country e2.country)
-    !out
+  sort_counts !out
 
 let distribution t layer cc =
   let counts = List.map snd (counts_by_entity t layer cc) in

@@ -43,29 +43,34 @@ let provider_count ds layer cc = Dist.size (Dataset.distribution ds layer cc)
 
 let centralization_interval ?(iterations = 300) ?(confidence = 0.95) ?jobs ~seed ds layer cc =
   let cd = Dataset.country_exn ds cc in
-  let labels =
+  (* Intern the per-site labels once: replicates then resample dense ids
+     into an int tally instead of materializing a string array and
+     hash-counting it per replicate.  Scores are bit-identical to the
+     string path — the resampled multiset is the same, and emitting
+     counts in name-sorted id order reproduces the sorted fold the
+     string path used. *)
+  let syms = Symbol.create ~size:256 () in
+  let ids =
     Array.of_list
       (List.filter_map
-         (fun s -> Option.map (fun (e : Dataset.entity) -> e.Dataset.name) (Dataset.entity_of s layer))
+         (fun s ->
+           Option.map
+             (fun (e : Dataset.entity) -> Symbol.intern syms e.Dataset.name)
+             (Dataset.entity_of s layer))
          cd.Dataset.sites)
   in
-  if Array.length labels = 0 then invalid_arg "Metrics.centralization_interval: no labelled sites";
-  let statistic sample =
-    let tbl = Hashtbl.create 256 in
-    Array.iter
-      (fun name ->
-        Hashtbl.replace tbl name (1 + Option.value ~default:0 (Hashtbl.find_opt tbl name)))
-      sample;
-    (* Sorted fold: [Dist.of_counts] is order-sensitive only through
-       float rounding, but stable input order keeps replicate scores
-       reproducible across Hashtbl layout changes. *)
-    let counts =
-      Hashtbl.fold (fun name k acc -> (name, k) :: acc) tbl []
-      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
-      |> List.map snd
-    in
-    C.score (Dist.of_counts (Array.of_list counts))
+  if Array.length ids = 0 then invalid_arg "Metrics.centralization_interval: no labelled sites";
+  let k = Symbol.count syms in
+  let order = Array.init k Fun.id in
+  Array.sort (fun a b -> String.compare (Symbol.name syms a) (Symbol.name syms b)) order;
+  let statistic counts =
+    let out = ref [] in
+    for i = k - 1 downto 0 do
+      let c = counts.(order.(i)) in
+      if c > 0 then out := c :: !out
+    done;
+    C.score (Dist.of_positive_counts (Array.of_list !out))
   in
   let rng = Webdep_stats.Rng.create seed in
-  Webdep_stats.Bootstrap.percentile_interval ~iterations ~confidence ?jobs rng ~statistic
-    labels
+  Webdep_stats.Bootstrap.percentile_interval_tally ~iterations ~confidence ?jobs rng ~k
+    ~statistic ids

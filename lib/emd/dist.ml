@@ -49,6 +49,24 @@ let of_counts counts =
   done;
   { masses = out; total = float_of_int !total }
 
+(* Fast constructor for the incremental-metrics path: the caller
+   guarantees positivity (counts straight out of a maintained tally), so
+   the validation pass collapses into the fill loop and no count is ever
+   dropped.  Produces bit-identical distributions to [of_counts] on the
+   same input. *)
+let of_positive_counts counts =
+  let n = Array.length counts in
+  if n = 0 then invalid_arg "Dist: no positive mass";
+  let out = Array.make n 0.0 in
+  let total = ref 0 in
+  for i = 0 to n - 1 do
+    let c = counts.(i) in
+    if c <= 0 then invalid_arg "Dist.of_positive_counts: nonpositive count";
+    out.(i) <- float_of_int c;
+    total := !total + c
+  done;
+  { masses = out; total = float_of_int !total }
+
 let uniform_reference c =
   if c <= 0 then invalid_arg "Dist.uniform_reference: c must be positive";
   { masses = Array.make c 1.0; total = float_of_int c }

@@ -12,6 +12,13 @@ val of_counts : int array -> t
     are dropped.  @raise Invalid_argument if any count is negative or all
     are zero. *)
 
+val of_positive_counts : int array -> t
+(** Like {!of_counts} for counts known to be strictly positive (e.g. a
+    maintained provider tally with zero entries already filtered): one
+    pass, no bucket ever dropped, bit-identical result to {!of_counts}.
+    @raise Invalid_argument if any count is [<= 0] or the array is
+    empty. *)
+
 val of_masses : float array -> t
 (** Build from float masses.  @raise Invalid_argument if any mass is
     negative or all are zero. *)

@@ -80,7 +80,7 @@ let to_opt f = function Json.Null -> None | v -> Some (f v)
 let entity_of_json v : D.entity =
   { name = to_string_j (get "name" v); country = to_string_j (get "country" v) }
 
-let site_of_json v : D.site =
+let site_of_json_exn v : D.site =
   {
     domain = to_string_j (get "domain" v);
     hosting = to_opt entity_of_json (get "hosting" v);
@@ -94,11 +94,14 @@ let site_of_json v : D.site =
     language = to_opt to_string_j (get "language" v);
   }
 
+let site_of_json v =
+  match site_of_json_exn v with s -> Some s | exception Bad _ -> None
+
 let entry_of_json v =
   let country = to_string_j (get "country" v) in
   let sites =
     match get "sites" v with
-    | Json.List l -> List.map site_of_json l
+    | Json.List l -> List.map site_of_json_exn l
     | _ -> raise (Bad "sites: expected list")
   in
   {

@@ -40,3 +40,13 @@ val record : t -> entry -> unit
     [checkpoint.countries_written]. *)
 
 val close : t -> unit
+
+(** {2 Site (de)serialization}
+
+    The per-site JSON codec, shared with the measurement store's spill
+    format so both files stay mutually readable per record. *)
+
+val site_to_json : Webdep.Dataset.site -> Webdep_obs.Json.t
+
+val site_of_json : Webdep_obs.Json.t -> Webdep.Dataset.site option
+(** [None] on a malformed record (missing field, wrong type). *)

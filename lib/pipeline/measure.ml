@@ -20,6 +20,8 @@ module Retry = Webdep_faults.Retry
 module Quarantine = Webdep_faults.Quarantine
 module Degrade = Webdep_faults.Degrade
 module Checkpoint = Webdep_faults.Checkpoint
+module Store = Webdep_store.Store
+module Fingerprint = Webdep_store.Fingerprint
 
 let m_sites = Metric.counter "pipeline.sites.measured"
 let m_dns_queries = Metric.counter "pipeline.dns.queries"
@@ -219,8 +221,28 @@ let measure_site internet ca_db zones tls ~vantage ~content ?cache ?resolve_a ~f
 
 type resolution = Flat | Iterative
 
+let resolution_name = function Flat -> "flat" | Iterative -> "iterative"
+
+(* The store half of the world fingerprint comes from the world itself;
+   the fault half from the sweep options.  Anything else that shapes a
+   site record (epoch, vantage, resolution) is part of the per-entry
+   key, not the fingerprint. *)
+let store_fingerprint ?(faults = no_faults) world =
+  Fingerprint.v ~world_seed:(World.seed world) ~c:(World.c world)
+    ~geo_accuracy:(World.geo_accuracy world)
+    ~fault_seed:(Faults.seed faults.plan)
+    ~fault_rate:(Faults.rate faults.plan)
+    ~max_attempts:faults.retry.Retry.max_attempts
+
+(* Quarantine streaks depend on the order sites fail in, so memoizing
+   individual sites under an active fault plan could replay a history
+   that never happened; the store only serves fault-free sweeps. *)
+let usable_store ~faults store =
+  if Faults.enabled faults.plan then None else store
+
 let measure_snapshot_cov ?(vantage = default_vantage) ?(resolution = Flat)
-    ?(cache = true) ?(faults = no_faults) ?quarantine world (snap : World.snapshot) =
+    ?(cache = true) ?(faults = no_faults) ?quarantine ?store world
+    (snap : World.snapshot) =
   let internet = World.internet world in
   let ca_db = World.ca_db world in
   let content domain = Hashtbl.find_opt snap.World.content_language domain in
@@ -250,13 +272,28 @@ let measure_snapshot_cov ?(vantage = default_vantage) ?(resolution = Flat)
     | Some q -> q
     | None -> Quarantine.create ~threshold:faults.quarantine_after ()
   in
+  let store = usable_store ~faults store in
+  let epoch = World.epoch_name snap.World.epoch in
+  let resolution = resolution_name resolution in
   let tally = ref Degrade.empty in
+  let measure domain =
+    measure_site internet ca_db snap.World.zones snap.World.tls ~vantage ~content
+      ?cache:rcache ?resolve_a ~fo:faults ~quarantine domain
+  in
   let sites =
     List.map
       (fun domain ->
         let site, outcome =
-          measure_site internet ca_db snap.World.zones snap.World.tls ~vantage
-            ~content ?cache:rcache ?resolve_a ~fo:faults ~quarantine domain
+          match store with
+          | None -> measure domain
+          | Some st -> (
+              match Store.find st ~epoch ~resolution ~vantage domain with
+              | Some e -> (e.Store.site, e.Store.outcome)
+              | None ->
+                  let site, outcome = measure domain in
+                  Store.add st ~epoch ~resolution ~vantage domain
+                    { Store.site; outcome };
+                  (site, outcome))
         in
         tally := Degrade.add !tally outcome;
         site)
@@ -267,15 +304,48 @@ let measure_snapshot_cov ?(vantage = default_vantage) ?(resolution = Flat)
 let measure_snapshot ?vantage ?resolution ?cache world snap =
   fst (measure_snapshot_cov ?vantage ?resolution ?cache world snap)
 
-let measure_country_cov ?vantage ?resolution ?cache ?epoch ?faults ?quarantine
-    world cc =
+(* Warm fast path: when the store already holds every site of the sweep,
+   rebuild the country data from it without materializing the snapshot
+   at all — the toplist alone decides which keys to ask for, and deriving
+   it costs a fraction of zone/TLS generation.  All-or-nothing: a single
+   missing site falls back to the snapshot path, whose per-site lookups
+   still reuse every stored site. *)
+let country_from_store ?(vantage = default_vantage) ?(resolution = Flat)
+    ?(epoch = World.May_2023) ~store world cc =
+  let toplist = World.toplist world ~epoch cc in
+  match
+    Store.find_all store ~epoch:(World.epoch_name epoch)
+      ~resolution:(resolution_name resolution) ~vantage (Toplist.domains toplist)
+  with
+  | None -> None
+  | Some entries ->
+      let tally = ref Degrade.empty in
+      let sites =
+        List.map
+          (fun (e : Store.entry) ->
+            tally := Degrade.add !tally e.Store.outcome;
+            e.Store.site)
+          entries
+      in
+      Some ({ Dataset.country = cc; sites }, !tally)
+
+let measure_country_cov ?vantage ?resolution ?cache ?epoch ?(faults = no_faults)
+    ?quarantine ?store world cc =
   (* Per-country span: the name carries the country so the registry dump
      exposes one duration histogram per country. *)
   Obs.Span.with_ ~name:("measure_country." ^ cc)
     ~attrs:[ ("country", cc) ]
     (fun () ->
-      measure_snapshot_cov ?vantage ?resolution ?cache ?faults ?quarantine world
-        (World.snapshot world ?epoch cc))
+      let warm =
+        match usable_store ~faults store with
+        | None -> None
+        | Some store -> country_from_store ?vantage ?resolution ?epoch ~store world cc
+      in
+      match warm with
+      | Some result -> result
+      | None ->
+          measure_snapshot_cov ?vantage ?resolution ?cache ~faults ?quarantine
+            ?store world (World.snapshot world ?epoch cc))
 
 let measure_country ?vantage ?resolution ?cache ?epoch world cc =
   fst (measure_country_cov ?vantage ?resolution ?cache ?epoch world cc)
@@ -293,8 +363,6 @@ type sweep = {
   insufficient : string list;
 }
 
-let resolution_name = function Flat -> "flat" | Iterative -> "iterative"
-
 let checkpoint_meta ?vantage ?resolution ?epoch ~faults world =
   let open Webdep_obs.Json in
   [
@@ -309,16 +377,37 @@ let checkpoint_meta ?vantage ?resolution ?epoch ~faults world =
   ]
 
 let measure_sweep ?vantage ?resolution ?cache ?epoch ?countries ?jobs
-    ?(faults = no_faults) ?checkpoint world =
+    ?(faults = no_faults) ?checkpoint ?store world =
   let countries = Option.value ~default:(World.countries world) countries in
+  let store = usable_store ~faults store in
   Obs.Span.with_ ~name:"measure_all"
     ~attrs:[ ("countries", string_of_int (List.length countries)) ]
     (fun () ->
+      (* Warm pre-pass: rebuild fully-stored countries up front, so an
+         entirely warm sweep pays neither registration replay nor
+         snapshot materialization.  Sequential on purpose — the per-hit
+         counters then accrue in one fixed order, and the totals are the
+         same at any [jobs]. *)
+      let warm = Hashtbl.create 16 in
+      (match store with
+      | Some st when Store.size st > 0 ->
+          List.iter
+            (fun cc ->
+              if Webdep_geo.Country.mem cc then
+                match
+                  country_from_store ?vantage ?resolution ?epoch ~store:st world cc
+                with
+                | Some r -> Hashtbl.replace warm cc r
+                | None -> ())
+            countries
+      | Some _ | None -> ());
       (* Fix every shared-state registration (ASN/prefix allocation,
          geolocation draws, CA issuers) in canonical sequential order
          before fanning out, so the per-country sweeps are read-only on
-         the world and the dataset is bit-identical at any [jobs]. *)
-      World.prepare world ?epoch countries;
+         the world and the dataset is bit-identical at any [jobs].  Only
+         countries the store cannot fully serve need it. *)
+      let cold = List.filter (fun cc -> not (Hashtbl.mem warm cc)) countries in
+      World.prepare world ?epoch cold;
       let cp =
         Option.map
           (fun path ->
@@ -341,10 +430,15 @@ let measure_sweep ?vantage ?resolution ?cache ?epoch ?countries ?jobs
                 Logs.debug (fun m -> m "resumed %s from checkpoint" cc);
                 (e.Checkpoint.data, e.Checkpoint.tally, true)
             | None ->
-                Logs.debug (fun m -> m "measuring %s" cc);
                 let data, tally =
-                  measure_country_cov ?vantage ?resolution ?cache ?epoch ~faults
-                    world cc
+                  match Hashtbl.find_opt warm cc with
+                  | Some (data, tally) ->
+                      Logs.debug (fun m -> m "rebuilt %s from store" cc);
+                      (data, tally)
+                  | None ->
+                      Logs.debug (fun m -> m "measuring %s" cc);
+                      measure_country_cov ?vantage ?resolution ?cache ?epoch
+                        ~faults ?store world cc
                 in
                 Option.iter
                   (fun cp -> Checkpoint.record cp { Checkpoint.country = cc; tally; data })
@@ -381,8 +475,9 @@ let measure_sweep ?vantage ?resolution ?cache ?epoch ?countries ?jobs
         insufficient;
       })
 
-let measure_all ?vantage ?resolution ?cache ?epoch ?countries ?jobs world =
-  (measure_sweep ?vantage ?resolution ?cache ?epoch ?countries ?jobs world).dataset
+let measure_all ?vantage ?resolution ?cache ?epoch ?countries ?jobs ?store world =
+  (measure_sweep ?vantage ?resolution ?cache ?epoch ?countries ?jobs ?store world)
+    .dataset
 
 type resolution_stats = {
   domains : int;
@@ -455,13 +550,31 @@ let measure_with_probes ~per_country_probes ?missing ?epoch ~seed world countrie
   in
   let rng = Webdep_stats.Rng.create seed in
   let internet = World.internet world in
+  (* Interned provider names with a dense int tally: one string hash per
+     site (the intern), integer array bumps thereafter.  The interner is
+     sweep-scoped so the name-sorted id permutation — needed because ids
+     are in first-seen order while [Dist] normalizes in input order — is
+     recomputed only when a country introduces a provider the sweep has
+     not yet seen, instead of re-sorting the whole provider set per
+     country. *)
+  let syms = Webdep.Symbol.create ~size:128 () in
+  let sorted_ids = ref [||] in
+  let sorted_by_name () =
+    let n = Webdep.Symbol.count syms in
+    if Array.length !sorted_ids <> n then begin
+      let ids = Array.init n Fun.id in
+      Array.sort
+        (fun a b ->
+          String.compare (Webdep.Symbol.name syms a) (Webdep.Symbol.name syms b))
+        ids;
+      sorted_ids := ids
+    end;
+    !sorted_ids
+  in
   List.map
     (fun cc ->
       let snap = World.snapshot world ?epoch cc in
       let cache = Resolver.make_cache () in
-      (* Interned provider names with a dense int tally: one string hash
-         per site (the intern), integer array bumps thereafter. *)
-      let syms = Webdep.Symbol.create ~size:128 () in
       let counts = ref (Array.make 128 0) in
       List.iter
         (fun domain ->
@@ -476,22 +589,24 @@ let measure_with_probes ~per_country_probes ?missing ?epoch ~seed world countrie
               | None -> ()
               | Some org ->
                   let id = Webdep.Symbol.intern syms org.Webdep_netsim.Org.name in
-                  if id = Array.length !counts then begin
-                    let bigger = Array.make (2 * id) 0 in
-                    Array.blit !counts 0 bigger 0 id;
+                  if id >= Array.length !counts then begin
+                    let bigger = Array.make (2 * (id + 1)) 0 in
+                    Array.blit !counts 0 bigger 0 (Array.length !counts);
                     counts := bigger
                   end;
                   !counts.(id) <- !counts.(id) + 1))
         (Toplist.domains snap.World.toplist);
-      (* Sort by provider name: ids are in first-seen order, and
-         [Dist.of_counts] normalizes in input order, so an unsorted
-         tally would make the scores depend on resolution accidents
-         rather than on the measurement alone. *)
-      let labelled = ref [] in
-      Webdep.Symbol.iter (fun id name -> labelled := (name, !counts.(id)) :: !labelled) syms;
-      let dist =
-        List.sort (fun (a, _) (b, _) -> String.compare a b) !labelled
-        |> List.map snd |> Array.of_list |> Webdep_emd.Dist.of_counts
-      in
+      (* Emit this country's counts in name-sorted id order, skipping
+         providers the country never used: identical to sorting the
+         country's own (name, count) list, since names are unique per
+         id. *)
+      let ids = sorted_by_name () in
+      let out = ref [] in
+      for i = Array.length ids - 1 downto 0 do
+        let id = ids.(i) in
+        if id < Array.length !counts && !counts.(id) > 0 then
+          out := !counts.(id) :: !out
+      done;
+      let dist = Webdep_emd.Dist.of_positive_counts (Array.of_list !out) in
       (cc, Webdep_emd.Centralization.score dist))
     countries

@@ -22,6 +22,50 @@ let replicates ?jobs ~iterations rng ~statistic data =
   in
   Array.concat (Array.to_list shards)
 
+(* Tally-based resampling: when the data are dense integer ids (interned
+   labels), a replicate is an int-array tally filled by the same [n]
+   draws [resample] would consume — no per-replicate 'a array, no
+   hashing.  A statistic over the tally sees the same resampled multiset
+   as one over the materialized sample, so results are bit-identical to
+   the generic path while allocating one scratch array per shard. *)
+let replicates_tally ?jobs ~iterations rng ~k ~statistic data =
+  if k <= 0 then invalid_arg "Bootstrap.replicates_tally: k must be positive";
+  let n = Array.length data in
+  Array.iter
+    (fun id ->
+      if id < 0 || id >= k then invalid_arg "Bootstrap.replicates_tally: id outside [0, k)")
+    data;
+  let base = Rng.split rng in
+  let nshards = (iterations + shard_size - 1) / shard_size in
+  let shards =
+    Webdep_par.map_array ?jobs
+      (fun s ->
+        let srng = Rng.split_named base (Printf.sprintf "bootstrap.shard.%d" s) in
+        let lo = s * shard_size in
+        let len = min iterations (lo + shard_size) - lo in
+        let counts = Array.make k 0 in
+        Array.init len (fun _ ->
+            Array.fill counts 0 k 0;
+            for _ = 1 to n do
+              let id = data.(Rng.int srng n) in
+              counts.(id) <- counts.(id) + 1
+            done;
+            statistic counts))
+      (Array.init nshards Fun.id)
+  in
+  Array.concat (Array.to_list shards)
+
+let percentile_interval_tally ?(iterations = 500) ?(confidence = 0.95) ?jobs rng ~k
+    ~statistic data =
+  if Array.length data = 0 then invalid_arg "Bootstrap.percentile_interval: empty data";
+  if iterations < 10 then invalid_arg "Bootstrap.percentile_interval: too few iterations";
+  if confidence <= 0.0 || confidence >= 1.0 then
+    invalid_arg "Bootstrap.percentile_interval: confidence outside (0, 1)";
+  let reps = replicates_tally ?jobs ~iterations rng ~k ~statistic data in
+  let alpha = (1.0 -. confidence) /. 2.0 in
+  ( Descriptive.percentile reps (100.0 *. alpha),
+    Descriptive.percentile reps (100.0 *. (1.0 -. alpha)) )
+
 let percentile_interval ?(iterations = 500) ?(confidence = 0.95) ?jobs rng ~statistic data =
   if Array.length data = 0 then invalid_arg "Bootstrap.percentile_interval: empty data";
   if iterations < 10 then invalid_arg "Bootstrap.percentile_interval: too few iterations";

@@ -21,6 +21,24 @@ val replicates :
 (** [iterations] recomputations of [statistic] on resamples, in shard
     order.  [?jobs] overrides the pool's configured lane count. *)
 
+val replicates_tally :
+  ?jobs:int ->
+  iterations:int ->
+  Rng.t ->
+  k:int ->
+  statistic:(int array -> float) ->
+  int array ->
+  float array
+(** {!replicates} for data that are dense integer ids in [0, k) —
+    interned provider labels, for instance.  Each replicate fills a
+    [k]-slot int tally with the same [n] draws {!resample} would make
+    (same rng advance, same shard streams), so a statistic over the
+    tally returns bit-identical values to the equivalent statistic over
+    a materialized resample, without allocating one.  The tally array is
+    reused between a shard's replicates: [statistic] must not retain
+    it.  @raise Invalid_argument if [k <= 0] or an id falls outside
+    [0, k). *)
+
 val percentile_interval :
   ?iterations:int ->
   ?confidence:float ->
@@ -35,6 +53,19 @@ val percentile_interval :
     (default confidence 0.95).
     @raise Invalid_argument on empty data, [iterations < 10], or
     confidence outside (0, 1). *)
+
+val percentile_interval_tally :
+  ?iterations:int ->
+  ?confidence:float ->
+  ?jobs:int ->
+  Rng.t ->
+  k:int ->
+  statistic:(int array -> float) ->
+  int array ->
+  float * float
+(** {!percentile_interval} over {!replicates_tally}: bit-identical CIs
+    for a tally-expressible statistic at a fraction of the allocation.
+    Raises the same [Invalid_argument]s as {!percentile_interval}. *)
 
 val standard_error :
   ?iterations:int ->

@@ -1,0 +1,130 @@
+module D = Webdep.Dataset
+module R = Webdep.Regionalization
+module C = Webdep_emd.Centralization
+
+let m_cache_hits = Webdep_obs.Metrics.counter "store.metrics.cache_hits"
+let m_incremental = Webdep_obs.Metrics.counter "store.metrics.incremental"
+let m_full = Webdep_obs.Metrics.counter "store.metrics.full_solve"
+
+type cstate = {
+  tally : D.Tally.t;
+  mutable total : int;  (* all sites, labelled or not: the U/insularity denominator *)
+  mutable dirty : bool;
+  mutable support_changed : bool;
+  mutable score : float;  (* valid when [not dirty]; nan while unlabelled *)
+  mutable hhi : float;
+}
+
+type t = {
+  layer : D.layer;
+  order : string list;
+  by_country : (string, cstate) Hashtbl.t;
+}
+
+let create ds layer =
+  let order = D.countries ds in
+  let by_country = Hashtbl.create (List.length order) in
+  List.iter
+    (fun cc ->
+      let cd = D.country_exn ds cc in
+      Hashtbl.replace by_country cc
+        {
+          tally = D.Tally.of_sites cd.D.sites layer;
+          total = List.length cd.D.sites;
+          dirty = true;
+          support_changed = true;
+          score = Float.nan;
+          hhi = Float.nan;
+        })
+    order;
+  { layer; order; by_country }
+
+let countries t = t.order
+
+let state t cc =
+  match Hashtbl.find_opt t.by_country cc with
+  | Some cs -> cs
+  | None -> raise Not_found
+
+let apply t ~country ~added ~removed =
+  let cs = state t country in
+  List.iter
+    (fun s -> if D.Tally.remove_site cs.tally t.layer s then cs.support_changed <- true)
+    removed;
+  List.iter
+    (fun s -> if D.Tally.add_site cs.tally t.layer s then cs.support_changed <- true)
+    added;
+  cs.total <- cs.total + List.length added - List.length removed;
+  cs.dirty <- true
+
+(* Bring the cached 𝒮/HHI up to date.  Both paths reproduce
+   [Centralization.score]'s float operations in canonical count order,
+   so either is bit-identical to the cold computation; the incremental
+   path just skips building a [Dist.t]. *)
+let refresh cs =
+  if not cs.dirty then Webdep_obs.Metrics.incr m_cache_hits
+  else begin
+    if cs.support_changed then begin
+      Webdep_obs.Metrics.incr m_full;
+      let dist = D.Tally.distribution cs.tally in
+      cs.score <- C.score dist;
+      cs.hhi <- C.hhi dist
+    end
+    else begin
+      Webdep_obs.Metrics.incr m_incremental;
+      let counts = D.Tally.counts cs.tally in
+      let ctotal = List.fold_left (fun acc (_, k) -> acc + k) 0 counts in
+      if ctotal = 0 then raise Not_found;
+      let c = float_of_int ctotal in
+      let acc = ref 0.0 in
+      List.iter
+        (fun (_, k) -> acc := !acc +. ((float_of_int k /. c) ** 2.0))
+        counts;
+      cs.score <- !acc -. (1.0 /. c);
+      cs.hhi <- cs.score +. (1.0 /. c)
+    end;
+    cs.dirty <- false;
+    cs.support_changed <- false
+  end
+
+let score t cc =
+  let cs = state t cc in
+  refresh cs;
+  if Float.is_nan cs.score then raise Not_found;
+  cs.score
+
+let hhi t cc =
+  let cs = state t cc in
+  refresh cs;
+  if Float.is_nan cs.hhi then raise Not_found;
+  cs.hhi
+
+let insularity t cc =
+  let cs = state t cc in
+  if cs.total = 0 then 0.0
+  else
+    float_of_int (D.Tally.home_count cs.tally cc) /. float_of_int cs.total
+
+(* Replicates [Regionalization.usage_table] for one provider name: walk
+   countries in dataset order, walk each canonical count list in order
+   (later same-name entries overwrite the slot, as the table's
+   [curve.(i) <- ...] does), keep the first-encountered entity. *)
+let usage t ~name =
+  let n = List.length t.order in
+  let curve = Array.make n 0.0 in
+  let entity = ref None in
+  List.iteri
+    (fun i cc ->
+      let cs = state t cc in
+      let total = float_of_int cs.total in
+      List.iter
+        (fun ((e : D.entity), k) ->
+          if String.equal e.D.name name then begin
+            if !entity = None then entity := Some e;
+            curve.(i) <- 100.0 *. float_of_int k /. total
+          end)
+        (D.Tally.counts cs.tally))
+    t.order;
+  match !entity with
+  | None -> raise Not_found
+  | Some e -> R.stats_of_curve e curve

@@ -1,0 +1,52 @@
+(** Incremental metric recomputation under churn.
+
+    Holds one {!Webdep.Dataset.Tally} per country for one layer and
+    recomputes the paper's metrics from the maintained int-array tallies
+    instead of re-tallying every site: centralization 𝒮 and HHI, usage
+    [U], endemicity [E]/[E_R] and insularity.  Because the canonical
+    count ordering depends only on the tallied multiset, every metric is
+    bit-identical to a cold recomputation over the equivalent dataset.
+
+    𝒮/HHI are cached per country.  A churn delta ({!apply}) marks the
+    country dirty; the next read re-derives the score by the closed
+    form directly over the re-canonicalized counts
+    ([store.metrics.incremental]) when the provider support set is
+    unchanged, and falls back to the full distribution rebuild
+    ([store.metrics.full_solve]) only when the support set changed —
+    mirroring how the EMD formulation only needs the full solve when
+    buckets appear or vanish.  Clean reads count
+    [store.metrics.cache_hits]. *)
+
+type t
+
+val create : Webdep.Dataset.t -> Webdep.Dataset.layer -> t
+(** Tally every country of the dataset in the layer. *)
+
+val countries : t -> string list
+
+val apply :
+  t ->
+  country:string ->
+  added:Webdep.Dataset.site list ->
+  removed:Webdep.Dataset.site list ->
+  unit
+(** Delta-update one country: untally [removed] sites, tally [added]
+    ones, adjust the site total.  Sites in [removed] must carry the
+    labels they were tallied with (i.e. come from the superseded
+    dataset).
+    @raise Invalid_argument on removal of a never-tallied entity. *)
+
+val score : t -> string -> float
+(** Centralization 𝒮, bit-identical to
+    [Webdep.Metrics.centralization].  @raise Not_found if the country is
+    absent or has no labelled site. *)
+
+val hhi : t -> string -> float
+
+val insularity : t -> string -> float
+(** Bit-identical to [Webdep.Regionalization.insularity]. *)
+
+val usage : t -> name:string -> Webdep.Regionalization.usage_stats
+(** Usage/endemicity stats of one provider, bit-identical to
+    [Webdep.Regionalization.usage_curve] on the equivalent dataset.
+    @raise Not_found if no country uses the provider. *)

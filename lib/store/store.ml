@@ -1,0 +1,139 @@
+module Json = Webdep_obs.Json
+module D = Webdep.Dataset
+module Degrade = Webdep_faults.Degrade
+module Checkpoint = Webdep_faults.Checkpoint
+
+let schema = "webdep-store/1"
+
+let m_hits = Webdep_obs.Metrics.counter "store.hits"
+let m_misses = Webdep_obs.Metrics.counter "store.misses"
+let m_invalidated = Webdep_obs.Metrics.counter "store.invalidated"
+
+type entry = { site : D.site; outcome : Degrade.outcome }
+
+type t = {
+  fingerprint : Fingerprint.t;
+  lock : Mutex.t;
+  entries : (string, entry) Hashtbl.t;
+}
+
+let create ~fingerprint () =
+  { fingerprint; lock = Mutex.create (); entries = Hashtbl.create 4096 }
+
+let fingerprint t = t.fingerprint
+let size t = Mutex.protect t.lock (fun () -> Hashtbl.length t.entries)
+
+(* '|' cannot appear in an epoch name, resolution name, country code or
+   domain, so the joined key is injective — and splits back into its
+   four components for the spill file. *)
+let key ~epoch ~resolution ~vantage domain =
+  String.concat "|" [ epoch; resolution; vantage; domain ]
+
+let find t ~epoch ~resolution ~vantage domain =
+  let k = key ~epoch ~resolution ~vantage domain in
+  let r = Mutex.protect t.lock (fun () -> Hashtbl.find_opt t.entries k) in
+  (match r with
+  | Some _ -> Webdep_obs.Metrics.incr m_hits
+  | None -> Webdep_obs.Metrics.incr m_misses);
+  r
+
+let find_all t ~epoch ~resolution ~vantage domains =
+  let r =
+    Mutex.protect t.lock @@ fun () ->
+    let rec go acc = function
+      | [] -> Some (List.rev acc)
+      | d :: rest -> (
+          match Hashtbl.find_opt t.entries (key ~epoch ~resolution ~vantage d) with
+          | Some e -> go (e :: acc) rest
+          | None -> None)
+    in
+    go [] domains
+  in
+  (match r with
+  | Some es -> Webdep_obs.Metrics.incr ~by:(List.length es) m_hits
+  | None -> ());
+  r
+
+let add t ~epoch ~resolution ~vantage domain entry =
+  let k = key ~epoch ~resolution ~vantage domain in
+  Mutex.protect t.lock (fun () -> Hashtbl.replace t.entries k entry)
+
+(* --- spill file -------------------------------------------------------- *)
+
+let header_line fp =
+  Json.to_string (Json.Obj (("schema", Json.String schema) :: Fingerprint.to_meta fp))
+
+let entry_line ~epoch ~resolution ~vantage e =
+  Json.to_string
+    (Json.Obj
+       [
+         ("epoch", Json.String epoch);
+         ("resolution", Json.String resolution);
+         ("vantage", Json.String vantage);
+         ("outcome", Json.String (Degrade.outcome_name e.outcome));
+         ("site", Checkpoint.site_to_json e.site);
+       ])
+
+let outcome_of_name = function
+  | "clean" -> Some Degrade.Clean
+  | "degraded" -> Some Degrade.Degraded
+  | "failed" -> Some Degrade.Failed
+  | _ -> None
+
+let entry_of_line line =
+  match Json.parse line with
+  | exception Json.Parse_error _ -> None
+  | v -> (
+      let str k = match Json.member k v with Some (Json.String s) -> Some s | _ -> None in
+      match (str "epoch", str "resolution", str "vantage", str "outcome", Json.member "site" v) with
+      | Some epoch, Some resolution, Some vantage, Some oname, Some site_v -> (
+          match (outcome_of_name oname, Checkpoint.site_of_json site_v) with
+          | Some outcome, Some site ->
+              Some (key ~epoch ~resolution ~vantage site.D.domain, { site; outcome })
+          | _ -> None)
+      | _ -> None)
+
+let save t path =
+  let items =
+    Mutex.protect t.lock (fun () ->
+        Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.entries [])
+  in
+  let items = List.sort (fun (a, _) (b, _) -> String.compare a b) items in
+  let oc = open_out path in
+  output_string oc (header_line t.fingerprint);
+  output_char oc '\n';
+  List.iter
+    (fun (k, e) ->
+      match String.split_on_char '|' k with
+      | [ epoch; resolution; vantage; _domain ] ->
+          output_string oc (entry_line ~epoch ~resolution ~vantage e);
+          output_char oc '\n'
+      | _ -> assert false)
+    items;
+  close_out oc
+
+let load ~path ~fingerprint =
+  let t = create ~fingerprint () in
+  (if Sys.file_exists path then begin
+     let ic = open_in path in
+     let header = match input_line ic with h -> Some h | exception End_of_file -> None in
+     (match header with
+     | Some h when String.equal h (header_line fingerprint) ->
+         let rec go () =
+           match input_line ic with
+           | exception End_of_file -> ()
+           | line -> (
+               (* Stop at the first bad line: everything after a torn
+                  write is suspect, like checkpoint recovery. *)
+               match entry_of_line line with
+               | Some (k, e) ->
+                   Hashtbl.replace t.entries k e;
+                   go ()
+               | None -> ())
+         in
+         go ()
+     | Some _ -> Webdep_obs.Metrics.incr m_invalidated
+     | None -> ());
+     close_in ic
+   end);
+  t

@@ -22,6 +22,7 @@ let m_snapshots = Webdep_obs.Metrics.counter "worldgen.snapshots"
 type t = {
   seed : int;
   c : int;
+  geo_accuracy : float;
   internet : Internet.t;
   ca_db : Tls_ca.t;
   root_store : Webdep_tlssim.Root_store.t;
@@ -41,6 +42,7 @@ let multi_cdn_fraction = 0.06
 
 let c t = t.c
 let seed t = t.seed
+let geo_accuracy t = t.geo_accuracy
 let countries _t = List.map (fun c -> c.Webdep_geo.Country.code) Webdep_geo.Country.all
 let internet t = t.internet
 let ca_db t = t.ca_db
@@ -51,6 +53,7 @@ let create ?(c = 10_000) ?(geo_accuracy = 0.894) ~seed () =
   {
     seed;
     c;
+    geo_accuracy;
     internet = Internet.create ~geo_accuracy geo_rng;
     ca_db = Tls_ca.create ();
     root_store = Webdep_tlssim.Root_store.create ();
@@ -323,6 +326,19 @@ let prepare t ?(epoch = May_2023) ccs =
         end
       end)
     ccs
+
+(* The country's toplist alone — the same derivation [layer_assignments]
+   performs, without materializing zones, certificates or registrations.
+   Lets the measurement store answer "do I already know every site of
+   this sweep?" without paying for a snapshot. *)
+let toplist t ?(epoch = May_2023) cc =
+  if not (Webdep_geo.Country.mem cc) then
+    invalid_arg
+      (Printf.sprintf "World.toplist: %S is not one of the dataset's countries" cc);
+  let rng = snap_rng t epoch cc in
+  match epoch with
+  | May_2023 -> toplist_2023 t (Rng.split_named rng "toplist") cc
+  | May_2025 -> toplist_for t (Rng.split_named rng "toplist") cc May_2025
 
 let snapshot t ?(epoch = May_2023) cc =
   if not (Webdep_geo.Country.mem cc) then

@@ -30,6 +30,11 @@ val create : ?c:int -> ?geo_accuracy:float -> seed:int -> unit -> t
 
 val c : t -> int
 val seed : t -> int
+
+val geo_accuracy : t -> float
+(** The accuracy the world was created with — part of the measurement
+    store's invalidation fingerprint. *)
+
 val countries : t -> string list
 (** The 150 dataset countries, by code. *)
 
@@ -64,6 +69,13 @@ val prepare : t -> ?epoch:epoch -> string list -> unit
     order is fixed here rather than by measurement scheduling, the
     resulting worlds are bit-identical to a fully sequential run.
     Idempotent per (epoch, country); safe to call repeatedly. *)
+
+val toplist : t -> ?epoch:epoch -> string -> Webdep_crux.Toplist.t
+(** The country's toplist exactly as its {!snapshot} would carry it,
+    derived without materializing zones, certificates or network
+    registrations — cheap enough to ask "which sites would this sweep
+    measure?" before deciding whether a snapshot is needed at all.
+    @raise Invalid_argument like {!snapshot}. *)
 
 val snapshot : t -> ?epoch:epoch -> string -> snapshot
 (** Materialize one country's measurable state.  Deterministic in

@@ -1,0 +1,276 @@
+(* webdep_store: cross-phase measurement memoization and incremental
+   metrics.  The invariants here back the perf acceptance criteria:
+   store-backed sweeps are byte-identical to cold ones at every job
+   count, a fingerprint mismatch discards the whole spill, and the
+   incremental tally/score paths return bit-identical values to a full
+   recomputation under arbitrary churn. *)
+
+module World = Webdep_worldgen.World
+module Measure = Webdep_pipeline.Measure
+module Store = Webdep_store.Store
+module Incremental = Webdep_store.Incremental
+module D = Webdep.Dataset
+module R = Webdep.Regionalization
+module C = Webdep_emd.Centralization
+module Rng = Webdep_stats.Rng
+module Obs_metrics = Webdep_obs.Metrics
+
+let counter name = Obs_metrics.value (Obs_metrics.counter name)
+let sample = [ "US"; "DE"; "TH" ]
+let world = lazy (World.create ~c:200 ~seed:77 ())
+let ds23 = lazy (Measure.measure_all ~countries:sample (Lazy.force world))
+
+let ds25 =
+  lazy (Measure.measure_all ~epoch:World.May_2025 ~countries:sample (Lazy.force world))
+
+let same_dataset a b = List.for_all (fun cc -> D.country_exn a cc = D.country_exn b cc) sample
+
+(* --- store-backed sweep = cold sweep ------------------------------------- *)
+
+let test_store_sweep_identical () =
+  let world = Lazy.force world in
+  let cold = Lazy.force ds23 in
+  let st = Store.create ~fingerprint:(Measure.store_fingerprint world) () in
+  let misses_before = counter "store.misses" in
+  let filling = Measure.measure_all ~countries:sample ~store:st world in
+  let fill_misses = counter "store.misses" - misses_before in
+  let hits_before = counter "store.hits" in
+  let warm = Measure.measure_all ~countries:sample ~store:st world in
+  let warm_hits = counter "store.hits" - hits_before in
+  Alcotest.(check bool) "filling run = cold run" true (same_dataset cold filling);
+  Alcotest.(check bool) "warm run = cold run" true (same_dataset cold warm);
+  Alcotest.(check string) "scores CSV byte-identical"
+    (Webdep.Export.scores_csv cold Hosting)
+    (Webdep.Export.scores_csv warm Hosting);
+  Alcotest.(check int) "every site missed once while filling" (D.size cold) fill_misses;
+  Alcotest.(check int) "every site hit once when warm" (D.size cold) warm_hits
+
+let test_store_keys_epochs_apart () =
+  (* 2023 entries must never satisfy 2025 lookups: the fill for one epoch
+     leaves the other cold. *)
+  let world = Lazy.force world in
+  let st = Store.create ~fingerprint:(Measure.store_fingerprint world) () in
+  ignore (Measure.measure_all ~countries:sample ~store:st world);
+  let hits_before = counter "store.hits" in
+  let from_store = Measure.measure_all ~epoch:World.May_2025 ~countries:sample ~store:st world in
+  Alcotest.(check int) "no cross-epoch hits" 0 (counter "store.hits" - hits_before);
+  Alcotest.(check bool) "2025 results unchanged" true
+    (List.for_all
+       (fun cc -> D.country_exn (Lazy.force ds25) cc = D.country_exn from_store cc)
+       sample)
+
+(* --- jobs invariance ----------------------------------------------------- *)
+
+let test_jobs_invariance () =
+  let world = Lazy.force world in
+  let cold = Lazy.force ds23 in
+  let spills =
+    List.map
+      (fun jobs ->
+        let st = Store.create ~fingerprint:(Measure.store_fingerprint world) () in
+        let misses_before = counter "store.misses" in
+        let filling = Measure.measure_all ~countries:sample ~jobs ~store:st world in
+        let fill_misses = counter "store.misses" - misses_before in
+        let hits_before = counter "store.hits" in
+        let warm = Measure.measure_all ~countries:sample ~jobs ~store:st world in
+        let warm_hits = counter "store.hits" - hits_before in
+        Alcotest.(check bool)
+          (Printf.sprintf "filling run at --jobs %d = cold" jobs)
+          true (same_dataset cold filling);
+        Alcotest.(check bool)
+          (Printf.sprintf "warm run at --jobs %d = cold" jobs)
+          true (same_dataset cold warm);
+        Alcotest.(check int)
+          (Printf.sprintf "misses at --jobs %d" jobs)
+          (D.size cold) fill_misses;
+        Alcotest.(check int)
+          (Printf.sprintf "hits at --jobs %d" jobs)
+          (D.size cold) warm_hits;
+        let path = Filename.temp_file "webdep_store_jobs" ".jsonl" in
+        Store.save st path;
+        let contents = In_channel.with_open_bin path In_channel.input_all in
+        Sys.remove path;
+        contents)
+      [ 1; 2; 4 ]
+  in
+  match spills with
+  | j1 :: rest ->
+      List.iteri
+        (fun i spill ->
+          Alcotest.(check string)
+            (Printf.sprintf "spill file identical at jobs option %d" (i + 1))
+            j1 spill)
+        rest
+  | [] -> assert false
+
+(* --- spill round-trip and fingerprint invalidation ----------------------- *)
+
+let test_spill_roundtrip_and_invalidation () =
+  let world = Lazy.force world in
+  let st = Store.create ~fingerprint:(Measure.store_fingerprint world) () in
+  ignore (Measure.measure_all ~countries:[ "US" ] ~store:st world);
+  let path = Filename.temp_file "webdep_store" ".jsonl" in
+  Store.save st path;
+  let reloaded = Store.load ~path ~fingerprint:(Measure.store_fingerprint world) in
+  Alcotest.(check int) "size round-trips" (Store.size st) (Store.size reloaded);
+  let cold = Measure.measure_all ~countries:[ "US" ] world in
+  let hits_before = counter "store.hits" in
+  let warm = Measure.measure_all ~countries:[ "US" ] ~store:reloaded world in
+  Alcotest.(check bool) "reloaded store reproduces the cold sweep" true
+    (D.country_exn cold "US" = D.country_exn warm "US");
+  Alcotest.(check bool) "reloaded store actually hit" true
+    (counter "store.hits" - hits_before > 0);
+  (* A differently-parameterized world must not reuse these entries. *)
+  let other = World.create ~c:200 ~seed:78 () in
+  let invalidated_before = counter "store.invalidated" in
+  let mismatched = Store.load ~path ~fingerprint:(Measure.store_fingerprint other) in
+  Alcotest.(check int) "mismatched fingerprint discards everything" 0
+    (Store.size mismatched);
+  Alcotest.(check int) "invalidation counted" 1
+    (counter "store.invalidated" - invalidated_before);
+  Sys.remove path;
+  let missing = Store.load ~path ~fingerprint:(Measure.store_fingerprint world) in
+  Alcotest.(check int) "missing file loads empty" 0 (Store.size missing)
+
+(* --- incremental comparison ---------------------------------------------- *)
+
+let test_compare_incremental_identical () =
+  let old_ds = Lazy.force ds23 and new_ds = Lazy.force ds25 in
+  let full = Webdep.Longitudinal.compare ~focus:"Cloudflare" ~old_ds ~new_ds Hosting in
+  let incr, stats =
+    Webdep.Longitudinal.compare_incremental ~focus:"Cloudflare" ~old_ds ~new_ds Hosting
+  in
+  Alcotest.(check bool) "incremental comparison bit-identical to full" true (full = incr);
+  Alcotest.(check int) "all common countries compared" (List.length sample)
+    stats.Webdep.Longitudinal.countries;
+  (* Every new-snapshot site is either kept or added; every old one kept
+     or removed. *)
+  let total ds = D.size ds in
+  Alcotest.(check int) "kept + added covers the new snapshot" (total new_ds)
+    (stats.Webdep.Longitudinal.kept + stats.Webdep.Longitudinal.added);
+  Alcotest.(check int) "kept + removed covers the old snapshot" (total old_ds)
+    (stats.Webdep.Longitudinal.kept + stats.Webdep.Longitudinal.removed)
+
+(* --- incremental metrics under random churn ------------------------------ *)
+
+(* Random churn: per country, remove a random subset of the 2023 sites
+   and add a random subset of the 2025 ones, apply the delta to an
+   Incremental.t seeded from 2023, and check every metric against a cold
+   recomputation over the equivalently-edited dataset. *)
+let churn_matches_full seed =
+  let old_ds = Lazy.force ds23 and new_ds = Lazy.force ds25 in
+  let rng = Rng.create seed in
+  let inc = Incremental.create old_ds Hosting in
+  let edited =
+    List.map
+      (fun cc ->
+        let old_sites = (D.country_exn old_ds cc).D.sites in
+        let new_sites = (D.country_exn new_ds cc).D.sites in
+        (* Cap removals below the country size so the score stays defined. *)
+        let removed =
+          List.filteri (fun i _ -> i mod (2 + Rng.int rng 4) = 0) old_sites
+        in
+        let added = List.filteri (fun i _ -> i mod (2 + Rng.int rng 4) = 0) new_sites in
+        Incremental.apply inc ~country:cc ~added ~removed;
+        let keep = List.filter (fun s -> not (List.memq s removed)) old_sites in
+        { D.country = cc; D.sites = keep @ added })
+      sample
+  in
+  let cold = D.of_country_data edited in
+  List.for_all
+    (fun cc ->
+      Incremental.score inc cc = Webdep.Metrics.centralization cold Hosting cc
+      && Incremental.hhi inc cc = C.hhi (D.distribution cold Hosting cc)
+      && Incremental.insularity inc cc = R.insularity cold Hosting cc)
+    sample
+  && Incremental.usage inc ~name:"Cloudflare" = R.usage_curve cold Hosting ~name:"Cloudflare"
+
+let churn_qcheck =
+  QCheck.Test.make ~count:25 ~name:"incremental metrics = full recompute under churn"
+    QCheck.small_nat
+    (fun seed -> churn_matches_full seed)
+
+let test_incremental_cache_counters () =
+  let old_ds = Lazy.force ds23 in
+  let inc = Incremental.create old_ds Hosting in
+  let full_before = counter "store.metrics.full_solve" in
+  ignore (Incremental.score inc "US");
+  Alcotest.(check int) "first read is a full solve" 1
+    (counter "store.metrics.full_solve" - full_before);
+  let hits_before = counter "store.metrics.cache_hits" in
+  ignore (Incremental.score inc "US");
+  Alcotest.(check int) "second read is cached" 1
+    (counter "store.metrics.cache_hits" - hits_before);
+  (* Removing and re-adding the same site keeps the support set: the next
+     read must take the closed-form incremental path, not a full solve. *)
+  let top_entity = fst (List.hd (D.counts_by_entity old_ds Hosting "US")) in
+  let some_site =
+    List.find (fun s -> s.D.hosting = Some top_entity) (D.country_exn old_ds "US").D.sites
+  in
+  Incremental.apply inc ~country:"US" ~added:[ some_site ] ~removed:[ some_site ];
+  let incr_before = counter "store.metrics.incremental" in
+  let before = Incremental.score inc "US" in
+  Alcotest.(check int) "support-preserving delta recomputes incrementally" 1
+    (counter "store.metrics.incremental" - incr_before);
+  Alcotest.(check (float 0.0)) "identity delta leaves the score unchanged" before
+    (Webdep.Metrics.centralization old_ds Hosting "US")
+
+(* --- tally-based bootstrap = string-path bootstrap ----------------------- *)
+
+let test_centralization_interval_matches_string_path () =
+  let ds = Lazy.force ds23 in
+  let cc = "US" in
+  (* The pre-interning implementation: materialize the label array, and
+     per replicate hash-count it and score the name-sorted counts. *)
+  let cd = D.country_exn ds cc in
+  let labels =
+    Array.of_list
+      (List.filter_map
+         (fun s -> Option.map (fun (e : D.entity) -> e.D.name) (D.entity_of s Hosting))
+         cd.D.sites)
+  in
+  let statistic arr =
+    let tbl = Hashtbl.create 64 in
+    Array.iter
+      (fun name ->
+        Hashtbl.replace tbl name (1 + Option.value ~default:0 (Hashtbl.find_opt tbl name)))
+      arr;
+    let counts =
+      Hashtbl.fold (fun name k acc -> (name, k) :: acc) tbl []
+      |> List.sort compare |> List.map snd |> Array.of_list
+    in
+    C.score (Webdep_emd.Dist.of_counts counts)
+  in
+  let rng = Rng.create 2024 in
+  let lo, hi = Webdep_stats.Bootstrap.percentile_interval ~iterations:100 rng ~statistic labels in
+  let lo', hi' =
+    Webdep.Metrics.centralization_interval ~iterations:100 ~seed:2024 ds Hosting cc
+  in
+  Alcotest.(check bool) "tally-based interval bit-identical to string path" true
+    (lo = lo' && hi = hi')
+
+let () =
+  Webdep_obs.Reporter.setup ~level:Logs.Error ();
+  Alcotest.run "webdep_store"
+    [
+      ( "store",
+        [
+          Alcotest.test_case "store-backed sweep = cold sweep" `Quick
+            test_store_sweep_identical;
+          Alcotest.test_case "epochs are keyed apart" `Quick test_store_keys_epochs_apart;
+          Alcotest.test_case "jobs invariance (1/2/4) + spill determinism" `Quick
+            test_jobs_invariance;
+          Alcotest.test_case "spill round-trip, fingerprint invalidation" `Quick
+            test_spill_roundtrip_and_invalidation;
+        ] );
+      ( "incremental",
+        [
+          Alcotest.test_case "compare_incremental = compare" `Quick
+            test_compare_incremental_identical;
+          QCheck_alcotest.to_alcotest churn_qcheck;
+          Alcotest.test_case "cache/incremental/full-solve counters" `Quick
+            test_incremental_cache_counters;
+          Alcotest.test_case "centralization_interval = string path" `Quick
+            test_centralization_interval_matches_string_path;
+        ] );
+    ]
