@@ -15,6 +15,15 @@
                         section (the kernels phase always runs)
      WEBDEP_BENCH_V     set to raise the Logs level to debug
      WEBDEP_BENCH_TRACE set to stream spans to the console
+     WEBDEP_BENCH_OUT   output path (default BENCH_obs.json)
+     WEBDEP_BENCH_PERFETTO  also export every span as a Chrome trace
+                        file loadable in ui.perfetto.dev
+     WEBDEP_BENCH_INJECT_SLEEP  "phase:seconds" — artificially slow one
+                        phase, to exercise the regression gate end to end
+
+   --compare BASELINE.json on argv diffs this run's phases against a
+   saved baseline through the noise-aware gate (Webdep_prof.Regress) and
+   exits 3 on a regression verdict.
 
    Every phase (world generation, measurement, each table/figure) runs
    inside a webdep_obs span; the per-phase seconds land in
@@ -71,6 +80,35 @@ let requested_jobs =
   | Some _ as j -> j
   | None -> Option.bind (Sys.getenv_opt "WEBDEP_BENCH_JOBS") int_of_string_opt
 
+(* --compare BASELINE.json / --compare=BASELINE.json on argv. *)
+let compare_baseline =
+  let argv = Sys.argv in
+  let found = ref None in
+  Array.iteri
+    (fun i arg ->
+      if arg = "--compare" && i + 1 < Array.length argv then found := Some argv.(i + 1)
+      else if String.length arg > 10 && String.sub arg 0 10 = "--compare=" then
+        found := Some (String.sub arg 10 (String.length arg - 10)))
+    argv;
+  !found
+
+(* WEBDEP_BENCH_INJECT_SLEEP="phase:seconds" slows exactly that phase —
+   the regression gate's end-to-end smoke test: with a sleep injected the
+   --compare verdict must turn red. *)
+let injected_sleep =
+  match Sys.getenv_opt "WEBDEP_BENCH_INJECT_SLEEP" with
+  | None -> None
+  | Some spec -> (
+      match String.index_opt spec ':' with
+      | Some i -> (
+          let name = String.sub spec 0 i in
+          match
+            float_of_string_opt (String.sub spec (i + 1) (String.length spec - i - 1))
+          with
+          | Some s when s > 0.0 -> Some (name, s)
+          | _ -> None)
+      | None -> None)
+
 let () =
   match requested_jobs with
   | Some j when j >= 1 -> Webdep_par.set_jobs j
@@ -88,8 +126,19 @@ let () =
     if Sys.getenv_opt "WEBDEP_BENCH_V" <> None then Logs.Debug else Logs.Warning
   in
   Webdep_obs.Reporter.setup ~level ();
-  if Sys.getenv_opt "WEBDEP_BENCH_TRACE" <> None then
-    Webdep_obs.Sink.set (Webdep_obs.Sink.console ())
+  let sinks =
+    (if Sys.getenv_opt "WEBDEP_BENCH_TRACE" <> None then [ Webdep_obs.Sink.console () ]
+     else [])
+    @
+    match Sys.getenv_opt "WEBDEP_BENCH_PERFETTO" with
+    | Some path when path <> "" ->
+        at_exit Webdep_obs.Sink.flush;
+        [ Webdep_prof.Trace.sink path ]
+    | _ -> []
+  in
+  match sinks with
+  | [] -> ()
+  | s :: rest -> Webdep_obs.Sink.set (List.fold_left Webdep_obs.Sink.tee s rest)
 
 let section id title =
   Printf.printf "\n================================================================\n";
@@ -1366,6 +1415,32 @@ let kernels () =
     response_hits response_misses glue_hits glue_misses;
   if not identical then
     prerr_endline "webdep bench: WARNING: cached dataset differs from uncached";
+  (* Tracing-disabled span overhead: [Span.with_] against the default
+     null sink vs the bare closure, amortized over many calls.  Bench
+     phases open a handful of spans each, so per-call cost in the tens
+     of microseconds would still be invisible — this records the actual
+     figure so the "always-on instrumentation is free" claim is checked,
+     not assumed. *)
+  let span_reps = 50_000 in
+  let work = Sys.opaque_identity (fun () -> ignore (Sys.opaque_identity 42)) in
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to span_reps do
+      f ()
+    done;
+    Unix.gettimeofday () -. t0
+  in
+  let bare_s = time work in
+  let spanned_s =
+    Webdep_obs.Sink.with_sink Webdep_obs.Sink.null (fun () ->
+        time (fun () -> Span.with_ ~name:"bench.kernels.span_probe" work))
+  in
+  let span_ns_per_call = (spanned_s -. bare_s) /. float_of_int span_reps *. 1e9 in
+  Printf.printf
+    "span overhead (null sink, %d calls): %.0f ns/span — a phase opening 100 spans \
+     pays %.2f ms\n"
+    span_reps span_ns_per_call
+    (float_of_int 100 *. span_ns_per_call /. 1e6);
   kernel_json :=
     [
       ("transport", Json.Obj transport_json);
@@ -1381,6 +1456,12 @@ let kernels () =
             ("response_misses", Json.Int response_misses);
             ("glue_hits", Json.Int glue_hits);
             ("glue_misses", Json.Int glue_misses);
+          ] );
+      ( "span_probe",
+        Json.Obj
+          [
+            ("reps", Json.Int span_reps);
+            ("ns_per_call", Json.Float span_ns_per_call);
           ] );
     ]
 
@@ -1651,7 +1732,10 @@ let faults () =
    what each table/figure consumed from the pipeline and simulators. *)
 let phase_counters : (string * (string * int) list) list ref = ref []
 
-(* BENCH_obs.json, schema webdep-bench/5:
+(* BENCH_obs.json, schema webdep-bench/6 (upgrades /5: the embedded
+   "metrics" snapshot moves to webdep-metrics/2 — interpolated quantiles
+   and per-bucket sums — and "kernels" gains the span_probe object with
+   the measured tracing-disabled span cost):
    - phases_s:        bench-locally recorded per-phase wall seconds
                       (includes world_create / measure_all / the 2025
                       measurement inside "longitudinal")
@@ -1713,7 +1797,7 @@ let write_bench_json path =
   let doc =
     Json.Obj
       ([
-         ("schema", Json.String "webdep-bench/5");
+         ("schema", Json.String "webdep-bench/6");
          ("c", Json.Int c);
          ("seed", Json.Int seed);
          ("jobs", Json.Int jobs);
@@ -1739,6 +1823,14 @@ let write_bench_json path =
 
 let () =
   let phase name f =
+    let f =
+      match injected_sleep with
+      | Some (n, s) when n = name ->
+          fun () ->
+            Unix.sleepf s;
+            f ()
+      | _ -> f
+    in
     let minor_before = Gc.minor_words () in
     let (), seconds = Span.timed ~name:("bench." ^ name) f in
     record_phase name seconds;
@@ -1782,5 +1874,44 @@ let () =
   phase "kernels" kernels;
   phase "store" store_phase;
   phase "faults" faults;
-  let total = write_bench_json "BENCH_obs.json" in
-  Printf.printf "\ntotal bench time: %.1fs\n" total
+  let out =
+    match Sys.getenv_opt "WEBDEP_BENCH_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_obs.json"
+  in
+  let total = write_bench_json out in
+  Printf.printf "\ntotal bench time: %.1fs\n" total;
+  (* --compare: gate this run against a saved baseline.  Current phases
+     are re-read from the file just written, so the gate sees exactly
+     what a later run would load.  The noise probe re-measures a single
+     country a few times to learn this machine's run-to-run spread. *)
+  match compare_baseline with
+  | None -> ()
+  | Some path ->
+      if not (Sys.file_exists path) then begin
+        Printf.eprintf "webdep bench: no such baseline file: %s\n" path;
+        exit 125
+      end;
+      let read_file p =
+        let ic = open_in_bin p in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      let baseline = Webdep_prof.Regress.phases_of_json (Json.parse (read_file path)) in
+      let current = Webdep_prof.Regress.phases_of_json (Json.parse (read_file out)) in
+      if baseline = [] then begin
+        Printf.eprintf "webdep bench: baseline %s has no phases_s object\n" path;
+        exit 125
+      end;
+      let noise_cv =
+        Webdep_prof.Regress.noise_probe ~runs:3 (fun () ->
+            ignore
+              (Measure.measure_all ~countries:[ "US"; "DE"; "JP"; "BR" ] ~jobs:1 world))
+      in
+      let report =
+        Webdep_prof.Regress.compare_runs ~noise_cv ~baseline ~current ()
+      in
+      print_newline ();
+      print_string (Webdep_prof.Regress.render report);
+      if not report.Webdep_prof.Regress.ok then exit 3

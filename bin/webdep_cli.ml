@@ -61,7 +61,7 @@ let normalize_countries = function
    exit, --jobs N sizes the shared domain pool that the measurement
    sweep and bootstrap resampling fan out over. *)
 
-let obs_setup trace metrics verbosity jobs =
+let obs_setup trace metrics verbosity jobs perfetto =
   Webdep_obs.Reporter.setup
     ~level:(Webdep_obs.Reporter.level_of_verbosity (List.length verbosity))
     ();
@@ -71,7 +71,20 @@ let obs_setup trace metrics verbosity jobs =
       Printf.eprintf "webdep: --jobs must be >= 1 (got %d)\n" j;
       exit 124
   | None -> ());
-  if trace then Webdep_obs.Sink.set (Webdep_obs.Sink.console ());
+  let sinks =
+    (if trace then [ Webdep_obs.Sink.console () ] else [])
+    @
+    match perfetto with
+    | None -> []
+    | Some path ->
+        (* The trace sink only writes its file on flush; make sure the
+           last flush happens even when a subcommand exits early. *)
+        at_exit (fun () -> Webdep_obs.Sink.flush ());
+        [ Webdep_prof.Trace.sink path ]
+  in
+  (match sinks with
+  | [] -> ()
+  | s :: rest -> Webdep_obs.Sink.set (List.fold_left Webdep_obs.Sink.tee s rest));
   match metrics with
   | None -> ()
   | Some path ->
@@ -102,7 +115,13 @@ let obs_term =
                  count; $(b,--jobs 1) forces the sequential path).  \
                  Results are identical for every $(docv).")
   in
-  Term.(const obs_setup $ trace $ metrics $ verbose $ jobs)
+  let perfetto =
+    Arg.(value & opt (some string) None & info [ "perfetto" ] ~docv:"FILE"
+           ~doc:"Export every span as a Chrome trace-event file loadable in \
+                 $(b,https://ui.perfetto.dev): one timeline lane per worker \
+                 domain, nested spans as stacked slices.")
+  in
+  Term.(const obs_setup $ trace $ metrics $ verbose $ jobs $ perfetto)
 
 (* --- fault injection ---------------------------------------------------- *)
 
@@ -519,6 +538,52 @@ let report_md_cmd =
   Cmd.v (Cmd.info "report-md" ~doc)
     Term.(const run_report_md $ obs_term $ seed_arg $ c_arg $ countries_arg $ md_out_arg)
 
+(* --- profile ---------------------------------------------------------------------------- *)
+
+(* Run a measurement sweep with an in-memory span collector installed
+   (teed with whatever sink the global flags chose, so --perfetto and
+   --trace still work) and print the top-N hotspot table; or skip the
+   run entirely and aggregate a trace file saved earlier. *)
+
+let run_profile () from_trace seed c countries top faults store =
+  let rows =
+    match from_trace with
+    | Some path ->
+        if not (Sys.file_exists path) then begin
+          Printf.eprintf "webdep: no such trace file: %s\n" path;
+          exit 1
+        end;
+        Webdep_prof.Profile.aggregate (Webdep_prof.Trace.load path)
+    | None ->
+        let collector = Webdep_prof.Profile.collector () in
+        let sink =
+          Webdep_obs.Sink.tee
+            (Webdep_obs.Sink.current ())
+            (Webdep_prof.Profile.collector_sink collector)
+        in
+        Webdep_obs.Sink.with_sink sink (fun () ->
+            ignore
+              (measure ~seed ~c ?countries:(normalize_countries countries) ~faults
+                 ?store ()));
+        Webdep_prof.Profile.aggregate (Webdep_prof.Profile.events collector)
+  in
+  if rows = [] then print_endline "no spans recorded"
+  else print_string (Webdep_prof.Profile.render ~top rows)
+
+let profile_cmd =
+  let doc =
+    "Hotspot profile of a measurement sweep: per-span self/cumulative time and \
+     allocation."
+  in
+  let from_trace =
+    Arg.(value & opt (some string) None & info [ "from-trace" ] ~docv:"FILE"
+           ~doc:"Aggregate a Chrome trace file saved earlier with \
+                 $(b,--perfetto) instead of running a sweep.")
+  in
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run_profile $ obs_term $ from_trace $ seed_arg $ c_arg $ countries_arg
+          $ top_arg $ faults_term $ store_term)
+
 (* --- countries ------------------------------------------------------------------------ *)
 
 let run_countries () =
@@ -541,4 +606,4 @@ let () =
        (Cmd.group info
           [ scores_cmd; report_cmd; insularity_cmd; classify_cmd; usage_cmd;
             longitudinal_cmd; validate_cmd; paper_cmd; countries_cmd; export_cmd;
-            language_cmd; redundancy_cmd; tld_cmd; report_md_cmd ]))
+            language_cmd; redundancy_cmd; tld_cmd; report_md_cmd; profile_cmd ]))

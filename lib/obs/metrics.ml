@@ -9,12 +9,19 @@
 
      let m_queries = Webdep_obs.Metrics.counter "dns.iterative.queries"
 
-   Float fields (histogram sum / min / max) are updated with CAS retry
+   Float fields (histogram sums / min / max) are updated with CAS retry
    loops; integer fields use [Atomic.fetch_and_add].  Cross-field reads
    (e.g. [mean] = sum / n) are not snapshotted atomically — a dump taken
    while another domain observes may be skewed by the in-flight update —
    but no update is ever lost, which is the invariant the parallel
    pipeline needs.
+
+   Histograms keep a per-bucket sum alongside each count, so the mean is
+   exact and quantiles interpolate linearly inside the bucket holding
+   the target rank instead of reporting the bucket's upper bound; the
+   overflow bucket interpolates up to the true max seen.  [merge_into]
+   folds one histogram into another (same bounds required) — the
+   cross-domain / cross-process reduction a latency digest needs.
 
    [reset ()] zeroes every registered metric in place, keeping the
    references held by instrumented modules valid. *)
@@ -25,6 +32,7 @@ type histogram = {
   h_name : string;
   bounds : float array;  (* ascending bucket upper bounds *)
   bucket_counts : int Atomic.t array;  (* length = Array.length bounds + 1; last = overflow *)
+  bucket_sums : float Atomic.t array;  (* same shape: sum of observations per bucket *)
   n : int Atomic.t;
   sum : float Atomic.t;
   sum_sq : float Atomic.t;
@@ -85,6 +93,7 @@ let histogram ?(bounds = default_bounds) name =
               h_name = name;
               bounds;
               bucket_counts = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+              bucket_sums = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0.0);
               n = Atomic.make 0;
               sum = Atomic.make 0.0;
               sum_sq = Atomic.make 0.0;
@@ -105,7 +114,9 @@ let observe h v =
   atomic_add_float h.sum_sq (v *. v);
   atomic_min_float h.min_seen v;
   atomic_max_float h.max_seen v;
-  ignore (Atomic.fetch_and_add h.bucket_counts.(bucket_index h v) 1)
+  let b = bucket_index h v in
+  ignore (Atomic.fetch_and_add h.bucket_counts.(b) 1);
+  atomic_add_float h.bucket_sums.(b) v
 
 let count h = Atomic.get h.n
 let sum h = Atomic.get h.sum
@@ -122,25 +133,38 @@ let stddev h =
 let min_value h = if count h = 0 then None else Some (Atomic.get h.min_seen)
 let max_value h = if count h = 0 then None else Some (Atomic.get h.max_seen)
 
-(* Bucket-based quantile estimate: the upper bound of the bucket holding
-   the q-th observation (the overflow bucket reports the max seen). *)
+(* Interpolated quantile: locate the bucket holding the continuous rank
+   q*n, then interpolate linearly between the bucket's bounds by the
+   rank's position inside it.  The first bucket's lower edge is pulled
+   down to the min seen and the overflow bucket's upper edge is the max
+   seen, so single-valued histograms and q = 1 are exact; the result is
+   finally clamped to [min, max], which keeps the estimate inside the
+   observed range even when a bucket is far wider than its contents. *)
 let quantile h q =
-  if count h = 0 then None
+  let n = count h in
+  if n = 0 then None
   else
     let q = Float.max 0.0 (Float.min 1.0 q) in
-    let target = int_of_float (ceil (q *. float_of_int (count h))) in
-    let target = Stdlib.max 1 target in
-    let acc = ref 0 and found = ref None in
-    Array.iteri
-      (fun i k ->
-        if !found = None then begin
-          acc := !acc + Atomic.get k;
-          if !acc >= target then
-            found :=
-              Some (if i < Array.length h.bounds then h.bounds.(i) else Atomic.get h.max_seen)
-        end)
-      h.bucket_counts;
-    !found
+    let rank = Float.max 1.0 (q *. float_of_int n) in
+    let lo_edge i = if i = 0 then Atomic.get h.min_seen else h.bounds.(i - 1) in
+    let hi_edge i =
+      if i < Array.length h.bounds then h.bounds.(i) else Atomic.get h.max_seen
+    in
+    let nb = Array.length h.bucket_counts in
+    let rec go i cum =
+      if i >= nb then Some (Atomic.get h.max_seen)
+      else
+        let k = Atomic.get h.bucket_counts.(i) in
+        if k > 0 && rank <= float_of_int (cum + k) then begin
+          let frac = (rank -. float_of_int cum) /. float_of_int k in
+          let lo = Float.min (lo_edge i) (hi_edge i) in
+          let v = lo +. (frac *. (hi_edge i -. lo)) in
+          Some
+            (Float.max (Atomic.get h.min_seen) (Float.min (Atomic.get h.max_seen) v))
+        end
+        else go (i + 1) (cum + k)
+    in
+    go 0 0
 
 (* Nonempty (upper-bound, count) pairs, overflow bucket last with no bound. *)
 let buckets h =
@@ -153,6 +177,42 @@ let buckets h =
           ((if i < Array.length h.bounds then Some h.bounds.(i) else None), k) :: !out)
     h.bucket_counts;
   List.rev !out
+
+(* Like [buckets], with each bucket's sum of observations. *)
+let buckets_with_sums h =
+  let out = ref [] in
+  Array.iteri
+    (fun i k ->
+      let k = Atomic.get k in
+      if k > 0 then
+        out :=
+          ( (if i < Array.length h.bounds then Some h.bounds.(i) else None),
+            k,
+            Atomic.get h.bucket_sums.(i) )
+          :: !out)
+    h.bucket_counts;
+  List.rev !out
+
+(* Fold [src] into [into]: the mergeable reduction for combining per-domain
+   or per-process digests.  Both histograms must share bounds. *)
+let merge_into ~into src =
+  if into.bounds <> src.bounds then
+    invalid_arg
+      (Printf.sprintf "Metrics.merge_into: %s and %s have different bounds"
+         into.h_name src.h_name);
+  Array.iteri
+    (fun i k -> ignore (Atomic.fetch_and_add into.bucket_counts.(i) (Atomic.get k)))
+    src.bucket_counts;
+  Array.iteri
+    (fun i s -> atomic_add_float into.bucket_sums.(i) (Atomic.get s))
+    src.bucket_sums;
+  ignore (Atomic.fetch_and_add into.n (Atomic.get src.n));
+  atomic_add_float into.sum (Atomic.get src.sum);
+  atomic_add_float into.sum_sq (Atomic.get src.sum_sq);
+  if Atomic.get src.n > 0 then begin
+    atomic_min_float into.min_seen (Atomic.get src.min_seen);
+    atomic_max_float into.max_seen (Atomic.get src.max_seen)
+  end
 
 (* --- registry-wide operations ------------------------------------------ *)
 
@@ -168,6 +228,7 @@ let reset () =
       Hashtbl.iter
         (fun _ h ->
           Array.iter (fun b -> Atomic.set b 0) h.bucket_counts;
+          Array.iter (fun b -> Atomic.set b 0.0) h.bucket_sums;
           Atomic.set h.n 0;
           Atomic.set h.sum 0.0;
           Atomic.set h.sum_sq 0.0;

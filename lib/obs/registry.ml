@@ -1,18 +1,24 @@
 (* JSON snapshot of every registered counter and histogram.
 
-   The dump is stable (keys sorted by name) so two runs of the same
-   workload can be diffed, and span-duration histograms (names starting
-   with "span.") are split into their own section.  Schema:
+   The dump is stable — a "schema" version field first, counters and
+   histograms in sorted key order — so two runs of the same workload
+   (at any --jobs) diff cleanly, and span-duration histograms (names
+   starting with "span.") are split into their own section.  Schema:
 
    {
-     "schema": "webdep-metrics/1",
+     "schema": "webdep-metrics/2",
      "counters":   { "<name>": <int>, ... },
      "histograms": { "<name>": { "count", "sum", "mean", "stddev",
-                                 "min", "max", "buckets": [{"le","count"}] } },
+                                 "min", "max",
+                                 "p50", "p90", "p99", "p999",
+                                 "buckets": [{"le","count","sum"}] } },
      "spans":      { "<name>": <same histogram object, seconds> }
-   } *)
+   }
 
-let schema_version = "webdep-metrics/1"
+   webdep-metrics/2 upgrades /1 with interpolated quantiles (p50..p999)
+   and a per-bucket "sum" alongside each count. *)
+
+let schema_version = "webdep-metrics/2"
 
 let histogram_json h =
   let opt_float = function None -> Json.Null | Some v -> Json.Float v in
@@ -24,16 +30,21 @@ let histogram_json h =
       ("stddev", Json.Float (Metrics.stddev h));
       ("min", opt_float (Metrics.min_value h));
       ("max", opt_float (Metrics.max_value h));
+      ("p50", opt_float (Metrics.quantile h 0.5));
+      ("p90", opt_float (Metrics.quantile h 0.9));
+      ("p99", opt_float (Metrics.quantile h 0.99));
+      ("p999", opt_float (Metrics.quantile h 0.999));
       ( "buckets",
         Json.List
           (List.map
-             (fun (le, k) ->
+             (fun (le, k, s) ->
                Json.Obj
                  [
                    ("le", match le with Some b -> Json.Float b | None -> Json.Null);
                    ("count", Json.Int k);
+                   ("sum", Json.Float s);
                  ])
-             (Metrics.buckets h)) );
+             (Metrics.buckets_with_sums h)) );
     ]
 
 let snapshot () =

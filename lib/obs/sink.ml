@@ -4,11 +4,25 @@
    does nothing, so instrumentation can stay on unconditionally.  The
    console sink pretty-prints through [Logs] (level App, so it shows even
    without -v once a reporter is installed); the jsonl sink appends one
-   JSON object per span to a file for offline analysis.
+   JSON object per span to a file for offline analysis; [tee] fans one
+   stream out to two sinks (console + trace file, collector + export).
 
    Spans may finish on any domain, so the console and jsonl sinks
    serialize their writes through a lock — each emitted line is atomic
    with respect to other domains. *)
+
+(* GC-counter movement across a span: minor/promoted/major words are the
+   allocation story ([Gc.quick_stat] deltas, so words not bytes), major
+   collections say whether the span paid for a full marking cycle. *)
+type gc_delta = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  major_collections : int;
+}
+
+let zero_gc =
+  { minor_words = 0.0; promoted_words = 0.0; major_words = 0.0; major_collections = 0 }
 
 type event = {
   name : string;
@@ -16,6 +30,8 @@ type event = {
   start_s : float;  (* seconds since process start *)
   duration_s : float;
   depth : int;  (* nesting depth at span entry, outermost = 0 *)
+  lane : int;  (* emitting lane: pool worker index, or the raw domain id *)
+  gc : gc_delta;  (* GC counter movement while the span was open *)
 }
 
 type t = { emit : event -> unit; flush : unit -> unit }
@@ -43,6 +59,13 @@ let with_sink t f =
   match f () with
   | v -> restore (); v
   | exception e -> restore (); raise e
+
+(* Every event goes to [a] then [b]; flush in the same order. *)
+let tee a b =
+  {
+    emit = (fun ev -> a.emit ev; b.emit ev);
+    flush = (fun () -> a.flush (); b.flush ());
+  }
 
 (* --- console ----------------------------------------------------------- *)
 
@@ -79,6 +102,11 @@ let json_of_event ev =
       ("start_s", Json.Float ev.start_s);
       ("duration_s", Json.Float ev.duration_s);
       ("depth", Json.Int ev.depth);
+      ("lane", Json.Int ev.lane);
+      ("minor_words", Json.Float ev.gc.minor_words);
+      ("promoted_words", Json.Float ev.gc.promoted_words);
+      ("major_words", Json.Float ev.gc.major_words);
+      ("major_collections", Json.Int ev.gc.major_collections);
       ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) ev.attrs));
     ]
 

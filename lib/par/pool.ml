@@ -63,7 +63,14 @@ let create ~jobs =
       domains = [];
     }
   in
-  t.domains <- List.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker t 0));
+  t.domains <-
+    List.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () ->
+            (* Stable lane ids 1..jobs-1 (0 = the calling domain) so
+               trace exports get one track per pool lane instead of
+               ever-growing raw domain ids across pool restarts. *)
+            Webdep_obs.Span.set_lane (i + 1);
+            worker t 0));
   t
 
 let shutdown t =

@@ -51,12 +51,71 @@ let test_histogram_quantile () =
   let h = Metrics.histogram "test.histo.quantile" in
   for _ = 1 to 90 do Metrics.observe h 0.0005 done;
   for _ = 1 to 10 do Metrics.observe h 0.9 done;
+  (* Rank 50 sits 50/90 of the way through the (1e-4, 1e-3] bucket:
+     1e-4 + (50/90)(1e-3 - 1e-4) = 6e-4 — interpolated, not the old
+     bucket-upper-bound 1e-3 overestimate. *)
   (match Metrics.quantile h 0.5 with
-  | Some q -> Alcotest.(check (float 1e-9)) "p50 in the small bucket" 1e-3 q
+  | Some q -> Alcotest.(check (float 1e-9)) "p50 interpolates inside its bucket" 6e-4 q
   | None -> Alcotest.fail "p50 missing");
+  (match Metrics.quantile h 0.5 with
+  | Some q -> Alcotest.(check bool) "p50 below the bucket upper bound" true (q < 1e-3)
+  | None -> ());
   match Metrics.quantile h 0.99 with
-  | Some q -> Alcotest.(check bool) "p99 in the large bucket" true (q >= 0.9)
+  | Some q -> Alcotest.(check (float 1e-9)) "p99 clamps to the max seen" 0.9 q
   | None -> Alcotest.fail "p99 missing"
+
+let test_histogram_quantile_single_value () =
+  let h = Metrics.histogram "test.histo.quantile_single" in
+  for _ = 1 to 5 do Metrics.observe h 0.25 done;
+  List.iter
+    (fun q ->
+      match Metrics.quantile h q with
+      | Some v ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "q=%.2f of a single-valued histogram is exact" q)
+            0.25 v
+      | None -> Alcotest.fail "quantile missing")
+    [ 0.0; 0.5; 0.9; 0.99; 1.0 ]
+
+let test_histogram_bucket_sums () =
+  let h = Metrics.histogram "test.histo.bucket_sums" in
+  List.iter (Metrics.observe h) [ 0.0005; 0.0007; 0.9; 3.0 ];
+  let bs = Metrics.buckets_with_sums h in
+  let total_count = List.fold_left (fun acc (_, k, _) -> acc + k) 0 bs in
+  let total_sum = List.fold_left (fun acc (_, _, s) -> acc +. s) 0.0 bs in
+  Alcotest.(check int) "bucket counts cover all observations" 4 total_count;
+  Alcotest.(check (float 1e-9)) "bucket sums add up to the total sum"
+    (Metrics.sum h) total_sum;
+  (* The two sub-millisecond values share a bucket; its sum is theirs. *)
+  match List.find_opt (fun (le, _, _) -> le = Some 1e-3) bs with
+  | Some (_, k, s) ->
+      Alcotest.(check int) "shared bucket count" 2 k;
+      Alcotest.(check (float 1e-9)) "shared bucket sum" 0.0012 s
+  | None -> Alcotest.fail "expected a (1e-4, 1e-3] bucket"
+
+let test_histogram_merge () =
+  let a = Metrics.histogram "test.histo.merge_a" in
+  let b = Metrics.histogram "test.histo.merge_b" in
+  List.iter (Metrics.observe a) [ 0.001; 0.002 ];
+  List.iter (Metrics.observe b) [ 0.9; 1.5; 4.0 ];
+  Metrics.merge_into ~into:a b;
+  Alcotest.(check int) "merged count" 5 (Metrics.count a);
+  Alcotest.(check (float 1e-9)) "merged sum" 6.403 (Metrics.sum a);
+  Alcotest.(check (option (float 1e-9))) "merged min" (Some 0.001) (Metrics.min_value a);
+  Alcotest.(check (option (float 1e-9))) "merged max" (Some 4.0) (Metrics.max_value a);
+  (match Metrics.quantile a 1.0 with
+  | Some q -> Alcotest.(check (float 1e-9)) "merged q1 is the global max" 4.0 q
+  | None -> Alcotest.fail "quantile missing");
+  (* Merging an empty histogram must not disturb min/max. *)
+  let empty = Metrics.histogram "test.histo.merge_empty" in
+  Metrics.merge_into ~into:a empty;
+  Alcotest.(check (option (float 1e-9))) "min survives empty merge" (Some 0.001)
+    (Metrics.min_value a);
+  (* Distinct bounds are a programming error, not a silent skew. *)
+  let other = Metrics.histogram ~bounds:[| 1.0; 2.0 |] "test.histo.merge_bounds" in
+  match Metrics.merge_into ~into:a other with
+  | () -> Alcotest.fail "expected Invalid_argument for mismatched bounds"
+  | exception Invalid_argument _ -> ()
 
 let test_histogram_overflow_bucket () =
   let h = Metrics.histogram "test.histo.overflow" in
@@ -98,6 +157,23 @@ let test_span_histogram_and_result () =
   let h = Metrics.histogram "span.test_span_histo" in
   Alcotest.(check int) "one observation per run" runs (Metrics.count h);
   Alcotest.(check bool) "durations are non-negative" true (Metrics.sum h >= 0.0)
+
+let test_span_gc_and_lane () =
+  let events = ref [] in
+  let recording = { Sink.emit = (fun ev -> events := ev :: !events); flush = ignore } in
+  Sink.with_sink recording (fun () ->
+      Span.with_ ~name:"alloc_span" (fun () ->
+          for _ = 1 to 1000 do
+            ignore (Sys.opaque_identity (ref 0))
+          done));
+  match !events with
+  | [ ev ] ->
+      Alcotest.(check bool) "minor allocation recorded" true
+        (ev.Sink.gc.Sink.minor_words > 0.0);
+      Alcotest.(check bool) "promoted words within minor words" true
+        (ev.Sink.gc.Sink.promoted_words <= ev.Sink.gc.Sink.minor_words);
+      Alcotest.(check bool) "lane is non-negative" true (ev.Sink.lane >= 0)
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs)
 
 let test_span_exception_restores_depth () =
   let before = ref (-1) and after = ref (-1) in
@@ -220,6 +296,10 @@ let () =
           Alcotest.test_case "empty histogram" `Quick test_empty_histogram;
           Alcotest.test_case "histogram math" `Quick test_histogram_math;
           Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
+          Alcotest.test_case "single-valued quantile" `Quick
+            test_histogram_quantile_single_value;
+          Alcotest.test_case "bucket sums" `Quick test_histogram_bucket_sums;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
           Alcotest.test_case "overflow bucket" `Quick test_histogram_overflow_bucket;
           Alcotest.test_case "reset keeps references" `Quick test_reset_keeps_references_live;
         ] );
@@ -227,6 +307,7 @@ let () =
         [
           Alcotest.test_case "nesting and order" `Quick test_span_nesting;
           Alcotest.test_case "histogram and result" `Quick test_span_histogram_and_result;
+          Alcotest.test_case "gc delta and lane" `Quick test_span_gc_and_lane;
           Alcotest.test_case "exception restores depth" `Quick test_span_exception_restores_depth;
         ] );
       ( "json",
