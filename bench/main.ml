@@ -20,6 +20,9 @@
                         file loadable in ui.perfetto.dev
      WEBDEP_BENCH_INJECT_SLEEP  "phase:seconds" — artificially slow one
                         phase, to exercise the regression gate end to end
+     WEBDEP_BENCH_SCALE_CS  comma-separated toplist sizes for the scale
+                        phase (default "300,2000"; the full paper sweep
+                        is "300,2000,10000")
 
    --compare BASELINE.json on argv diffs this run's phases against a
    saved baseline through the noise-aware gate (Webdep_prof.Regress) and
@@ -1725,6 +1728,65 @@ let faults () =
     ]
 
 (* ========================================================================
+   Scale (always run): the paper-scale sweep claim.  Fresh worlds at
+   each toplist size in WEBDEP_BENCH_SCALE_CS (default "300,2000"; the
+   full-paper sweep adds 10000), measured end to end through the
+   streaming pipeline, recording wall seconds, minor-heap allocation and
+   the Gc.top_heap_words high-water mark.  Each size also lands in
+   phases_s / phases_minor_words as scale_c<N>, so --compare gates it
+   like any other phase.  top_heap_words here is cumulative over every
+   earlier bench phase — an upper bound; the CI budget assert runs
+   [webdep scale] in a fresh process instead.
+   ======================================================================== *)
+
+let scale_cs =
+  let spec =
+    match Sys.getenv_opt "WEBDEP_BENCH_SCALE_CS" with
+    | Some s when s <> "" -> s
+    | _ -> "300,2000"
+  in
+  String.split_on_char ',' spec
+  |> List.filter_map int_of_string_opt
+  |> List.filter (fun n -> n > 0)
+
+let scale_json : (string * Json.t) list ref = ref []
+
+let scale_phase () =
+  section "Scale" "paper-scale sweeps: seconds, minor words, peak heap";
+  let results =
+    List.map
+      (fun sc ->
+        let r = Webdep_pipeline.Scale.run ~seed ~jobs ~c:sc () in
+        record_phase (Printf.sprintf "scale_c%d" sc) r.Webdep_pipeline.Scale.seconds;
+        record_minor_words
+          (Printf.sprintf "scale_c%d" sc)
+          r.Webdep_pipeline.Scale.minor_words;
+        Printf.printf
+          "c=%5d: %3d countries, %7d sites, %6.2fs, %11.0f minor words, \
+           top_heap %9d words, mean hosting S %.4f\n%!"
+          sc r.Webdep_pipeline.Scale.countries r.Webdep_pipeline.Scale.sites
+          r.Webdep_pipeline.Scale.seconds r.Webdep_pipeline.Scale.minor_words
+          r.Webdep_pipeline.Scale.top_heap_words
+          r.Webdep_pipeline.Scale.mean_hosting_s;
+        r)
+      scale_cs
+  in
+  scale_json :=
+    List.map
+      (fun (r : Webdep_pipeline.Scale.result) ->
+        ( Printf.sprintf "c%d" r.c,
+          Json.Obj
+            [
+              ("countries", Json.Int r.countries);
+              ("sites", Json.Int r.sites);
+              ("seconds", Json.Float r.seconds);
+              ("minor_words", Json.Float r.minor_words);
+              ("top_heap_words", Json.Int r.top_heap_words);
+              ("mean_hosting_s", Json.Float r.mean_hosting_s);
+            ] ))
+      results
+
+(* ========================================================================
    main
    ======================================================================== *)
 
@@ -1732,10 +1794,9 @@ let faults () =
    what each table/figure consumed from the pipeline and simulators. *)
 let phase_counters : (string * (string * int) list) list ref = ref []
 
-(* BENCH_obs.json, schema webdep-bench/6 (upgrades /5: the embedded
-   "metrics" snapshot moves to webdep-metrics/2 — interpolated quantiles
-   and per-bucket sums — and "kernels" gains the span_probe object with
-   the measured tracing-disabled span cost):
+(* BENCH_obs.json, schema webdep-bench/7 (upgrades /6: the new "scale"
+   object and the scale_c<N> entries in phases_s / phases_minor_words —
+   paper-scale sweep telemetry gated by --compare like any phase):
    - phases_s:        bench-locally recorded per-phase wall seconds
                       (includes world_create / measure_all / the 2025
                       measurement inside "longitudinal")
@@ -1761,7 +1822,10 @@ let phase_counters : (string * (string * int) list) list ref = ref []
    - faults:          robustness-plane cost — rate-0 plan overhead vs
                       plain measure_all (with the identity verdict) and
                       the rate-0.05 sweep's injection/retry/coverage
-                      totals *)
+                      totals
+   - scale:           per-toplist-size sweep telemetry (fresh world per
+                      size): countries, sites, seconds, minor words,
+                      top_heap_words, mean hosting S *)
 let write_bench_json path =
   let phases =
     List.rev_map (fun (name, s) -> (name, Json.Float s)) !recorded_phases
@@ -1797,7 +1861,7 @@ let write_bench_json path =
   let doc =
     Json.Obj
       ([
-         ("schema", Json.String "webdep-bench/6");
+         ("schema", Json.String "webdep-bench/7");
          ("c", Json.Int c);
          ("seed", Json.Int seed);
          ("jobs", Json.Int jobs);
@@ -1811,6 +1875,7 @@ let write_bench_json path =
           ("kernels", Json.Obj !kernel_json);
           ("store", Json.Obj !store_json);
           ("faults", Json.Obj !faults_json);
+          ("scale", Json.Obj !scale_json);
           ("metrics", measure_metrics);
         ])
   in
@@ -1869,11 +1934,12 @@ let () =
       ("ablation_c_sensitivity", ablation_c_sensitivity);
     ];
   if Sys.getenv_opt "WEBDEP_BENCH_SKIP_TIMINGS" = None then phase "timings" timings;
-  (* The kernels, store and faults phases always run — CI's BENCH diff
-     asserts on them. *)
+  (* The kernels, store, faults and scale phases always run — CI's
+     BENCH diff asserts on them. *)
   phase "kernels" kernels;
   phase "store" store_phase;
   phase "faults" faults;
+  phase "scale" scale_phase;
   let out =
     match Sys.getenv_opt "WEBDEP_BENCH_OUT" with
     | Some p when p <> "" -> p

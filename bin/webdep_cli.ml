@@ -584,6 +584,48 @@ let profile_cmd =
     Term.(const run_profile $ obs_term $ from_trace $ seed_arg $ c_arg $ countries_arg
           $ top_arg $ faults_term $ store_term)
 
+(* --- scale --------------------------------------------------------------------------- *)
+
+(* One paper-scale sweep in a process that has run nothing else, so
+   Gc.top_heap_words genuinely is this sweep's peak heap — that is what
+   makes --budget-words a meaningful gate (the bench's scale phase can
+   only report a cumulative upper bound).  Exit 4 when over budget. *)
+
+let run_scale () seed c countries budget_words =
+  let r =
+    Webdep_pipeline.Scale.run ~seed ?countries:(normalize_countries countries) ~c ()
+  in
+  Printf.printf
+    "c=%d: %d countries, %d sites, %.2fs, %.0f minor words, top_heap %d words, \
+     mean hosting S %.4f\n"
+    r.Webdep_pipeline.Scale.c r.Webdep_pipeline.Scale.countries
+    r.Webdep_pipeline.Scale.sites r.Webdep_pipeline.Scale.seconds
+    r.Webdep_pipeline.Scale.minor_words r.Webdep_pipeline.Scale.top_heap_words
+    r.Webdep_pipeline.Scale.mean_hosting_s;
+  match budget_words with
+  | Some budget when r.Webdep_pipeline.Scale.top_heap_words > budget ->
+      Printf.eprintf "webdep scale: top_heap_words %d exceeds budget %d\n"
+        r.Webdep_pipeline.Scale.top_heap_words budget;
+      exit 4
+  | Some budget ->
+      Printf.printf "within budget: %d <= %d words\n"
+        r.Webdep_pipeline.Scale.top_heap_words budget
+  | None -> ()
+
+let scale_cmd =
+  let doc =
+    "Run one full measurement sweep and report wall seconds, minor-heap \
+     allocation and the process peak heap (Gc.top_heap_words)."
+  in
+  let budget =
+    Arg.(value & opt (some int) None & info [ "budget-words" ] ~docv:"N"
+           ~doc:"Fail (exit 4) if the process's peak major heap exceeds \
+                 $(docv) words.  Meaningful because this subcommand runs \
+                 nothing but the sweep.")
+  in
+  Cmd.v (Cmd.info "scale" ~doc)
+    Term.(const run_scale $ obs_term $ seed_arg $ c_arg $ countries_arg $ budget)
+
 (* --- countries ------------------------------------------------------------------------ *)
 
 let run_countries () =
@@ -606,4 +648,5 @@ let () =
        (Cmd.group info
           [ scores_cmd; report_cmd; insularity_cmd; classify_cmd; usage_cmd;
             longitudinal_cmd; validate_cmd; paper_cmd; countries_cmd; export_cmd;
-            language_cmd; redundancy_cmd; tld_cmd; report_md_cmd; profile_cmd ]))
+            language_cmd; redundancy_cmd; tld_cmd; report_md_cmd; profile_cmd;
+            scale_cmd ]))

@@ -17,66 +17,218 @@ type site = {
 
 type country_data = { country : string; sites : site list }
 
-type t = { by_country : (string, country_data) Hashtbl.t; order : string list }
-
-let of_country_data data =
-  let by_country = Hashtbl.create (List.length data) in
-  List.iter (fun cd -> Hashtbl.replace by_country cd.country cd) data;
-  { by_country; order = List.map (fun cd -> cd.country) data }
-
-let countries t = t.order
-let country t cc = Hashtbl.find_opt t.by_country cc
-
-let country_exn t cc =
-  match country t cc with Some cd -> cd | None -> raise Not_found
-
-let size t =
-  Hashtbl.fold (fun _ cd acc -> acc + List.length cd.sites) t.by_country 0
-
-let entity_of site = function
-  | Hosting -> site.hosting
-  | Dns -> site.dns
-  | Ca -> site.ca
-  | Tld -> Some site.tld
-
-(* Dense tally: one interned id per distinct (name, country) entity,
-   counts in an int array indexed by id.  Avoids hashing a fresh string
-   pair per site the way the old (string * string)-keyed Hashtbl did. *)
-type tally = {
-  syms : Symbol.t;
-  mutable entities : entity array; (* id -> entity *)
-  mutable counts : int array; (* id -> count *)
-}
-
 let dummy_entity = { name = ""; country = "" }
 
-let tally_create () =
+(* ---- compact interned storage ------------------------------------------
+
+   A dataset does not keep the [site] records callers hand it: each site
+   is encoded into a handful of integers against a per-dataset pool —
+   one dense id per distinct (name, country) entity (providers, CAs,
+   TLDs share the pool) and one per distinct small string (geo country
+   codes, language labels).  At the paper's full scale (150 countries x
+   10K sites, ~1.5M records) this stores five int arrays plus the domain
+   strings per country instead of ~1.5M boxed records with per-site
+   entity/option allocations.
+
+   The string-facing API ([country]/[country_exn]) decodes on demand and
+   memoizes the decoded [country_data] per country, so callers that walk
+   [.sites] see byte-identical records to what was encoded; the metric
+   queries below ([counts_by_entity], [distribution], ...) run directly
+   on the int arrays and never decode.
+
+   Ids are assigned in first-encounter order during encoding, which the
+   measurement pipeline performs sequentially in canonical country
+   order, so pool ids are independent of [--jobs]. *)
+
+type pool = {
+  mutable entities : entity array; (* id -> entity (first-seen record) *)
+  mutable ecount : int;
+  eindex : (string, (string, int) Hashtbl.t) Hashtbl.t; (* name -> country -> id *)
+  ssyms : Symbol.t; (* geo country codes and language labels *)
+}
+
+let pool_create () =
   {
-    syms = Symbol.create ~size:256 ();
-    entities = Array.make 256 dummy_entity;
-    counts = Array.make 256 0;
+    entities = Array.make 1024 dummy_entity;
+    ecount = 0;
+    eindex = Hashtbl.create 1024;
+    ssyms = Symbol.create ~size:256 ();
   }
 
-let tally_add t e =
-  (* \x1f (unit separator) cannot appear in entity labels, so the joined
-     key is injective on (name, country). *)
-  let before = Symbol.count t.syms in
-  let id = Symbol.intern t.syms (e.name ^ "\x1f" ^ e.country) in
-  if id = Array.length t.counts then begin
-    let counts = Array.make (2 * id) 0 in
-    Array.blit t.counts 0 counts 0 id;
-    t.counts <- counts;
-    let entities = Array.make (2 * id) dummy_entity in
-    Array.blit t.entities 0 entities 0 id;
-    t.entities <- entities
-  end;
-  if id = before then t.entities.(id) <- e;
-  t.counts.(id) <- t.counts.(id) + 1
+let intern_entity p e =
+  let by_country =
+    match Hashtbl.find_opt p.eindex e.name with
+    | Some tbl -> tbl
+    | None ->
+        let tbl = Hashtbl.create 4 in
+        Hashtbl.replace p.eindex e.name tbl;
+        tbl
+  in
+  match Hashtbl.find_opt by_country e.country with
+  | Some id -> id
+  | None ->
+      let id = p.ecount in
+      if id = Array.length p.entities then begin
+        let bigger = Array.make (2 * id) dummy_entity in
+        Array.blit p.entities 0 bigger 0 id;
+        p.entities <- bigger
+      end;
+      p.entities.(id) <- e;
+      p.ecount <- id + 1;
+      Hashtbl.replace by_country e.country id;
+      id
 
-let tally_sites t sites layer =
-  List.iter
-    (fun s -> match entity_of s layer with None -> () | Some e -> tally_add t e)
-    sites
+(* Small-string ids and the two anycast flags pack into one aux word:
+   20 bits each for hosting_geo / ns_geo / language (0 = None, else
+   id + 1), flags in bits 60-61.  A million distinct geo or language
+   labels would overflow the field; the simulated world has ~150. *)
+let str_bits = 20
+let str_mask = (1 lsl str_bits) - 1
+
+let intern_opt_str p = function
+  | None -> 0
+  | Some s ->
+      let v = 1 + Symbol.intern p.ssyms s in
+      if v > str_mask then
+        invalid_arg "Dataset: too many distinct geo/language labels";
+      v
+
+let pack_aux ~hgeo ~nsgeo ~lang ~hany ~nany =
+  hgeo
+  lor (nsgeo lsl str_bits)
+  lor (lang lsl (2 * str_bits))
+  lor (if hany then 1 lsl 60 else 0)
+  lor (if nany then 1 lsl 61 else 0)
+
+type packed = {
+  cc : string;
+  domains : string array;
+  hosting : int array; (* entity id + 1; 0 = None *)
+  dns : int array;
+  ca : int array;
+  tld : int array; (* entity id + 1; never 0 *)
+  aux : int array;
+  decoded : country_data option Atomic.t;
+}
+
+type t = {
+  pool : pool;
+  by_country : (string, packed) Hashtbl.t;
+  order : string list;
+}
+
+let intern_opt_entity p = function None -> 0 | Some e -> 1 + intern_entity p e
+
+let encode_country pool (cd : country_data) =
+  let n = List.length cd.sites in
+  let domains = Array.make n "" in
+  let hosting = Array.make n 0 in
+  let dns = Array.make n 0 in
+  let ca = Array.make n 0 in
+  let tld = Array.make n 0 in
+  let aux = Array.make n 0 in
+  List.iteri
+    (fun i s ->
+      domains.(i) <- s.domain;
+      hosting.(i) <- intern_opt_entity pool s.hosting;
+      dns.(i) <- intern_opt_entity pool s.dns;
+      ca.(i) <- intern_opt_entity pool s.ca;
+      tld.(i) <- 1 + intern_entity pool s.tld;
+      aux.(i) <-
+        pack_aux
+          ~hgeo:(intern_opt_str pool s.hosting_geo)
+          ~nsgeo:(intern_opt_str pool s.ns_geo)
+          ~lang:(intern_opt_str pool s.language)
+          ~hany:s.hosting_anycast ~nany:s.ns_anycast)
+    cd.sites;
+  { cc = cd.country; domains; hosting; dns; ca; tld; aux;
+    decoded = Atomic.make None }
+
+let entity_at pool v = if v = 0 then None else Some pool.entities.(v - 1)
+let str_at pool v = if v = 0 then None else Some (Symbol.name pool.ssyms (v - 1))
+
+let decode_site pool pk i : site =
+  let aux = pk.aux.(i) in
+  {
+    domain = pk.domains.(i);
+    hosting = entity_at pool pk.hosting.(i);
+    dns = entity_at pool pk.dns.(i);
+    ca = entity_at pool pk.ca.(i);
+    tld = pool.entities.(pk.tld.(i) - 1);
+    hosting_geo = str_at pool (aux land str_mask);
+    ns_geo = str_at pool ((aux lsr str_bits) land str_mask);
+    hosting_anycast = aux land (1 lsl 60) <> 0;
+    ns_anycast = aux land (1 lsl 61) <> 0;
+    language = str_at pool ((aux lsr (2 * str_bits)) land str_mask);
+  }
+
+(* Decode is deterministic, so a lost CAS race just discards an
+   identical copy; the memo makes repeated [.sites] walks free and keeps
+   the decoded structure physically shared between them. *)
+let decode_country pool pk =
+  match Atomic.get pk.decoded with
+  | Some cd -> cd
+  | None ->
+      let n = Array.length pk.domains in
+      let sites = ref [] in
+      for i = n - 1 downto 0 do
+        sites := decode_site pool pk i :: !sites
+      done;
+      let cd = { country = pk.cc; sites = !sites } in
+      if Atomic.compare_and_set pk.decoded None (Some cd) then cd
+      else Option.get (Atomic.get pk.decoded)
+
+(* ---- streaming construction --------------------------------------------- *)
+
+type builder = {
+  b_pool : pool;
+  b_by_country : (string, packed) Hashtbl.t;
+  mutable b_rev_order : string list;
+}
+
+let builder () =
+  { b_pool = pool_create (); b_by_country = Hashtbl.create 64; b_rev_order = [] }
+
+let builder_add b cd =
+  Hashtbl.replace b.b_by_country cd.country (encode_country b.b_pool cd);
+  b.b_rev_order <- cd.country :: b.b_rev_order
+
+let builder_finish b =
+  { pool = b.b_pool; by_country = b.b_by_country;
+    order = List.rev b.b_rev_order }
+
+let of_country_data data =
+  let b = builder () in
+  List.iter (builder_add b) data;
+  builder_finish b
+
+let countries t = t.order
+
+let packed t cc = Hashtbl.find_opt t.by_country cc
+
+let packed_exn t cc =
+  match packed t cc with Some pk -> pk | None -> raise Not_found
+
+let country t cc = Option.map (decode_country t.pool) (packed t cc)
+
+let country_exn t cc = decode_country t.pool (packed_exn t cc)
+
+let size t =
+  Hashtbl.fold (fun _ pk acc -> acc + Array.length pk.domains) t.by_country 0
+
+let site_count t cc = Array.length (packed_exn t cc).domains
+
+let entity_of (s : site) = function
+  | Hosting -> s.hosting
+  | Dns -> s.dns
+  | Ca -> s.ca
+  | Tld -> Some s.tld
+
+let layer_ids pk = function
+  | Hosting -> pk.hosting
+  | Dns -> pk.dns
+  | Ca -> pk.ca
+  | Tld -> pk.tld
 
 (* Deterministic canonical order for (entity, count) lists: it depends
    only on the tallied multiset, never on insertion order, so a tally
@@ -92,11 +244,160 @@ let sort_counts out =
         if c <> 0 then c else String.compare e1.country e2.country)
     out
 
+(* ---- metric queries on the int arrays ------------------------------------ *)
+
+let counts_by_entity t layer cc =
+  let pk = packed_exn t cc in
+  let ids = layer_ids pk layer in
+  let counts = Array.make (max 1 t.pool.ecount) 0 in
+  Array.iter (fun v -> if v > 0 then counts.(v - 1) <- counts.(v - 1) + 1) ids;
+  let out = ref [] in
+  for id = t.pool.ecount - 1 downto 0 do
+    if counts.(id) > 0 then out := (t.pool.entities.(id), counts.(id)) :: !out
+  done;
+  (* Count-descending with a deterministic tie-break (the old Hashtbl
+     fold left ties in table-layout order). *)
+  sort_counts !out
+
+let distribution t layer cc =
+  let counts = List.map snd (counts_by_entity t layer cc) in
+  if counts = [] then raise Not_found;
+  Webdep_emd.Dist.of_counts (Array.of_list counts)
+
+(* Pooled counts in first-encounter order over countries in dataset
+   order — the same order the per-layer string interner of the previous
+   representation assigned, so the resulting distribution is
+   bit-identical. *)
+let merged_distribution t layer =
+  let remap = Array.make (max 1 t.pool.ecount) (-1) in
+  let counts = ref (Array.make 256 0) in
+  let n = ref 0 in
+  List.iter
+    (fun cc ->
+      match packed t cc with
+      | None -> ()
+      | Some pk ->
+          Array.iter
+            (fun v ->
+              if v > 0 then begin
+                let id = v - 1 in
+                let local =
+                  if remap.(id) >= 0 then remap.(id)
+                  else begin
+                    let local = !n in
+                    if local = Array.length !counts then begin
+                      let bigger = Array.make (2 * local) 0 in
+                      Array.blit !counts 0 bigger 0 local;
+                      counts := bigger
+                    end;
+                    remap.(id) <- local;
+                    incr n;
+                    local
+                  end
+                in
+                !counts.(local) <- !counts.(local) + 1
+              end)
+            (layer_ids pk layer))
+    t.order;
+  Webdep_emd.Dist.of_counts (Array.sub !counts 0 !n)
+
+let entity_share t layer cc ~name =
+  let pk = packed_exn t cc in
+  let total = Array.length pk.domains in
+  if total = 0 then 0.0
+  else begin
+    let hits = ref 0 in
+    Array.iter
+      (fun v ->
+        if v > 0 && String.equal t.pool.entities.(v - 1).name name then
+          incr hits)
+      (layer_ids pk layer);
+    float_of_int !hits /. float_of_int total
+  end
+
+let home_label_count t layer cc =
+  let pk = packed_exn t cc in
+  let hits = ref 0 in
+  Array.iter
+    (fun v ->
+      if v > 0 && String.equal t.pool.entities.(v - 1).country cc then incr hits)
+    (layer_ids pk layer);
+  !hits
+
+(* ---- compact codec (exposed for round-trip tests) ------------------------ *)
+
+module Compact = struct
+  type codec = pool
+
+  type site_compact = {
+    c_domain : string;
+    c_hosting : int;
+    c_dns : int;
+    c_ca : int;
+    c_tld : int;
+    c_aux : int;
+  }
+
+  let codec () = pool_create ()
+
+  let encode p (s : site) =
+    {
+      c_domain = s.domain;
+      c_hosting = intern_opt_entity p s.hosting;
+      c_dns = intern_opt_entity p s.dns;
+      c_ca = intern_opt_entity p s.ca;
+      c_tld = 1 + intern_entity p s.tld;
+      c_aux =
+        pack_aux
+          ~hgeo:(intern_opt_str p s.hosting_geo)
+          ~nsgeo:(intern_opt_str p s.ns_geo)
+          ~lang:(intern_opt_str p s.language)
+          ~hany:s.hosting_anycast ~nany:s.ns_anycast;
+    }
+
+  let decode p sc : site =
+    {
+      domain = sc.c_domain;
+      hosting = entity_at p sc.c_hosting;
+      dns = entity_at p sc.c_dns;
+      ca = entity_at p sc.c_ca;
+      tld = p.entities.(sc.c_tld - 1);
+      hosting_geo = str_at p (sc.c_aux land str_mask);
+      ns_geo = str_at p ((sc.c_aux lsr str_bits) land str_mask);
+      hosting_anycast = sc.c_aux land (1 lsl 60) <> 0;
+      ns_anycast = sc.c_aux land (1 lsl 61) <> 0;
+      language = str_at p ((sc.c_aux lsr (2 * str_bits)) land str_mask);
+    }
+
+  let entity_count t = t.pool.ecount
+  let entities t = Array.sub t.pool.entities 0 t.pool.ecount
+end
+
+(* ---- incremental tallies (unchanged representation) ---------------------- *)
+
+(* Dense tally: one interned id per distinct (name, country) entity,
+   counts in an int array indexed by id.  Avoids hashing a fresh string
+   pair per site the way the old (string * string)-keyed Hashtbl did. *)
+type tally = {
+  syms : Symbol.t;
+  mutable entities : entity array; (* id -> entity *)
+  mutable counts : int array; (* id -> count *)
+}
+
+let tally_create () =
+  {
+    syms = Symbol.create ~size:256 ();
+    entities = Array.make 256 dummy_entity;
+    counts = Array.make 256 0;
+  }
+
 module Tally = struct
   type nonrec t = tally
 
   let create () = tally_create ()
 
+  (* \x1f (unit separator) cannot appear in entity labels, so the joined
+     key is injective on (name, country). *)
   let key e = e.name ^ "\x1f" ^ e.country
 
   let add t e =
@@ -191,46 +492,3 @@ module Tally = struct
     done;
     !acc
 end
-
-let counts_by_entity t layer cc =
-  let cd = country_exn t cc in
-  let ty = tally_create () in
-  tally_sites ty cd.sites layer;
-  let out = ref [] in
-  for id = Symbol.count ty.syms - 1 downto 0 do
-    out := (ty.entities.(id), ty.counts.(id)) :: !out
-  done;
-  (* Count-descending with a deterministic tie-break (the old Hashtbl
-     fold left ties in table-layout order). *)
-  sort_counts !out
-
-let distribution t layer cc =
-  let counts = List.map snd (counts_by_entity t layer cc) in
-  if counts = [] then raise Not_found;
-  Webdep_emd.Dist.of_counts (Array.of_list counts)
-
-let merged_distribution t layer =
-  let ty = tally_create () in
-  List.iter
-    (fun cc ->
-      match country t cc with
-      | Some cd -> tally_sites ty cd.sites layer
-      | None -> ())
-    t.order;
-  Webdep_emd.Dist.of_counts (Array.sub ty.counts 0 (Symbol.count ty.syms))
-
-let entity_share t layer cc ~name =
-  let cd = country_exn t cc in
-  let total = List.length cd.sites in
-  if total = 0 then 0.0
-  else begin
-    let hits =
-      List.fold_left
-        (fun acc s ->
-          match entity_of s layer with
-          | Some e when String.equal e.name name -> acc + 1
-          | Some _ | None -> acc)
-        0 cd.sites
-    in
-    float_of_int hits /. float_of_int total
-  end

@@ -27,14 +27,41 @@ type site = {
 type country_data = { country : string; sites : site list }
 
 type t
-(** A dataset: one {!country_data} per country. *)
+(** A dataset: one {!country_data} per country.
+
+    Internally the sites are stored interned and integer-coded (one
+    dense id per distinct entity and small string, five int arrays per
+    country) — {!country}/{!country_exn} decode the string-facing
+    records on demand and memoize them, while the metric queries below
+    run directly on the int arrays.  Both views are byte-identical to
+    the records passed to {!of_country_data}. *)
 
 val of_country_data : country_data list -> t
+
+type builder
+(** Streaming constructor: encode one country at a time so the caller
+    can release each string-form {!country_data} as soon as it is added,
+    keeping peak heap bounded by one country rather than the world.
+    [of_country_data] is [builder]/{!builder_add}/{!builder_finish}. *)
+
+val builder : unit -> builder
+
+val builder_add : builder -> country_data -> unit
+(** Encode and absorb one country.  Must be called from a single domain
+    (interner ids are assigned in first-encounter order, so the call
+    order defines the ids). *)
+
+val builder_finish : builder -> t
+
 val countries : t -> string list
 val country : t -> string -> country_data option
 val country_exn : t -> string -> country_data
 val size : t -> int
 (** Total number of (country, site) records. *)
+
+val site_count : t -> string -> int
+(** Number of sites of a country, without decoding them.
+    @raise Not_found if the country is absent. *)
 
 val entity_of : site -> layer -> entity option
 (** The site's label in a layer ([Some] always for [Tld]). *)
@@ -53,6 +80,41 @@ val merged_distribution : t -> layer -> Webdep_emd.Dist.t
 
 val entity_share : t -> layer -> string -> name:string -> float
 (** Share of a country's websites labelled with entity [name]. *)
+
+val home_label_count : t -> layer -> string -> int
+(** Number of a country's sites whose layer label's home country is the
+    country itself — the insularity numerator, computed on the int
+    arrays without decoding.  @raise Not_found if the country is
+    absent. *)
+
+(** The integer-coded site representation, exposed so tests can check
+    the decode/encode round trip and interner stability; the dataset
+    itself stores sites this way. *)
+module Compact : sig
+  type codec
+  (** An interner pool: entity and small-string ids, assigned densely in
+      first-encounter order. *)
+
+  type site_compact
+  (** One site as integers against a codec: interned ids for the five
+      entity/label fields plus a packed word of geo/language ids and
+      anycast flags; only the domain stays a string. *)
+
+  val codec : unit -> codec
+
+  val encode : codec -> site -> site_compact
+  val decode : codec -> site_compact -> site
+  (** [decode c (encode c s) = s] for every site [s]. *)
+
+  val entity_count : t -> int
+  (** Distinct entities in a dataset's pool; valid ids are
+      [0..entity_count-1]. *)
+
+  val entities : t -> entity array
+  (** The pool's id -> entity decode table, in id order.  Because ids
+      are assigned during the sequential encode, this array is identical
+      at any [--jobs]. *)
+end
 
 (** Mutable per-(entity) website tallies, maintained incrementally.
 

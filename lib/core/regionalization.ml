@@ -27,8 +27,7 @@ let usage_table ds layer =
   List.iter
     (fun cc ->
       let i = Hashtbl.find index cc in
-      let cd = Dataset.country_exn ds cc in
-      let total = float_of_int (List.length cd.Dataset.sites) in
+      let total = float_of_int (Dataset.site_count ds cc) in
       let counts = Dataset.counts_by_entity ds layer cc in
       List.iter
         (fun ((e : Dataset.entity), k) ->
@@ -56,21 +55,12 @@ let all_usage ds layer =
   Hashtbl.fold (fun _ (entity, values) acc -> stats_of_curve entity values :: acc) table []
   |> List.sort (fun a b -> compare b.usage a.usage)
 
+(* Straight off the dataset's int arrays: the numerator is the count of
+   sites whose layer label is homed in the country itself. *)
 let insularity ds layer cc =
-  let cd = Dataset.country_exn ds cc in
-  let total = List.length cd.Dataset.sites in
+  let total = Dataset.site_count ds cc in
   if total = 0 then 0.0
-  else begin
-    let hits =
-      List.fold_left
-        (fun acc s ->
-          match Dataset.entity_of s layer with
-          | Some e when String.equal e.Dataset.country cc -> acc + 1
-          | Some _ | None -> acc)
-        0 cd.Dataset.sites
-    in
-    float_of_int hits /. float_of_int total
-  end
+  else float_of_int (Dataset.home_label_count ds layer cc) /. float_of_int total
 
 let all_insularity ds layer =
   Dataset.countries ds

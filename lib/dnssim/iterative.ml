@@ -118,9 +118,17 @@ let resolve ?cache ?(faults = Faults.disabled) ?(retry = Retry.no_retry)
     | Error e -> Error e
   in
   let compute_with_retry () =
-    Retry.run retry
-      ~key:("iter|" ^ vantage ^ "|" ^ qname)
-      ~retryable:Resolver.retryable compute
+    (* Fault-free, [compute] is deterministic in (vantage, qname) — a
+       retry could only replay the same outcome — and the generated
+       world resolves every toplist domain, so retryable errors (broken
+       chains, missing glue) never arise without injection.  Skipping
+       Retry.run therefore returns the identical result and saves the
+       per-lookup key concatenation. *)
+    if not (Faults.enabled faults) then compute ~attempt:0
+    else
+      Retry.run retry
+        ~key:("iter|" ^ vantage ^ "|" ^ qname)
+        ~retryable:Resolver.retryable compute
   in
   match cache with
   | None -> compute_with_retry ()

@@ -90,7 +90,11 @@ let resolve ?cache ?(faults = Faults.disabled) ?(retry = Retry.no_retry) db
             Ok { a; ns_hosts; ns_addrs = List.concat_map glue_of ns_hosts })
   in
   let compute () =
-    Retry.run retry ~key:(vantage ^ "|" ^ domain) ~retryable attempt_once
+    (* Fault-free, every error is a definitive Nxdomain (non-retryable),
+       so Retry.run is the identity and never touches a counter — skip
+       it and the per-lookup "vantage|domain" key allocation with it. *)
+    if not (Faults.enabled faults) then attempt_once ~attempt:0
+    else Retry.run retry ~key:(vantage ^ "|" ^ domain) ~retryable attempt_once
   in
   match cache with
   | None -> compute ()

@@ -51,3 +51,31 @@ let with_pool ?jobs:j f =
 let map ?jobs f xs = with_pool ?jobs (fun p -> Pool.map p f xs)
 let map_array ?jobs f arr = with_pool ?jobs (fun p -> Pool.map_array p f arr)
 let parallel_for ?jobs ~n f = with_pool ?jobs (fun p -> Pool.parallel_for p ~n f)
+
+(* Streaming fan-out: map a window of items on the pool, fold that
+   window's results on the calling domain in input order, drop them,
+   advance.  The fold sees results in exactly the input order at any
+   lane count, and at most [window] mapped results are live at once —
+   which is what keeps a full-scale measurement sweep's peak heap
+   bounded by a window of countries instead of the whole world.  The
+   window defaults to a couple of results per lane: enough slack that
+   uneven per-item cost still balances, small enough that the live set
+   stays a fraction of the input. *)
+let map_fold ?jobs ?window f ~init ~fold xs =
+  with_pool ?jobs (fun p ->
+      let arr = Array.of_list xs in
+      let n = Array.length arr in
+      let window =
+        match window with Some w -> max 1 w | None -> max 8 (2 * Pool.jobs p)
+      in
+      let acc = ref init in
+      let i = ref 0 in
+      while !i < n do
+        let len = min window (n - !i) in
+        let results = Pool.map_array p f (Array.sub arr !i len) in
+        for j = 0 to len - 1 do
+          acc := fold !acc results.(j)
+        done;
+        i := !i + len
+      done;
+      !acc)

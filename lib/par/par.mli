@@ -36,6 +36,22 @@ val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 val parallel_for : ?jobs:int -> n:int -> (int -> unit) -> unit
 (** [parallel_for ~n f] runs [f 0 .. f (n-1)] across the pool. *)
 
+val map_fold :
+  ?jobs:int ->
+  ?window:int ->
+  ('a -> 'b) ->
+  init:'acc ->
+  fold:('acc -> 'b -> 'acc) ->
+  'a list ->
+  'acc
+(** [map_fold f ~init ~fold xs] maps [f] over [xs] on the pool and folds
+    the results on the calling domain, in input order, window by window:
+    at most [window] (default: twice the lane count, floor 8) mapped
+    results are ever live, so the peak heap of a large fan-out stays
+    bounded by the window instead of the input.  Equivalent to
+    [List.fold_left fold init (List.map f xs)] whenever [f] is pure with
+    respect to scheduling; [fold] itself always runs sequentially. *)
+
 val shutdown : unit -> unit
 (** Shut down the shared pool (it respawns on next use).  Mostly for
     tests and orderly exits. *)

@@ -422,57 +422,57 @@ let measure_sweep ?vantage ?resolution ?cache ?epoch ?countries ?jobs
             cp)
           checkpoint
       in
-      let results =
-        Webdep_par.map ?jobs
-          (fun cc ->
-            match Option.bind cp (fun cp -> Checkpoint.find cp cc) with
-            | Some e ->
-                Logs.debug (fun m -> m "resumed %s from checkpoint" cc);
-                (e.Checkpoint.data, e.Checkpoint.tally, true)
-            | None ->
-                let data, tally =
-                  match Hashtbl.find_opt warm cc with
-                  | Some (data, tally) ->
-                      Logs.debug (fun m -> m "rebuilt %s from store" cc);
-                      (data, tally)
-                  | None ->
-                      Logs.debug (fun m -> m "measuring %s" cc);
-                      measure_country_cov ?vantage ?resolution ?cache ?epoch
-                        ~faults ?store world cc
-                in
-                Option.iter
-                  (fun cp -> Checkpoint.record cp { Checkpoint.country = cc; tally; data })
-                  cp;
-                (data, tally, false))
-          countries
-      in
-      Option.iter Checkpoint.close cp;
-      let coverage =
-        List.map2
-          (fun cc (_, tally, resumed) ->
-            let ratio = Degrade.ratio tally in
-            Metric.observe h_coverage ratio;
-            { cc; tally; ratio; resumed })
-          countries results
-      in
-      let kept, dropped =
-        List.partition
-          (fun (c, _) ->
-            Degrade.sufficient ~threshold:faults.coverage_threshold c.tally)
-          (List.combine coverage (List.map (fun (d, _, _) -> d) results))
-      in
-      let insufficient = List.map (fun (c, _) -> c.cc) dropped in
-      List.iter
+      (* Streaming construction: each country's string-form site list is
+         produced on a worker lane, then folded — in canonical input
+         order, on this domain — into the dataset builder's interned
+         arrays and released.  Peak heap holds one window of string-form
+         countries plus the compact dataset, never the whole world; the
+         sequential fold also keeps the builder's interner ids identical
+         at any [jobs]. *)
+      let b = Dataset.builder () in
+      let coverage_rev = ref [] in
+      let insufficient_rev = ref [] in
+      Webdep_par.map_fold ?jobs
         (fun cc ->
-          Metric.incr m_insufficient;
-          Logs.warn (fun m ->
-              m "insufficient_coverage %s: below threshold %.2f, metrics withheld"
-                cc faults.coverage_threshold))
-        insufficient;
+          match Option.bind cp (fun cp -> Checkpoint.find cp cc) with
+          | Some e ->
+              Logs.debug (fun m -> m "resumed %s from checkpoint" cc);
+              (cc, e.Checkpoint.data, e.Checkpoint.tally, true)
+          | None ->
+              let data, tally =
+                match Hashtbl.find_opt warm cc with
+                | Some (data, tally) ->
+                    Logs.debug (fun m -> m "rebuilt %s from store" cc);
+                    (data, tally)
+                | None ->
+                    Logs.debug (fun m -> m "measuring %s" cc);
+                    measure_country_cov ?vantage ?resolution ?cache ?epoch
+                      ~faults ?store world cc
+              in
+              Option.iter
+                (fun cp -> Checkpoint.record cp { Checkpoint.country = cc; tally; data })
+                cp;
+              (cc, data, tally, false))
+        ~init:()
+        ~fold:(fun () (cc, data, tally, resumed) ->
+          let ratio = Degrade.ratio tally in
+          Metric.observe h_coverage ratio;
+          coverage_rev := { cc; tally; ratio; resumed } :: !coverage_rev;
+          if Degrade.sufficient ~threshold:faults.coverage_threshold tally then
+            Dataset.builder_add b data
+          else begin
+            insufficient_rev := cc :: !insufficient_rev;
+            Metric.incr m_insufficient;
+            Logs.warn (fun m ->
+                m "insufficient_coverage %s: below threshold %.2f, metrics withheld"
+                  cc faults.coverage_threshold)
+          end)
+        countries;
+      Option.iter Checkpoint.close cp;
       {
-        dataset = Dataset.of_country_data (List.map snd kept);
-        coverage;
-        insufficient;
+        dataset = Dataset.builder_finish b;
+        coverage = List.rev !coverage_rev;
+        insufficient = List.rev !insufficient_rev;
       })
 
 let measure_all ?vantage ?resolution ?cache ?epoch ?countries ?jobs ?store world =

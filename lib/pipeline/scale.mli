@@ -1,0 +1,24 @@
+(** One paper-scale measurement sweep with GC telemetry.
+
+    [run ~c ()] creates a world with [c] sites per country, measures it
+    through the streaming pipeline, computes the hosting centralization
+    scores, and reports wall seconds, minor-heap allocation and the
+    process's [Gc.top_heap_words] high-water mark.
+
+    [top_heap_words] never decreases over a process lifetime, so a
+    memory-budget assertion is only meaningful in a process that has run
+    nothing else first (the [webdep scale] subcommand); in a long bench
+    run the value is a monotone upper bound on the sweep's peak heap. *)
+
+type result = {
+  c : int;
+  countries : int;  (** countries that cleared coverage *)
+  sites : int;  (** (country, site) records measured *)
+  seconds : float;
+  minor_words : float;  (** minor-heap words allocated by the sweep *)
+  top_heap_words : int;  (** major-heap high-water mark, whole process *)
+  mean_hosting_s : float;  (** mean hosting-layer S — a scores sanity anchor *)
+}
+
+val run :
+  ?seed:int -> ?countries:string list -> ?jobs:int -> c:int -> unit -> result

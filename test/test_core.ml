@@ -377,6 +377,41 @@ let test_validate_too_few () =
     (Invalid_argument "Validate.correlate: too few shared countries") (fun () ->
       ignore (Validate.correlate ~home:[ ("AA", 0.1) ] ~probes:[ ("AA", 0.1) ]))
 
+(* --- Compact ----------------------------------------------------------------- *)
+
+(* One codec shared across every generated sample, so the round trip is
+   exercised against an interner that keeps accumulating ids — re-interned
+   names must keep decoding to the first-seen spelling, which the small
+   name/country pools force constantly. *)
+let compact_round_trip =
+  let open QCheck in
+  let gen =
+    let open Gen in
+    let name =
+      oneofl [ "Cloudflare"; "Amazon"; "OVH"; "Local-Host"; "NS One"; "Let's Encrypt" ]
+    in
+    let cc = oneofl [ "US"; "DE"; "RU"; "BR"; "JP"; "IN" ] in
+    let entity = map2 (fun n c -> { D.name = n; country = c }) name cc in
+    let lang = opt (oneofl [ "en"; "de"; "ru"; "pt"; "ja" ]) in
+    map
+      (fun ( ((domain, hosting, dns), (ca, tld, hosting_geo)),
+             ((ns_geo, hosting_anycast, ns_anycast), language) ) ->
+        { D.domain; hosting; dns; ca; tld; hosting_geo; ns_geo; hosting_anycast;
+          ns_anycast; language })
+      (pair
+         (pair
+            (triple
+               (map (Printf.sprintf "site-%04d.example") (int_range 0 9999))
+               (opt entity) (opt entity))
+            (triple (opt entity) entity (opt cc)))
+         (pair (triple (opt cc) bool bool) lang))
+  in
+  let codec = D.Compact.codec () in
+  QCheck.Test.make ~name:"Compact.decode (Compact.encode s) = s" ~count:1000
+    (QCheck.make gen) (fun s -> D.Compact.decode codec (D.Compact.encode codec s) = s)
+
+let qtest = QCheck_alcotest.to_alcotest
+
 (* --- Symbol ----------------------------------------------------------------- *)
 
 let test_symbol_round_trip () =
@@ -435,6 +470,7 @@ let () =
           Alcotest.test_case "merged" `Quick test_dataset_merged;
           Alcotest.test_case "skips unlabelled" `Quick test_dataset_skips_unlabelled;
           Alcotest.test_case "tld present" `Quick test_dataset_tld_always_present;
+          qtest compact_round_trip;
         ] );
       ( "metrics",
         [

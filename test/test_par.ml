@@ -156,6 +156,30 @@ let test_measure_all_jobs_invariant () =
         (country_data_equal (D.country_exn ds1 cc) (D.country_exn ds4 cc)))
     countries
 
+let test_interner_jobs_invariant_at_scale () =
+  (* c=2000 over four countries: the dataset's interned entity pool —
+     ids in first-intern order, not just the decoded string view — must
+     be identical whether the sweep ran on 1 or 4 domains (ids are
+     assigned during the sequential fold, so scheduling must never leak
+     into them), and stable across repeat runs of the same world. *)
+  let countries = [ "US"; "DE"; "BR"; "JP" ] in
+  let sweep jobs = Measure.measure_all ~countries ~jobs (World.create ~c:2000 ~seed:41 ()) in
+  let ds1 = sweep 1 and ds4 = sweep 4 in
+  check Alcotest.int "pool size" (D.Compact.entity_count ds1) (D.Compact.entity_count ds4);
+  let e1 = D.Compact.entities ds1 and e4 = D.Compact.entities ds4 in
+  Array.iteri
+    (fun i (e : D.entity) ->
+      if e4.(i) <> e then
+        Alcotest.fail
+          (Printf.sprintf "entity id %d differs across jobs: %s/%s vs %s/%s" i e.D.name
+             e.D.country e4.(i).D.name e4.(i).D.country))
+    e1;
+  let ds4' = sweep 4 in
+  check Alcotest.int "stable pool size" (D.Compact.entity_count ds4)
+    (D.Compact.entity_count ds4');
+  Alcotest.(check bool) "stable ids on re-measure" true
+    (D.Compact.entities ds4 = D.Compact.entities ds4')
+
 let test_prepare_then_snapshot_matches_direct () =
   (* Snapshot after prepare = snapshot without prepare, same world seed:
      prepare only front-loads registrations, never changes assignments. *)
@@ -211,6 +235,8 @@ let () =
       ( "determinism",
         [
           Alcotest.test_case "measure_all jobs-invariant" `Slow test_measure_all_jobs_invariant;
+          Alcotest.test_case "interner ids jobs-invariant at c=2000" `Slow
+            test_interner_jobs_invariant_at_scale;
           Alcotest.test_case "prepare = direct snapshot" `Quick
             test_prepare_then_snapshot_matches_direct;
           Alcotest.test_case "bootstrap jobs-invariant" `Quick test_bootstrap_jobs_invariant;
