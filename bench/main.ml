@@ -23,6 +23,12 @@
      WEBDEP_BENCH_SCALE_CS  comma-separated toplist sizes for the scale
                         phase (default "300,2000"; the full paper sweep
                         is "300,2000,10000")
+     WEBDEP_BENCH_SERVE_C   toplist size for the serve phase's warmed
+                        store (default 300, the paper-scale floor)
+     WEBDEP_BENCH_SERVE_N   total closed-loop queries in the serve
+                        phase (default 40000)
+     WEBDEP_BENCH_SERVE_CLIENTS  concurrent load-generator connections
+                        (default: jobs clamped to [2,4])
 
    --compare BASELINE.json on argv diffs this run's phases against a
    saved baseline through the noise-aware gate (Webdep_prof.Regress) and
@@ -1787,6 +1793,154 @@ let scale_phase () =
       results
 
 (* ========================================================================
+   serve phase — the batched query daemon under closed-loop load
+   ======================================================================== *)
+
+module Serve = Webdep_serve
+
+let serve_c = env_int "WEBDEP_BENCH_SERVE_C" 300
+let serve_n = env_int "WEBDEP_BENCH_SERVE_N" 40_000
+let serve_clients = env_int "WEBDEP_BENCH_SERVE_CLIENTS" (max 2 (min 4 jobs))
+
+(* Deterministic query mix cycling every kind, epoch and layer over the
+   state's country list — the same stream regardless of client count. *)
+let serve_mix countries n offset =
+  let layers = [| D.Hosting; D.Dns; D.Ca; D.Tld |] in
+  let epochs = [| World.May_2023; World.May_2025 |] in
+  let ccs = Array.of_list countries in
+  List.init n (fun j ->
+      let i = offset + j in
+      let country = ccs.(i mod Array.length ccs) in
+      let layer = layers.(i mod 4) in
+      let epoch = epochs.(i mod 2) in
+      match i mod 5 with
+      | 0 -> Serve.Protocol.Score { epoch; layer; country }
+      | 1 -> Serve.Protocol.Top_shares { epoch; layer; country; k = 10 }
+      | 2 -> Serve.Protocol.Ranking { epoch; layer; k = 20 }
+      | 3 -> Serve.Protocol.Delta { layer; country }
+      | _ -> Serve.Protocol.Ping)
+
+let serve_json : (string * Json.t) list ref = ref []
+
+let serve_phase () =
+  section "Serve" "batched dependence-query daemon under closed-loop load";
+  (* A fresh warmed world at the paper-scale floor, independent of the
+     bench's own -c, so qps numbers are comparable across bench configs. *)
+  let state, build_s =
+    Span.timed ~name:"bench.serve.build" (fun () ->
+        let sw = World.create ~c:serve_c ~seed () in
+        let ds23 = Measure.measure_all ~jobs sw in
+        let ds25 = Measure.measure_all ~epoch:World.May_2025 ~jobs sw in
+        let st =
+          Serve.State.make ~fingerprint:"bench-serve"
+            [ (World.May_2023, ds23); (World.May_2025, ds25) ]
+        in
+        Serve.State.warm st;
+        st)
+  in
+  let path = Filename.temp_file "webdep_bench_serve" ".sock" in
+  Sys.remove path;
+  let ready = Atomic.make false in
+  let server =
+    Domain.spawn (fun () ->
+        Serve.Server.run
+          ~on_ready:(fun () -> Atomic.set ready true)
+          (Serve.Server.config path)
+          state)
+  in
+  while not (Atomic.get ready) do
+    ignore (Unix.select [] [] [] 0.005)
+  done;
+  let countries = Serve.State.countries state in
+  (* Byte-identity across the wire: the daemon's encoded reply must equal
+     the local [State.answer] encoding for every query kind. *)
+  let identical =
+    let cl = Serve.Client.connect path in
+    let ok =
+      List.for_all
+        (fun req ->
+          Serve.Protocol.encode_response (Serve.Client.request cl req)
+          = Serve.Protocol.encode_response (Serve.State.answer state req))
+        (serve_mix countries 10 0)
+    in
+    Serve.Client.close cl;
+    ok
+  in
+  (* Closed-loop load: each client domain holds one connection and keeps
+     exactly one request in flight, so qps is throughput under strict
+     request-reply pacing (no open-loop pile-up). *)
+  let n_per = serve_n / serve_clients in
+  let (), load_s =
+    Span.timed ~name:"bench.serve.load" (fun () ->
+        let clients =
+          List.init serve_clients (fun i ->
+              Domain.spawn (fun () ->
+                  let reqs = serve_mix countries n_per (i * n_per) in
+                  let cl = Serve.Client.connect path in
+                  List.iter (fun r -> ignore (Serve.Client.request cl r)) reqs;
+                  Serve.Client.close cl))
+        in
+        List.iter Domain.join clients)
+  in
+  let n_sent = n_per * serve_clients in
+  let qps = float_of_int n_sent /. load_s in
+  (* Registry reads before the between-phase reset; the server-side
+     latency histogram covers arrival -> reply-queued per request. *)
+  let q h p =
+    match Obs_metrics.quantile h p with Some v -> v | None -> 0.0
+  in
+  let lat = Serve.Server.h_latency in
+  let cache_hits = Obs_metrics.value Serve.Server.m_cache_hits in
+  let cache_misses = Obs_metrics.value Serve.Server.m_cache_misses in
+  let shed = Obs_metrics.value Serve.Server.m_shed in
+  serve_json :=
+    [
+      ("c", Json.Int serve_c);
+      ("clients", Json.Int serve_clients);
+      ("requests", Json.Int n_sent);
+      ("build_s", Json.Float build_s);
+      ("load_s", Json.Float load_s);
+      ("qps", Json.Float qps);
+      ("latency_p50_us", Json.Float (1e6 *. q lat 0.50));
+      ("latency_p99_us", Json.Float (1e6 *. q lat 0.99));
+      ("latency_p999_us", Json.Float (1e6 *. q lat 0.999));
+      ("latency_mean_us", Json.Float (1e6 *. Obs_metrics.mean lat));
+      ("queue_depth_mean", Json.Float (Obs_metrics.mean Serve.Server.h_queue));
+      ( "queue_depth_max",
+        Json.Float
+          (match Obs_metrics.max_value Serve.Server.h_queue with
+          | Some v -> v
+          | None -> 0.0) );
+      ("batch_size_mean", Json.Float (Obs_metrics.mean Serve.Server.h_batch));
+      ("cache_hits", Json.Int cache_hits);
+      ("cache_misses", Json.Int cache_misses);
+      ("shed", Json.Int shed);
+      ("identical", Json.Bool identical);
+    ];
+  Printf.printf
+    "c=%d build %.2fs | %d clients x %d reqs in %.3fs = %8.0f qps\n\
+     latency us: p50 %.1f  p99 %.1f  p999 %.1f  mean %.1f\n\
+     queue depth: mean %.2f max %.0f | batch mean %.2f | cache %d hit / %d \
+     miss | shed %d | byte-identical: %s\n%!"
+    serve_c build_s serve_clients n_per load_s qps
+    (1e6 *. q lat 0.50) (1e6 *. q lat 0.99) (1e6 *. q lat 0.999)
+    (1e6 *. Obs_metrics.mean lat)
+    (Obs_metrics.mean Serve.Server.h_queue)
+    (match Obs_metrics.max_value Serve.Server.h_queue with
+    | Some v -> v
+    | None -> 0.0)
+    (Obs_metrics.mean Serve.Server.h_batch)
+    cache_hits cache_misses shed
+    (if identical then "yes" else "NO");
+  (* Clean shutdown: Shutdown -> Bye, server drains and unlinks socket. *)
+  let cl = Serve.Client.connect path in
+  (match Serve.Client.request cl Serve.Protocol.Shutdown with
+  | Serve.Protocol.Bye -> ()
+  | _ -> prerr_endline "webdep bench: serve shutdown did not answer Bye");
+  Serve.Client.close cl;
+  Domain.join server
+
+(* ========================================================================
    main
    ======================================================================== *)
 
@@ -1794,9 +1948,9 @@ let scale_phase () =
    what each table/figure consumed from the pipeline and simulators. *)
 let phase_counters : (string * (string * int) list) list ref = ref []
 
-(* BENCH_obs.json, schema webdep-bench/7 (upgrades /6: the new "scale"
-   object and the scale_c<N> entries in phases_s / phases_minor_words —
-   paper-scale sweep telemetry gated by --compare like any phase):
+(* BENCH_obs.json, schema webdep-bench/8 (upgrades /7: the new "serve"
+   object and the "serve" entry in phases_s / phases_minor_words —
+   query-daemon throughput/latency gated by --compare like any phase):
    - phases_s:        bench-locally recorded per-phase wall seconds
                       (includes world_create / measure_all / the 2025
                       measurement inside "longitudinal")
@@ -1825,7 +1979,13 @@ let phase_counters : (string * (string * int) list) list ref = ref []
                       totals
    - scale:           per-toplist-size sweep telemetry (fresh world per
                       size): countries, sites, seconds, minor words,
-                      top_heap_words, mean hosting S *)
+                      top_heap_words, mean hosting S
+   - serve:           batched query-daemon load test on a warmed
+                      c=WEBDEP_BENCH_SERVE_C store — closed-loop qps,
+                      server-side latency p50/p99/p999 (interpolated
+                      histogram quantiles), queue-depth / batch-size
+                      stats, cache hit/miss and shed totals, and the
+                      wire-vs-local byte-identity verdict *)
 let write_bench_json path =
   let phases =
     List.rev_map (fun (name, s) -> (name, Json.Float s)) !recorded_phases
@@ -1861,7 +2021,7 @@ let write_bench_json path =
   let doc =
     Json.Obj
       ([
-         ("schema", Json.String "webdep-bench/7");
+         ("schema", Json.String "webdep-bench/8");
          ("c", Json.Int c);
          ("seed", Json.Int seed);
          ("jobs", Json.Int jobs);
@@ -1876,6 +2036,7 @@ let write_bench_json path =
           ("store", Json.Obj !store_json);
           ("faults", Json.Obj !faults_json);
           ("scale", Json.Obj !scale_json);
+          ("serve", Json.Obj !serve_json);
           ("metrics", measure_metrics);
         ])
   in
@@ -1934,12 +2095,13 @@ let () =
       ("ablation_c_sensitivity", ablation_c_sensitivity);
     ];
   if Sys.getenv_opt "WEBDEP_BENCH_SKIP_TIMINGS" = None then phase "timings" timings;
-  (* The kernels, store, faults and scale phases always run — CI's
-     BENCH diff asserts on them. *)
+  (* The kernels, store, faults, scale and serve phases always run —
+     CI's BENCH diff asserts on them. *)
   phase "kernels" kernels;
   phase "store" store_phase;
   phase "faults" faults;
   phase "scale" scale_phase;
+  phase "serve" serve_phase;
   let out =
     match Sys.getenv_opt "WEBDEP_BENCH_OUT" with
     | Some p when p <> "" -> p

@@ -9,7 +9,9 @@
      longitudinal 2023 vs 2025 comparison
      validate     vantage-point validation sweep
      paper        print the embedded Appendix-F reference table
-     countries    list the 150 dataset countries *)
+     countries    list the 150 dataset countries
+     serve        long-running batched dependence-query daemon
+     query        one dependence query, locally or against a daemon *)
 
 open Cmdliner
 
@@ -623,8 +625,157 @@ let scale_cmd =
                  $(docv) words.  Meaningful because this subcommand runs \
                  nothing but the sweep.")
   in
-  Cmd.v (Cmd.info "scale" ~doc)
+  let exits =
+    Cmd.Exit.info 4
+      ~doc:"the process peak heap exceeded $(b,--budget-words) (the bench's \
+            $(b,--compare) gate uses exit 3 for a timing/alloc regression and \
+            125 for a missing or unreadable baseline)."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v (Cmd.info "scale" ~doc ~exits)
     Term.(const run_scale $ obs_term $ seed_arg $ c_arg $ countries_arg $ budget)
+
+(* --- serve / query ---------------------------------------------------------------------- *)
+
+(* The long-running dependence-query daemon and its one-shot twin.  Both
+   build the same warm state (both epochs measured, optionally through
+   --store, every per-country tally pre-materialized) and answer through
+   [Webdep_serve.State.answer], so a daemon answer is byte-identical to
+   the one-shot output for every query kind at any --jobs. *)
+
+module Serve = Webdep_serve
+
+let epoch_conv =
+  let parse s =
+    match Serve.Protocol.epoch_of_name s with
+    | Some e -> Ok e
+    | None -> Error (`Msg (Printf.sprintf "unknown epoch %S (2023|2025)" s))
+  in
+  Arg.conv (parse, fun fmt e -> Format.pp_print_string fmt (World.epoch_name e))
+
+let epoch_arg =
+  Arg.(value & opt epoch_conv World.May_2023 & info [ "epoch" ] ~docv:"EPOCH"
+         ~doc:"Epoch a score/topk/ranking query refers to: 2023 or 2025 \
+               (delta always compares both).")
+
+let serve_state ~seed ~c ?countries ?store () =
+  let world = World.create ~c ~seed () in
+  let fingerprint =
+    Webdep_json.to_string
+      (Webdep_json.Obj
+         (Webdep_store.Fingerprint.to_meta (Measure.store_fingerprint world)))
+  in
+  let ds23, ds25 =
+    with_store world store @@ fun store ->
+    ( Measure.measure_all ?countries ?store world,
+      Measure.measure_all ~epoch:World.May_2025 ?countries ?store world )
+  in
+  let st =
+    Serve.State.make ~fingerprint
+      [ (World.May_2023, ds23); (World.May_2025, ds25) ]
+  in
+  Serve.State.warm st;
+  st
+
+let query_pos =
+  Arg.(value & pos_all string [] & info [] ~docv:"QUERY"
+         ~doc:"Query words: $(b,ping), $(b,score LAYER CC), \
+               $(b,topk LAYER CC K), $(b,ranking LAYER K), \
+               $(b,delta LAYER CC) or $(b,shutdown).")
+
+let run_query () epoch connect seed c countries store words =
+  match Serve.Protocol.parse_query ~epoch words with
+  | Error msg ->
+      Printf.eprintf "webdep query: %s\n" msg;
+      exit 1
+  | Ok req -> (
+      match connect with
+      | Some spec -> (
+          try
+            let cl = Serve.Client.connect spec in
+            let resp = Serve.Client.request cl req in
+            Serve.Client.close cl;
+            print_string (Serve.Protocol.render resp)
+          with
+          | Unix.Unix_error (e, _, _) ->
+              Printf.eprintf "webdep query: cannot reach daemon at %s: %s\n"
+                spec (Unix.error_message e);
+              exit 1
+          | Serve.Protocol.Protocol_error msg ->
+              Printf.eprintf "webdep query: protocol error from %s: %s\n" spec msg;
+              exit 1)
+      | None ->
+          let st =
+            serve_state ~seed ~c ?countries:(normalize_countries countries) ?store ()
+          in
+          print_string (Serve.Protocol.render (Serve.State.answer st req)))
+
+let connect_arg =
+  Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"ADDR"
+         ~doc:"Send the query to a running $(b,webdep serve) daemon at \
+               $(docv) (Unix-socket path or $(b,tcp:PORT)) instead of \
+               measuring locally.  Answers are byte-identical either way.")
+
+let query_cmd =
+  let doc = "Answer one dependence query, locally or against a daemon." in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const run_query $ obs_term $ epoch_arg $ connect_arg $ seed_arg $ c_arg
+          $ countries_arg $ store_term $ query_pos)
+
+let run_serve () listen seed c countries store max_queue batch_max par_threshold =
+  if max_queue < 1 || batch_max < 1 then begin
+    Printf.eprintf "webdep serve: --max-queue and --batch-max must be >= 1\n";
+    exit 124
+  end;
+  let st = serve_state ~seed ~c ?countries:(normalize_countries countries) ?store () in
+  let cfg = Serve.Server.config ~max_queue ~batch_max ~par_threshold listen in
+  Serve.Server.run
+    ~on_ready:(fun () ->
+      Printf.printf "webdep serve: listening on %s (seed %d, c %d, epochs 2023-05 2025-05)\n"
+        listen seed c;
+      flush stdout)
+    cfg st
+
+let serve_cmd =
+  let doc =
+    "Long-running dependence-query daemon: batched answers over a \
+     length-prefixed binary protocol with response caching and load shedding."
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Loads the measurement store (or measures from scratch), \
+          pre-materializes per-country tallies for both epochs, then \
+          answers queries on a Unix or loopback-TCP socket.  Requests \
+          are drained and answered in batches; past $(b,--max-queue) \
+          pending requests the daemon replies $(i,overloaded) \
+          immediately instead of queueing without bound.  Connections \
+          whose first byte is '{' speak newline-delimited JSON (debug \
+          mode) instead of binary frames.";
+      `P "Send the $(b,shutdown) query (e.g. $(b,webdep query --connect \
+          ADDR shutdown)) for a clean shutdown." ]
+  in
+  let listen =
+    Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"ADDR"
+           ~doc:"Listen address: a Unix-socket path or $(b,tcp:PORT) \
+                 (loopback only).")
+  in
+  let max_queue =
+    Arg.(value & opt int 1024 & info [ "max-queue" ] ~docv:"N"
+           ~doc:"Admission-queue depth; further requests get an immediate \
+                 $(i,overloaded) reply (load shedding).")
+  in
+  let batch_max =
+    Arg.(value & opt int 256 & info [ "batch-max" ] ~docv:"N"
+           ~doc:"Requests answered per batch.")
+  in
+  let par_threshold =
+    Arg.(value & opt int 64 & info [ "par-threshold" ] ~docv:"N"
+           ~doc:"Cache misses in a batch before answering fans out over \
+                 the --jobs worker pool.")
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(const run_serve $ obs_term $ listen $ seed_arg $ c_arg $ countries_arg
+          $ store_term $ max_queue $ batch_max $ par_threshold)
 
 (* --- countries ------------------------------------------------------------------------ *)
 
@@ -649,4 +800,4 @@ let () =
           [ scores_cmd; report_cmd; insularity_cmd; classify_cmd; usage_cmd;
             longitudinal_cmd; validate_cmd; paper_cmd; countries_cmd; export_cmd;
             language_cmd; redundancy_cmd; tld_cmd; report_md_cmd; profile_cmd;
-            scale_cmd ]))
+            scale_cmd; serve_cmd; query_cmd ]))

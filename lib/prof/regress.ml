@@ -19,7 +19,7 @@
    deleted benchmark should be a deliberate baseline update, not a
    silent pass. *)
 
-module Json = Webdep_obs.Json
+module Json = Webdep_json
 
 type phase = { name : string; secs : float; minor_words : float }
 

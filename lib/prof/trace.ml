@@ -17,7 +17,7 @@
    is enough for [load] to reconstruct the original events and feed them
    back through the profiler. *)
 
-module Json = Webdep_obs.Json
+module Json = Webdep_json
 module Sink = Webdep_obs.Sink
 
 let us t = t *. 1e6

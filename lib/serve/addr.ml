@@ -1,0 +1,22 @@
+(* Listen / connect address specs shared by the daemon and its clients:
+   "tcp:PORT" is loopback TCP, anything else is a Unix-domain socket
+   path. *)
+
+type t = Unix_path of string | Tcp of int
+
+let of_spec spec =
+  if String.length spec > 4 && String.equal (String.sub spec 0 4) "tcp:" then
+    match int_of_string_opt (String.sub spec 4 (String.length spec - 4)) with
+    | Some port when port > 0 && port < 65536 -> Tcp port
+    | _ -> invalid_arg (Printf.sprintf "bad tcp address spec %S" spec)
+  else Unix_path spec
+
+let domain = function Unix_path _ -> Unix.PF_UNIX | Tcp _ -> Unix.PF_INET
+
+let sockaddr = function
+  | Unix_path p -> Unix.ADDR_UNIX p
+  | Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+let unlink_if_unix = function
+  | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ | Sys_error _ -> ())
+  | Tcp _ -> ()

@@ -1,0 +1,83 @@
+(* Blocking client for the dependence-query daemon: framed requests over
+   a Unix or loopback-TCP socket, with pipelining for load generation. *)
+
+module P = Protocol
+
+type t = { fd : Unix.file_descr; mutable rbuf : Bytes.t; mutable rlen : int }
+
+let connect ?(attempts = 40) spec =
+  let addr = Addr.of_spec spec in
+  let rec go n =
+    let fd = Unix.socket (Addr.domain addr) Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Addr.sockaddr addr) with
+    | () -> { fd; rbuf = Bytes.create 65536; rlen = 0 }
+    | exception
+        Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT | Unix.ECONNRESET), _, _)
+      when n > 1 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        ignore (Unix.select [] [] [] 0.05);
+        go (n - 1)
+  in
+  go attempts
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      let w = Unix.write fd b off (len - off) in
+      go (off + w)
+  in
+  go 0
+
+let send t req = write_all t.fd (P.frame (P.encode_request req))
+
+(* One complete frame from the front of the buffer, if present. *)
+let take_frame t =
+  if t.rlen < 4 then None
+  else begin
+    let n = Int32.to_int (Bytes.get_int32_be t.rbuf 0) in
+    if n <= 0 || n > P.max_payload then
+      raise (P.Protocol_error (Printf.sprintf "bad frame length %d" n));
+    if t.rlen < 4 + n then None
+    else begin
+      let payload = Bytes.sub_string t.rbuf 4 n in
+      Bytes.blit t.rbuf (4 + n) t.rbuf 0 (t.rlen - 4 - n);
+      t.rlen <- t.rlen - 4 - n;
+      Some payload
+    end
+  end
+
+let recv t =
+  let rec go () =
+    match take_frame t with
+    | Some payload -> (
+        match P.decode_response payload with
+        | Ok resp -> resp
+        | Error msg -> raise (P.Protocol_error msg))
+    | None ->
+        if t.rlen + 65536 > Bytes.length t.rbuf then begin
+          let nb = Bytes.create (2 * (t.rlen + 65536)) in
+          Bytes.blit t.rbuf 0 nb 0 t.rlen;
+          t.rbuf <- nb
+        end;
+        let n = Unix.read t.fd t.rbuf t.rlen (Bytes.length t.rbuf - t.rlen) in
+        if n = 0 then raise (P.Protocol_error "connection closed by server");
+        t.rlen <- t.rlen + n;
+        go ()
+  in
+  go ()
+
+let request t req =
+  send t req;
+  recv t
+
+(* Send every request in one write, then collect the replies in order —
+   the server answers strictly in arrival order per connection. *)
+let pipeline t reqs =
+  let b = Buffer.create 1024 in
+  List.iter (fun r -> Buffer.add_string b (P.frame (P.encode_request r))) reqs;
+  write_all t.fd (Buffer.contents b);
+  List.map (fun _ -> recv t) reqs
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

@@ -1,0 +1,397 @@
+(* Batched dependence-query daemon.
+
+   One select loop owns every connection: each iteration drains all the
+   complete frames that arrived since the last one into an admission
+   queue, answers up to [batch_max] of them as a single batch (one
+   engine dispatch, one outbound write per connection — the Arakoon
+   batched-store shape), and sheds the rest of the intake with an
+   immediate [Overloaded] reply once the queue is past [max_queue], so
+   tail latency stays bounded instead of queueing without limit.
+
+   Batches go through a response cache keyed by the raw request payload
+   under the state's world fingerprint (a state swap with a different
+   fingerprint clears it); cache misses fan out over the shared
+   [Webdep_par] pool when the batch is large enough to amortize the
+   dispatch.  Per-request latency is observed through the
+   [Metrics.Local] fast path and flushed once per batch, so the
+   instrumentation cost per request is a few plain stores, not the
+   shared histogram's atomic read-modify-writes. *)
+
+module P = Protocol
+module M = Webdep_obs.Metrics
+
+let m_requests = M.counter "serve.requests"
+let m_shed = M.counter "serve.shed"
+let m_batches = M.counter "serve.batches"
+let m_cache_hits = M.counter "serve.cache.hits"
+let m_cache_misses = M.counter "serve.cache.misses"
+let m_proto_errors = M.counter "serve.protocol_errors"
+let m_conns = M.counter "serve.connections"
+
+let latency_bounds =
+  [| 1e-6; 2e-6; 5e-6; 1e-5; 2e-5; 5e-5; 1e-4; 2e-4; 5e-4; 1e-3; 2e-3; 5e-3;
+     1e-2; 2e-2; 5e-2; 0.1; 0.25; 0.5; 1.0 |]
+
+let size_bounds =
+  [| 1.0; 2.0; 4.0; 8.0; 16.0; 32.0; 64.0; 128.0; 256.0; 512.0; 1024.0; 4096.0 |]
+
+let h_latency = M.histogram ~bounds:latency_bounds "serve.latency_s"
+let h_batch = M.histogram ~bounds:size_bounds "serve.batch_size"
+let h_queue = M.histogram ~bounds:size_bounds "serve.queue_depth"
+
+(* --- engine: cache + batched answers ------------------------------------ *)
+
+type engine = {
+  mutable state : State.t;
+  cache : (string, string) Hashtbl.t;  (* request payload -> response payload *)
+  par_threshold : int;
+}
+
+let engine ?(par_threshold = 64) state =
+  { state; cache = Hashtbl.create 4096; par_threshold }
+
+let invalidate e = Hashtbl.reset e.cache
+
+(* Swap in a new state; the cache only survives when the new state's
+   fingerprint matches the one its entries were computed under. *)
+let set_state e state =
+  if not (String.equal (State.fingerprint state) (State.fingerprint e.state)) then
+    invalidate e;
+  e.state <- state
+
+let cache_size e = Hashtbl.length e.cache
+let cacheable = function P.Shutdown -> false | _ -> true
+
+let compute e payload =
+  match P.decode_request payload with
+  | Error msg ->
+      M.incr m_proto_errors;
+      (P.encode_response (P.Error msg), false)
+  | Ok req ->
+      let resp =
+        try State.answer e.state req
+        with exn -> P.Error (Printexc.to_string exn)
+      in
+      (P.encode_response resp, cacheable req)
+
+(* Answer a batch of encoded requests, preserving order.  Cache hits are
+   table lookups; misses are computed on the [Webdep_par] pool when
+   numerous enough, which keeps answers byte-identical at any --jobs
+   because [State.answer] is pure and [Webdep_par.map] preserves
+   order. *)
+let answer_batch e payloads =
+  let arr = Array.of_list payloads in
+  let n = Array.length arr in
+  let out = Array.make n "" in
+  let misses = ref [] in
+  for i = n - 1 downto 0 do
+    match Hashtbl.find_opt e.cache arr.(i) with
+    | Some r ->
+        M.incr m_cache_hits;
+        out.(i) <- r
+    | None -> misses := i :: !misses
+  done;
+  (match !misses with
+  | [] -> ()
+  | misses ->
+      M.incr ~by:(List.length misses) m_cache_misses;
+      let results =
+        if List.length misses >= e.par_threshold && Webdep_par.jobs () > 1 then
+          Webdep_par.map (fun i -> compute e arr.(i)) misses
+        else List.map (fun i -> compute e arr.(i)) misses
+      in
+      List.iter2
+        (fun i (r, cache_it) ->
+          out.(i) <- r;
+          if cache_it then Hashtbl.replace e.cache arr.(i) r)
+        misses results);
+  Array.to_list out
+
+let answer_payload e payload = List.hd (answer_batch e [ payload ])
+
+(* --- server configuration ----------------------------------------------- *)
+
+type config = {
+  listen : string;  (* Unix-socket path, or "tcp:PORT" for loopback TCP *)
+  max_queue : int;  (* admission-queue depth; past it requests are shed *)
+  batch_max : int;  (* requests answered per batch *)
+  par_threshold : int;  (* cache misses per batch before pool fan-out *)
+  drain_delay_s : float;  (* artificial per-batch delay (tests only) *)
+}
+
+let config ?(max_queue = 1024) ?(batch_max = 256) ?(par_threshold = 64)
+    ?(drain_delay_s = 0.0) listen =
+  if max_queue < 1 then invalid_arg "Server.config: max_queue must be >= 1";
+  if batch_max < 1 then invalid_arg "Server.config: batch_max must be >= 1";
+  { listen; max_queue; batch_max; par_threshold; drain_delay_s }
+
+(* --- connections --------------------------------------------------------- *)
+
+(* Growable write buffer: [buf.[off..len)] is pending output. *)
+type gbuf = { mutable buf : Bytes.t; mutable off : int; mutable len : int }
+
+let gbuf_make n = { buf = Bytes.create n; off = 0; len = 0 }
+let gbuf_avail g = g.len - g.off
+
+let gbuf_reserve g n =
+  if g.len + n > Bytes.length g.buf then begin
+    if g.off > 0 then begin
+      Bytes.blit g.buf g.off g.buf 0 (g.len - g.off);
+      g.len <- g.len - g.off;
+      g.off <- 0
+    end;
+    if g.len + n > Bytes.length g.buf then begin
+      let cap = ref (max 4096 (Bytes.length g.buf)) in
+      while g.len + n > !cap do
+        cap := !cap * 2
+      done;
+      let nb = Bytes.create !cap in
+      Bytes.blit g.buf 0 nb 0 g.len;
+      g.buf <- nb
+    end
+  end
+
+let gbuf_add g s =
+  let n = String.length s in
+  gbuf_reserve g n;
+  Bytes.blit_string s 0 g.buf g.len n;
+  g.len <- g.len + n
+
+type conn = {
+  fd : Unix.file_descr;
+  mutable rbuf : Bytes.t;  (* incoming partial frames, data always at 0 *)
+  mutable rlen : int;
+  out : gbuf;
+  mutable json : bool;  (* JSON-lines debug mode (first byte was '{') *)
+  mutable mode_known : bool;
+  mutable alive : bool;  (* false: read side done, flush and close *)
+}
+
+type item = { c : conn; payload : string; arrival : float }
+
+let read_chunk = 65536
+
+let ensure_rbuf c n =
+  if c.rlen + n > Bytes.length c.rbuf then begin
+    let cap = ref (max read_chunk (Bytes.length c.rbuf)) in
+    while c.rlen + n > !cap do
+      cap := !cap * 2
+    done;
+    let nb = Bytes.create !cap in
+    Bytes.blit c.rbuf 0 nb 0 c.rlen;
+    c.rbuf <- nb
+  end
+
+let read_into c =
+  let rec go () =
+    ensure_rbuf c read_chunk;
+    match Unix.read c.fd c.rbuf c.rlen read_chunk with
+    | 0 -> c.alive <- false
+    | n ->
+        c.rlen <- c.rlen + n;
+        if n = read_chunk then go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (_, _, _) -> c.alive <- false
+  in
+  go ()
+
+let write_pending c =
+  let g = c.out in
+  let rec go () =
+    let n = gbuf_avail g in
+    if n > 0 then
+      match Unix.write c.fd g.buf g.off n with
+      | w ->
+          g.off <- g.off + w;
+          if gbuf_avail g = 0 then begin
+            g.off <- 0;
+            g.len <- 0
+          end
+          else if w > 0 then go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (_, _, _) ->
+          c.alive <- false;
+          g.off <- 0;
+          g.len <- 0
+  in
+  go ()
+
+(* --- the select loop ----------------------------------------------------- *)
+
+let run ?on_ready cfg state =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let eng = engine ~par_threshold:cfg.par_threshold state in
+  let addr = Addr.of_spec cfg.listen in
+  let lfd = Unix.socket (Addr.domain addr) Unix.SOCK_STREAM 0 in
+  Unix.set_nonblock lfd;
+  (match addr with
+  | Addr.Tcp _ -> Unix.setsockopt lfd Unix.SO_REUSEADDR true
+  | Addr.Unix_path _ -> Addr.unlink_if_unix addr);
+  Unix.bind lfd (Addr.sockaddr addr);
+  Unix.listen lfd 128;
+  (match on_ready with Some f -> f () | None -> ());
+  let conns = ref [] in
+  let q : item Queue.t = Queue.create () in
+  let stop = ref false in
+  let stop_deadline = ref infinity in
+  let lat = M.Local.create h_latency in
+  let shutdown_payload = P.encode_request P.Shutdown in
+  let respond c payload =
+    if c.json then begin
+      let j =
+        match P.decode_response payload with
+        | Ok resp -> P.response_to_json resp
+        | Error msg -> P.response_to_json (P.Error msg)
+      in
+      gbuf_add c.out (Webdep_json.to_string j);
+      gbuf_add c.out "\n"
+    end
+    else gbuf_add c.out (P.frame payload)
+  in
+  let enqueue c payload =
+    if not !stop then begin
+      if Queue.length q >= cfg.max_queue then begin
+        M.incr m_shed;
+        respond c (P.encode_response P.Overloaded)
+      end
+      else Queue.add { c; payload; arrival = Unix.gettimeofday () } q
+    end
+  in
+  let extract_binary c =
+    match P.parse_frames c.rbuf c.rlen with
+    | payloads, consumed ->
+        if consumed > 0 then begin
+          Bytes.blit c.rbuf consumed c.rbuf 0 (c.rlen - consumed);
+          c.rlen <- c.rlen - consumed
+        end;
+        List.iter (fun payload -> enqueue c payload) payloads
+    | exception P.Protocol_error msg ->
+        (* A corrupt length prefix cannot be resynchronized: answer once
+           and drop the connection after the flush. *)
+        M.incr m_proto_errors;
+        respond c (P.encode_response (P.Error msg));
+        c.rlen <- 0;
+        c.alive <- false
+  in
+  let extract_json c =
+    let pos = ref 0 and consumed = ref 0 in
+    while !pos < c.rlen do
+      if Bytes.get c.rbuf !pos = '\n' then begin
+        let line = Bytes.sub_string c.rbuf !consumed (!pos - !consumed) in
+        let line = String.trim line in
+        (if String.length line > 0 then
+           match P.request_of_json_string line with
+           | Ok req -> enqueue c (P.encode_request req)
+           | Error msg ->
+               M.incr m_proto_errors;
+               respond c (P.encode_response (P.Error msg)));
+        consumed := !pos + 1
+      end;
+      incr pos
+    done;
+    if !consumed > 0 then begin
+      Bytes.blit c.rbuf !consumed c.rbuf 0 (c.rlen - !consumed);
+      c.rlen <- c.rlen - !consumed
+    end
+  in
+  let extract c =
+    if c.rlen > 0 then begin
+      if not c.mode_known then begin
+        c.json <- Bytes.get c.rbuf 0 = '{';
+        c.mode_known <- true
+      end;
+      if c.json then extract_json c else extract_binary c
+    end
+  in
+  let accept_loop () =
+    let continue = ref true in
+    while !continue do
+      match Unix.accept lfd with
+      | fd, _ ->
+          Unix.set_nonblock fd;
+          M.incr m_conns;
+          conns :=
+            { fd;
+              rbuf = Bytes.create read_chunk;
+              rlen = 0;
+              out = gbuf_make 4096;
+              json = false;
+              mode_known = false;
+              alive = true }
+            :: !conns
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+          continue := false
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    done
+  in
+  let process_batch () =
+    if not (Queue.is_empty q) then begin
+      M.observe h_queue (float_of_int (Queue.length q));
+      if cfg.drain_delay_s > 0.0 then ignore (Unix.select [] [] [] cfg.drain_delay_s);
+      let items = ref [] in
+      let k = ref 0 in
+      while !k < cfg.batch_max && not (Queue.is_empty q) do
+        items := Queue.pop q :: !items;
+        incr k
+      done;
+      let items = List.rev !items in
+      M.incr m_batches;
+      M.observe h_batch (float_of_int (List.length items));
+      let replies = answer_batch eng (List.map (fun it -> it.payload) items) in
+      let now = Unix.gettimeofday () in
+      List.iter2
+        (fun it reply ->
+          respond it.c reply;
+          M.Local.observe lat (now -. it.arrival);
+          if String.equal it.payload shutdown_payload then begin
+            stop := true;
+            stop_deadline := now +. 1.0
+          end)
+        items replies;
+      M.incr ~by:(List.length items) m_requests;
+      M.Local.flush lat
+    end
+  in
+  let finished () =
+    !stop && Queue.is_empty q
+    && List.for_all (fun c -> gbuf_avail c.out = 0) !conns
+  in
+  while (not (finished ())) && Unix.gettimeofday () < !stop_deadline do
+    let rds =
+      if !stop then []
+      else lfd :: List.filter_map (fun c -> if c.alive then Some c.fd else None) !conns
+    in
+    let wrs = List.filter_map (fun c -> if gbuf_avail c.out > 0 then Some c.fd else None) !conns in
+    let timeout = if Queue.is_empty q then 0.1 else 0.0 in
+    let readable, _, _ =
+      if rds = [] && wrs = [] && not (finished ()) then begin
+        if timeout > 0.0 then ignore (Unix.select [] [] [] timeout);
+        ([], [], [])
+      end
+      else
+        try Unix.select rds wrs [] timeout
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+    in
+    if (not !stop) && List.memq lfd readable then accept_loop ();
+    List.iter
+      (fun c ->
+        if c.alive && List.memq c.fd readable then begin
+          read_into c;
+          extract c
+        end)
+      !conns;
+    process_batch ();
+    List.iter (fun c -> if gbuf_avail c.out > 0 then write_pending c) !conns;
+    conns :=
+      List.filter
+        (fun c ->
+          if (not c.alive) && gbuf_avail c.out = 0 then begin
+            (try Unix.close c.fd with Unix.Unix_error _ -> ());
+            false
+          end
+          else true)
+        !conns
+  done;
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
+  (try Unix.close lfd with Unix.Unix_error _ -> ());
+  Addr.unlink_if_unix addr

@@ -1,0 +1,121 @@
+(* Warm daemon state: one [Webdep_store.Incremental] per (epoch, layer),
+   pre-materialized from measured datasets so every query is a tally /
+   cached-score lookup instead of a sweep.  [answer] is a pure function
+   of the state and the request — the daemon, the bench load generator
+   and the one-shot [webdep query] subcommand all go through it, which
+   is what makes daemon answers byte-identical to local ones. *)
+
+module D = Webdep.Dataset
+module World = Webdep_worldgen.World
+module Inc = Webdep_store.Incremental
+module P = Protocol
+
+let layers = [ D.Hosting; D.Dns; D.Ca; D.Tld ]
+
+type epoch_state = { inc_by_layer : (D.layer * Inc.t) list }
+
+type t = {
+  fingerprint : string;  (* world/store fingerprint keying the response cache *)
+  countries : string list;  (* dataset order *)
+  epochs : (World.epoch * epoch_state) list;
+}
+
+let make ~fingerprint datasets =
+  let epochs =
+    List.map
+      (fun (epoch, ds) ->
+        (epoch, { inc_by_layer = List.map (fun l -> (l, Inc.create ds l)) layers }))
+      datasets
+  in
+  let countries =
+    match datasets with (_, ds) :: _ -> D.countries ds | [] -> []
+  in
+  { fingerprint; countries; epochs }
+
+let fingerprint t = t.fingerprint
+let countries t = t.countries
+let epochs t = List.map fst t.epochs
+
+let inc t epoch layer =
+  match List.assoc_opt epoch t.epochs with
+  | None -> None
+  | Some es -> List.assoc_opt layer es.inc_by_layer
+
+(* Force every cached score so the first real queries hit warm state. *)
+let warm t =
+  List.iter
+    (fun (_, es) ->
+      List.iter
+        (fun (_, inc) ->
+          List.iter
+            (fun cc -> match Inc.score inc cc with _ -> () | exception Not_found -> ())
+            (Inc.countries inc))
+        es.inc_by_layer)
+    t.epochs
+
+let rec take k = function
+  | [] -> []
+  | _ when k <= 0 -> []
+  | x :: rest -> x :: take (k - 1) rest
+
+let with_inc t epoch layer f =
+  match inc t epoch layer with
+  | None ->
+      P.Error (Printf.sprintf "epoch %s not loaded" (World.epoch_name epoch))
+  | Some inc -> f inc
+
+let score_response inc country =
+  match Inc.score inc country with
+  | s ->
+      P.Scores { s; hhi = Inc.hhi inc country; insularity = Inc.insularity inc country }
+  | exception Not_found ->
+      P.Error (Printf.sprintf "no data for country %s" country)
+
+let shares_response inc country k =
+  match Inc.counts inc country with
+  | counts ->
+      let total = float_of_int (Inc.total inc country) in
+      P.Shares
+        (take k counts
+        |> List.map (fun ((e : D.entity), n) ->
+               { P.provider = e.D.name;
+                 home = e.D.country;
+                 share = float_of_int n /. total }))
+  | exception Not_found -> P.Error (Printf.sprintf "no data for country %s" country)
+
+let ranking_response t inc k =
+  let scored =
+    List.filter_map
+      (fun cc ->
+        match Inc.score inc cc with
+        | s -> Some (cc, s)
+        | exception Not_found -> None)
+      t.countries
+  in
+  let sorted =
+    List.sort
+      (fun (cc1, s1) (cc2, s2) ->
+        match Float.compare s2 s1 with 0 -> String.compare cc1 cc2 | c -> c)
+      scored
+  in
+  P.Ranks (take k sorted)
+
+let delta_response t layer country =
+  match (inc t World.May_2023 layer, inc t World.May_2025 layer) with
+  | Some old_inc, Some new_inc -> (
+      match (Inc.score old_inc country, Inc.score new_inc country) with
+      | old_s, new_s -> P.Deltas { old_s; new_s; delta = new_s -. old_s }
+      | exception Not_found ->
+          P.Error (Printf.sprintf "no data for country %s" country))
+  | _ -> P.Error "delta needs both the 2023 and 2025 epochs loaded"
+
+let answer t = function
+  | P.Ping -> P.Pong
+  | P.Shutdown -> P.Bye
+  | P.Score { epoch; layer; country } ->
+      with_inc t epoch layer (fun inc -> score_response inc country)
+  | P.Top_shares { epoch; layer; country; k } ->
+      with_inc t epoch layer (fun inc -> shares_response inc country k)
+  | P.Ranking { epoch; layer; k } ->
+      with_inc t epoch layer (fun inc -> ranking_response t inc k)
+  | P.Delta { layer; country } -> delta_response t layer country

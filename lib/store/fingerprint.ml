@@ -1,4 +1,4 @@
-module Json = Webdep_obs.Json
+module Json = Webdep_json
 
 type t = {
   world_seed : int;

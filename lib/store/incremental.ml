@@ -105,6 +105,9 @@ let insularity t cc =
   else
     float_of_int (D.Tally.home_count cs.tally cc) /. float_of_int cs.total
 
+let counts t cc = D.Tally.counts (state t cc).tally
+let total t cc = (state t cc).total
+
 (* Replicates [Regionalization.usage_table] for one provider name: walk
    countries in dataset order, walk each canonical count list in order
    (later same-name entries overwrite the slot, as the table's

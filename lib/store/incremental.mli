@@ -46,6 +46,16 @@ val hhi : t -> string -> float
 val insularity : t -> string -> float
 (** Bit-identical to [Webdep.Regionalization.insularity]. *)
 
+val counts : t -> string -> (Webdep.Dataset.entity * int) list
+(** The country's canonical (entity, count) list — count-descending,
+    ties by name then country.  The top-k provider-share queries of
+    [webdep_serve] read it directly from the maintained tally.
+    @raise Not_found if the country is absent. *)
+
+val total : t -> string -> int
+(** All sites of the country, labelled or not (the share denominator).
+    @raise Not_found if the country is absent. *)
+
 val usage : t -> name:string -> Webdep.Regionalization.usage_stats
 (** Usage/endemicity stats of one provider, bit-identical to
     [Webdep.Regionalization.usage_curve] on the equivalent dataset.

@@ -1,4 +1,4 @@
-module Json = Webdep_obs.Json
+module Json = Webdep_json
 module D = Webdep.Dataset
 module Degrade = Webdep_faults.Degrade
 module Checkpoint = Webdep_faults.Checkpoint

@@ -47,6 +47,39 @@ let test_histogram_math () =
   let total = List.fold_left (fun acc (_, k) -> acc + k) 0 (Metrics.buckets h) in
   Alcotest.(check int) "buckets cover all observations" 4 total
 
+(* The observe-only fast path must be indistinguishable from direct
+   observation once flushed: same count, moments, extremes, buckets and
+   quantiles.  Before the flush the shared histogram sees nothing. *)
+let test_histogram_local_fast_path () =
+  let samples = [ 3e-6; 1.5e-4; 0.0021; 0.9; 0.0021; 7.0; 4e-5 ] in
+  let direct = Metrics.histogram "test.histo.local.direct" in
+  List.iter (Metrics.observe direct) samples;
+  let shared = Metrics.histogram "test.histo.local.shared" in
+  let local = Metrics.Local.create shared in
+  List.iter (Metrics.Local.observe local) samples;
+  Alcotest.(check int) "nothing shared before flush" 0 (Metrics.count shared);
+  Alcotest.(check int) "pending" (List.length samples) (Metrics.Local.pending local);
+  Metrics.Local.flush local;
+  Alcotest.(check int) "pending cleared" 0 (Metrics.Local.pending local);
+  Alcotest.(check int) "count" (Metrics.count direct) (Metrics.count shared);
+  Alcotest.(check (float 1e-12)) "sum" (Metrics.sum direct) (Metrics.sum shared);
+  Alcotest.(check (float 1e-12)) "stddev" (Metrics.stddev direct) (Metrics.stddev shared);
+  Alcotest.(check (option (float 1e-12))) "min" (Metrics.min_value direct)
+    (Metrics.min_value shared);
+  Alcotest.(check (option (float 1e-12))) "max" (Metrics.max_value direct)
+    (Metrics.max_value shared);
+  List.iter
+    (fun q ->
+      Alcotest.(check (option (float 1e-12)))
+        (Printf.sprintf "q%.3f" q)
+        (Metrics.quantile direct q) (Metrics.quantile shared q))
+    [ 0.5; 0.9; 0.99; 0.999 ];
+  Alcotest.(check int) "bucket shapes" (List.length (Metrics.buckets direct))
+    (List.length (Metrics.buckets shared));
+  (* A second flush with nothing pending is a no-op. *)
+  Metrics.Local.flush local;
+  Alcotest.(check int) "idempotent flush" (Metrics.count direct) (Metrics.count shared)
+
 let test_histogram_quantile () =
   let h = Metrics.histogram "test.histo.quantile" in
   for _ = 1 to 90 do Metrics.observe h 0.0005 done;
@@ -295,6 +328,7 @@ let () =
           Alcotest.test_case "counter math" `Quick test_counter_math;
           Alcotest.test_case "empty histogram" `Quick test_empty_histogram;
           Alcotest.test_case "histogram math" `Quick test_histogram_math;
+          Alcotest.test_case "local fast path" `Quick test_histogram_local_fast_path;
           Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
           Alcotest.test_case "single-valued quantile" `Quick
             test_histogram_quantile_single_value;

@@ -1,0 +1,426 @@
+(* Tests for webdep_serve: qcheck round-trips of the wire protocol
+   (encode ∘ decode = id, truncated frames rejected), the framing layer,
+   the JSON debug representation, the response cache and its
+   fingerprint invalidation, and socket-level integration — daemon
+   answers byte-identical to [State.answer] for every query kind, load
+   shedding past the admission queue, JSON-lines debug mode and clean
+   shutdown. *)
+
+module P = Webdep_serve.Protocol
+module State = Webdep_serve.State
+module Server = Webdep_serve.Server
+module Client = Webdep_serve.Client
+module World = Webdep_worldgen.World
+module Measure = Webdep_pipeline.Measure
+module D = Webdep.Dataset
+
+(* --- generators --------------------------------------------------------- *)
+
+let layer_gen = QCheck.Gen.oneofl [ D.Hosting; D.Dns; D.Ca; D.Tld ]
+let epoch_gen = QCheck.Gen.oneofl [ World.May_2023; World.May_2025 ]
+
+let cc_gen =
+  QCheck.Gen.(
+    oneof
+      [ oneofl [ "US"; "DE"; "JP"; "BR"; "IN"; "ZA" ];
+        map (String.make 2) (char_range 'A' 'Z');
+        small_string ~gen:printable ])
+
+let k_gen = QCheck.Gen.int_range 1 0xffff
+
+let request_gen =
+  QCheck.Gen.(
+    oneof
+      [ return P.Ping;
+        return P.Shutdown;
+        map3
+          (fun epoch layer country -> P.Score { epoch; layer; country })
+          epoch_gen layer_gen cc_gen;
+        (let* epoch = epoch_gen in
+         let* layer = layer_gen in
+         let* country = cc_gen in
+         let* k = k_gen in
+         return (P.Top_shares { epoch; layer; country; k }));
+        map3 (fun epoch layer k -> P.Ranking { epoch; layer; k }) epoch_gen layer_gen k_gen;
+        map2 (fun layer country -> P.Delta { layer; country }) layer_gen cc_gen ])
+
+let float_gen = QCheck.Gen.float
+
+let response_gen =
+  QCheck.Gen.(
+    oneof
+      [ return P.Pong;
+        return P.Overloaded;
+        return P.Bye;
+        map (fun msg -> P.Error msg) (small_string ~gen:printable);
+        map3 (fun s hhi insularity -> P.Scores { s; hhi; insularity }) float_gen float_gen
+          float_gen;
+        map
+          (fun items ->
+            P.Shares
+              (List.map (fun ((provider, home), share) -> { P.provider; home; share }) items))
+          (small_list (pair (pair (small_string ~gen:printable) cc_gen) float_gen));
+        map (fun items -> P.Ranks items) (small_list (pair cc_gen float_gen));
+        map3
+          (fun old_s new_s delta -> P.Deltas { old_s; new_s; delta })
+          float_gen float_gen float_gen ])
+
+let request_arb = QCheck.make ~print:(fun r -> Webdep_json.to_string (P.request_to_json r)) request_gen
+let response_arb = QCheck.make ~print:(fun r -> Webdep_json.to_string (P.response_to_json r)) response_gen
+
+(* NaN-tolerant structural equality: encoded floats round-trip
+   bit-exactly, but [=] on NaN is false. *)
+let float_eq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let response_eq a b =
+  match (a, b) with
+  | P.Scores a, P.Scores b ->
+      float_eq a.s b.s && float_eq a.hhi b.hhi && float_eq a.insularity b.insularity
+  | P.Shares a, P.Shares b ->
+      List.length a = List.length b
+      && List.for_all2
+           (fun (x : P.share) (y : P.share) ->
+             String.equal x.provider y.provider
+             && String.equal x.home y.home
+             && float_eq x.share y.share)
+           a b
+  | P.Ranks a, P.Ranks b ->
+      List.length a = List.length b
+      && List.for_all2
+           (fun (c1, s1) (c2, s2) -> String.equal c1 c2 && float_eq s1 s2)
+           a b
+  | P.Deltas a, P.Deltas b ->
+      float_eq a.old_s b.old_s && float_eq a.new_s b.new_s && float_eq a.delta b.delta
+  | a, b -> a = b
+
+(* --- protocol round-trips ----------------------------------------------- *)
+
+let qcheck_request_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"request encode/decode round-trip" request_arb
+    (fun req ->
+      match P.decode_request (P.encode_request req) with
+      | Ok req' -> req = req'
+      | Error _ -> false)
+
+let qcheck_response_roundtrip =
+  QCheck.Test.make ~count:500 ~name:"response encode/decode round-trip" response_arb
+    (fun resp ->
+      match P.decode_response (P.encode_response resp) with
+      | Ok resp' -> response_eq resp resp'
+      | Error _ -> false)
+
+let qcheck_truncated_rejected =
+  QCheck.Test.make ~count:200 ~name:"every strict payload prefix is rejected"
+    request_arb (fun req ->
+      let payload = P.encode_request req in
+      let ok = ref true in
+      for n = 0 to String.length payload - 1 do
+        match P.decode_request (String.sub payload 0 n) with
+        | Ok _ -> ok := false
+        | Error _ -> ()
+      done;
+      (* Trailing garbage is rejected too. *)
+      (match P.decode_request (payload ^ "\x00") with
+      | Ok _ -> ok := false
+      | Error _ -> ());
+      !ok)
+
+let qcheck_json_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"JSON debug representation round-trips"
+    request_arb (fun req ->
+      P.request_of_json (P.request_to_json req) = req)
+
+let qcheck_response_json_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"response JSON round-trips" response_arb
+    (fun resp ->
+      (* The JSON printer encodes non-finite floats as null, so restrict
+         to finite payloads (the daemon never emits non-finite ones). *)
+      let finite = function
+        | P.Scores { s; hhi; insularity } ->
+            List.for_all Float.is_finite [ s; hhi; insularity ]
+        | P.Shares l -> List.for_all (fun (x : P.share) -> Float.is_finite x.share) l
+        | P.Ranks l -> List.for_all (fun (_, s) -> Float.is_finite s) l
+        | P.Deltas { old_s; new_s; delta } ->
+            List.for_all Float.is_finite [ old_s; new_s; delta ]
+        | _ -> true
+      in
+      QCheck.assume (finite resp);
+      response_eq (P.response_of_json (P.response_to_json resp)) resp)
+
+let test_framing () =
+  let payloads = [ P.encode_request P.Ping; P.encode_request P.Shutdown; "xyz" ] in
+  let stream = String.concat "" (List.map P.frame payloads) in
+  let partial = String.sub stream 0 (String.length stream - 2) in
+  let buf = Bytes.of_string partial in
+  let got, consumed = P.parse_frames buf (Bytes.length buf) in
+  Alcotest.(check (list string)) "partial stream yields only complete frames"
+    [ List.nth payloads 0; List.nth payloads 1 ]
+    got;
+  Alcotest.(check bool) "consumed stops before the partial frame" true
+    (consumed = String.length stream - 4 - 3);
+  (* A corrupt length prefix is an error, not a silent desync. *)
+  let bad = Bytes.of_string "\xff\xff\xff\xff rest" in
+  Alcotest.check_raises "negative length rejected"
+    (P.Protocol_error "bad frame length -1") (fun () ->
+      ignore (P.parse_frames bad (Bytes.length bad)))
+
+let test_parse_query () =
+  let epoch = World.May_2023 in
+  (match P.parse_query ~epoch [ "score"; "hosting"; "us" ] with
+  | Ok (P.Score { country = "US"; layer = D.Hosting; _ }) -> ()
+  | _ -> Alcotest.fail "score query");
+  (match P.parse_query ~epoch [ "topk"; "dns"; "de"; "7" ] with
+  | Ok (P.Top_shares { k = 7; layer = D.Dns; country = "DE"; _ }) -> ()
+  | _ -> Alcotest.fail "topk query");
+  (match P.parse_query ~epoch [ "bogus" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "bogus accepted");
+  match P.parse_query ~epoch [ "topk"; "dns"; "de"; "0" ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "k = 0 accepted"
+
+(* --- shared warm state --------------------------------------------------- *)
+
+let test_countries = [ "US"; "DE"; "JP"; "BR" ]
+
+let state =
+  lazy
+    (let world = World.create ~c:60 ~seed:2024 () in
+     let ds23 = Measure.measure_all ~countries:test_countries world in
+     let ds25 = Measure.measure_all ~epoch:World.May_2025 ~countries:test_countries world in
+     let st =
+       State.make ~fingerprint:"test-world-60"
+         [ (World.May_2023, ds23); (World.May_2025, ds25) ]
+     in
+     State.warm st;
+     st)
+
+let sample_requests () =
+  [ P.Ping;
+    P.Score { epoch = World.May_2023; layer = D.Hosting; country = "US" };
+    P.Score { epoch = World.May_2025; layer = D.Ca; country = "DE" };
+    P.Top_shares { epoch = World.May_2023; layer = D.Hosting; country = "JP"; k = 5 };
+    P.Ranking { epoch = World.May_2023; layer = D.Dns; k = 4 };
+    P.Delta { layer = D.Hosting; country = "BR" };
+    P.Score { epoch = World.May_2023; layer = D.Tld; country = "XX" } ]
+
+let test_answer_kinds () =
+  let st = Lazy.force state in
+  (match State.answer st P.Ping with P.Pong -> () | _ -> Alcotest.fail "ping");
+  (match State.answer st (P.Score { epoch = World.May_2023; layer = D.Hosting; country = "US" }) with
+  | P.Scores { s; hhi; insularity } ->
+      Alcotest.(check bool) "s finite" true (Float.is_finite s);
+      Alcotest.(check bool) "hhi >= s" true (hhi >= s);
+      Alcotest.(check bool) "insularity in [0,1]" true (insularity >= 0.0 && insularity <= 1.0)
+  | _ -> Alcotest.fail "score");
+  (match State.answer st (P.Top_shares { epoch = World.May_2023; layer = D.Hosting; country = "US"; k = 3 }) with
+  | P.Shares shares ->
+      Alcotest.(check int) "k shares" 3 (List.length shares);
+      Alcotest.(check bool) "descending shares" true
+        (let rec mono = function
+           | (a : P.share) :: (b :: _ as rest) -> a.share >= b.share && mono rest
+           | _ -> true
+         in
+         mono shares)
+  | _ -> Alcotest.fail "topk");
+  (match State.answer st (P.Ranking { epoch = World.May_2023; layer = D.Hosting; k = 10 }) with
+  | P.Ranks ranks ->
+      Alcotest.(check int) "all four countries ranked" 4 (List.length ranks)
+  | _ -> Alcotest.fail "ranking");
+  (match State.answer st (P.Delta { layer = D.Hosting; country = "US" }) with
+  | P.Deltas { old_s; new_s; delta } ->
+      Alcotest.(check (float 1e-12)) "delta = new - old" (new_s -. old_s) delta
+  | _ -> Alcotest.fail "delta");
+  match State.answer st (P.Score { epoch = World.May_2023; layer = D.Hosting; country = "XX" }) with
+  | P.Error _ -> ()
+  | _ -> Alcotest.fail "unknown country must be an error"
+
+(* Scores served from the warm tallies must be bit-identical to the cold
+   per-dataset computation. *)
+let test_answer_matches_cold () =
+  let world = World.create ~c:60 ~seed:2024 () in
+  let ds23 = Measure.measure_all ~countries:test_countries world in
+  let st = Lazy.force state in
+  List.iter
+    (fun cc ->
+      match
+        State.answer st (P.Score { epoch = World.May_2023; layer = D.Hosting; country = cc })
+      with
+      | P.Scores { s; hhi; insularity } ->
+          Alcotest.(check bool) "S bit-identical" true
+            (float_eq s (Webdep.Metrics.centralization ds23 D.Hosting cc));
+          Alcotest.(check bool) "HHI bit-identical" true
+            (float_eq hhi
+               (Webdep_emd.Centralization.hhi (D.distribution ds23 D.Hosting cc)));
+          Alcotest.(check bool) "insularity bit-identical" true
+            (float_eq insularity (Webdep.Regionalization.insularity ds23 D.Hosting cc))
+      | _ -> Alcotest.fail ("score " ^ cc))
+    test_countries
+
+(* --- engine cache -------------------------------------------------------- *)
+
+let test_engine_cache () =
+  let st = Lazy.force state in
+  let eng = Server.engine st in
+  let payload =
+    P.encode_request (P.Score { epoch = World.May_2023; layer = D.Hosting; country = "US" })
+  in
+  let r1 = Server.answer_payload eng payload in
+  Alcotest.(check int) "one cached entry" 1 (Server.cache_size eng);
+  let r2 = Server.answer_payload eng payload in
+  Alcotest.(check string) "cache hit is byte-identical" r1 r2;
+  (* Same fingerprint: the cache survives a state swap. *)
+  Server.set_state eng st;
+  Alcotest.(check int) "same fingerprint keeps cache" 1 (Server.cache_size eng);
+  (* Different fingerprint: invalidated. *)
+  let st' =
+    State.make ~fingerprint:"other-world"
+      [ (World.May_2023, Measure.measure_all ~countries:[ "US" ] (World.create ~c:60 ~seed:7 ())) ]
+  in
+  Server.set_state eng st';
+  Alcotest.(check int) "fingerprint change clears cache" 0 (Server.cache_size eng);
+  (* Shutdown is never cached. *)
+  ignore (Server.answer_payload eng (P.encode_request P.Shutdown));
+  Alcotest.(check int) "shutdown not cached" 0 (Server.cache_size eng)
+
+let test_engine_batch_order_and_jobs () =
+  let st = Lazy.force state in
+  let payloads = List.map P.encode_request (sample_requests ()) in
+  (* Fresh engines, par_threshold 1 vs sequential: answers byte-identical
+     and in request order either way. *)
+  let seq = Server.answer_batch (Server.engine ~par_threshold:max_int st) payloads in
+  let par = Server.answer_batch (Server.engine ~par_threshold:1 st) payloads in
+  Alcotest.(check (list string)) "parallel batch = sequential batch" seq par;
+  List.iter2
+    (fun payload reply ->
+      match P.decode_request payload with
+      | Ok req ->
+          Alcotest.(check string) "batch reply = single answer"
+            (P.encode_response (State.answer st req))
+            reply
+      | Error _ -> Alcotest.fail "sample payload must decode")
+    payloads seq
+
+(* --- socket integration --------------------------------------------------- *)
+
+let temp_socket () =
+  let path = Filename.temp_file "webdep_serve_test" ".sock" in
+  Sys.remove path;
+  path
+
+let start_server ?(max_queue = 64) ?(batch_max = 16) ?(drain_delay_s = 0.0) path =
+  let st = Lazy.force state in
+  let ready = Atomic.make false in
+  let d =
+    Domain.spawn (fun () ->
+        Server.run
+          ~on_ready:(fun () -> Atomic.set ready true)
+          (Server.config ~max_queue ~batch_max ~drain_delay_s path)
+          st)
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (not (Atomic.get ready)) && Unix.gettimeofday () < deadline do
+    ignore (Unix.select [] [] [] 0.01)
+  done;
+  Alcotest.(check bool) "server came up" true (Atomic.get ready);
+  d
+
+let test_server_roundtrip () =
+  let st = Lazy.force state in
+  let path = temp_socket () in
+  let d = start_server path in
+  let cl = Client.connect path in
+  List.iter
+    (fun req ->
+      let daemon = Client.request cl req in
+      let local = State.answer st req in
+      Alcotest.(check string)
+        ("daemon = local for " ^ Webdep_json.to_string (P.request_to_json req))
+        (P.render local) (P.render daemon);
+      Alcotest.(check string) "and byte-identical on the wire"
+        (P.encode_response local) (P.encode_response daemon))
+    (List.filter (fun r -> r <> P.Shutdown) (sample_requests ()));
+  (match Client.request cl P.Shutdown with
+  | P.Bye -> ()
+  | _ -> Alcotest.fail "shutdown must answer Bye");
+  Domain.join d;
+  Client.close cl;
+  Alcotest.(check bool) "socket removed on clean shutdown" false (Sys.file_exists path)
+
+let test_load_shedding () =
+  let path = temp_socket () in
+  (* One request per 10ms batch with a 4-deep admission queue: a
+     pipelined flood must shed most of the intake with immediate
+     Overloaded replies while every request still gets an answer. *)
+  let d = start_server ~max_queue:4 ~batch_max:1 ~drain_delay_s:0.01 path in
+  let cl = Client.connect path in
+  let flood = List.init 50 (fun _ -> P.Ping) in
+  let t0 = Unix.gettimeofday () in
+  let replies = Client.pipeline cl flood in
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check int) "every request answered" 50 (List.length replies);
+  let shed = List.length (List.filter (fun r -> r = P.Overloaded) replies) in
+  let served = List.length (List.filter (fun r -> r = P.Pong) replies) in
+  Alcotest.(check int) "answered = served + shed" 50 (shed + served);
+  Alcotest.(check bool) "load was shed" true (shed > 0);
+  Alcotest.(check bool) "some requests still served" true (served > 0);
+  (* Bounded latency: with ~45 shed instantly the flood drains in ~5
+     batches, nowhere near the 500ms an unbounded queue would take. *)
+  Alcotest.(check bool) "tail stayed bounded" true (elapsed < 0.45);
+  (match Client.request cl P.Shutdown with
+  | P.Bye -> ()
+  | _ -> Alcotest.fail "shutdown after flood");
+  Domain.join d;
+  Client.close cl
+
+let test_json_lines_mode () =
+  let path = temp_socket () in
+  let d = start_server path in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  let line = {|{"kind":"ping"}|} ^ "\n" in
+  let sent = Unix.write_substring fd line 0 (String.length line) in
+  Alcotest.(check int) "line written" (String.length line) sent;
+  let buf = Bytes.create 4096 in
+  let n = Unix.read fd buf 0 4096 in
+  let reply = Bytes.sub_string buf 0 n in
+  Alcotest.(check string) "JSON-lines pong" "{\"kind\":\"pong\"}\n" reply;
+  Unix.close fd;
+  let cl = Client.connect path in
+  (match Client.request cl P.Shutdown with P.Bye -> () | _ -> Alcotest.fail "bye");
+  Client.close cl;
+  Domain.join d
+
+(* --- suite ---------------------------------------------------------------- *)
+
+let () =
+  Webdep_par.set_jobs 2;
+  Alcotest.run "webdep_serve"
+    [
+      ( "protocol",
+        [
+          QCheck_alcotest.to_alcotest qcheck_request_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_response_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_truncated_rejected;
+          QCheck_alcotest.to_alcotest qcheck_json_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_response_json_roundtrip;
+          Alcotest.test_case "framing" `Quick test_framing;
+          Alcotest.test_case "query language" `Quick test_parse_query;
+        ] );
+      ( "state",
+        [
+          Alcotest.test_case "answer kinds" `Quick test_answer_kinds;
+          Alcotest.test_case "warm = cold, bit-identical" `Quick test_answer_matches_cold;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "cache and invalidation" `Quick test_engine_cache;
+          Alcotest.test_case "batch order and jobs" `Quick test_engine_batch_order_and_jobs;
+        ] );
+      ( "server",
+        [
+          Alcotest.test_case "daemon = one-shot round-trip" `Quick test_server_roundtrip;
+          Alcotest.test_case "load shedding" `Quick test_load_shedding;
+          Alcotest.test_case "json-lines debug mode" `Quick test_json_lines_mode;
+        ] );
+    ]
