@@ -1941,6 +1941,163 @@ let serve_phase () =
   Domain.join server
 
 (* ========================================================================
+   chaos phase — wire faults under load, then crash + warm restart
+   ======================================================================== *)
+
+let chaos_c = env_int "WEBDEP_BENCH_CHAOS_C" 120
+let chaos_n = env_int "WEBDEP_BENCH_CHAOS_N" 400
+let chaos_json : (string * Json.t) list ref = ref []
+
+(* Two questions, both gated by --compare:
+   1. Under a deterministic storm of wire faults (torn frames, dribbled
+      writes, resets mid-frame, garbage length prefixes — verdicts are a
+      pure hash of (seed, key), so the storm replays identically at any
+      --jobs), what fraction of the replies the server *owes* does it
+      deliver, and are they all byte-identical to [State.answer]?
+   2. After a crash, how fast does a snapshot restore bring a correct
+      answer back, versus re-running the two-epoch measurement sweep?
+      The crash is modelled in process — state discarded, snapshot
+      loaded, fresh server domain — because forking with live domains
+      is forbidden in OCaml 5; CI exercises the real kill -9 path. *)
+let chaos_phase () =
+  section "Chaos" "deterministic wire faults, crash, restart from snapshot";
+  let epochs = [ World.May_2023; World.May_2025 ] in
+  let build () =
+    let sw = World.create ~c:chaos_c ~seed () in
+    let ds =
+      List.map (fun e -> (e, Measure.measure_all ~epoch:e ~jobs sw)) epochs
+    in
+    let st = Serve.State.make ~fingerprint:"bench-chaos" ds in
+    Serve.State.warm st;
+    st
+  in
+  let state, build_s = Span.timed ~name:"bench.chaos.build" build in
+  let countries = Serve.State.countries state in
+  let path = Filename.temp_file "webdep_bench_chaos" ".sock" in
+  Sys.remove path;
+  let start st =
+    let ready = Atomic.make false in
+    let d =
+      Domain.spawn (fun () ->
+          Serve.Server.run
+            ~on_ready:(fun () -> Atomic.set ready true)
+            (Serve.Server.config path)
+            st)
+    in
+    while not (Atomic.get ready) do
+      ignore (Unix.select [] [] [] 0.005)
+    done;
+    d
+  in
+  let local req =
+    Serve.Protocol.encode_response (Serve.State.answer state req)
+  in
+  let server = start state in
+  let plan = Faults.make ~rate:0.4 ~seed:(seed + 9) () in
+  let reqs = Array.of_list (serve_mix countries 64 0) in
+  let replies = ref 0 and injected = ref 0 in
+  let refused = ref 0 and broken = ref 0 and mismatched = ref 0 in
+  let (), storm_s =
+    Span.timed ~name:"bench.chaos.storm" (fun () ->
+        for i = 0 to chaos_n - 1 do
+          let req = reqs.(i mod Array.length reqs) in
+          let key = Printf.sprintf "bench-chaos-%d" i in
+          match snd (Serve.Chaos.call plan ~key path req) with
+          | Serve.Chaos.Reply resp ->
+              incr replies;
+              if Serve.Protocol.encode_response resp <> local req then
+                incr mismatched
+          | Serve.Chaos.Injected -> incr injected
+          | Serve.Chaos.Refused _ -> incr refused
+          | Serve.Chaos.Broken _ -> incr broken
+        done)
+  in
+  (* Replies owed = clean or reassembled exchanges; the injected ones owe
+     nothing.  Availability is delivered/owed. *)
+  let owed = !replies + !refused + !broken in
+  let availability = float_of_int !replies /. float_of_int (max 1 owed) in
+  let cl = Serve.Client.connect path in
+  (match Serve.Client.request cl Serve.Protocol.Shutdown with
+  | Serve.Protocol.Bye -> ()
+  | _ -> prerr_endline "webdep bench: chaos server shutdown did not answer Bye");
+  Serve.Client.close cl;
+  Domain.join server;
+  (* Crash + warm restart: persist the warm state, drop it, then time
+     snapshot-load -> state -> server -> first correct answer. *)
+  let snap = Filename.temp_file "webdep_bench_chaos" ".snap" in
+  Serve.Snapshot.save ~path:snap ~fingerprint:"bench-chaos"
+    (Serve.State.datasets state);
+  let probe = serve_mix countries 16 0 in
+  let expected = List.map local probe in
+  let recovered_identical = ref false in
+  let handle = ref None in
+  let (), recovery_s =
+    Span.timed ~name:"bench.chaos.recover" (fun () ->
+        match
+          Serve.Snapshot.load ~path:snap ~fingerprint:"bench-chaos" ~countries
+        with
+        | Serve.Snapshot.Loaded shards ->
+            let datasets =
+              Serve.Snapshot.to_datasets ~epochs ~countries
+                ~fill:(fun _ _ ->
+                  failwith "bench chaos: complete snapshot must not re-measure")
+                shards
+            in
+            let st = Serve.State.make ~fingerprint:"bench-chaos" datasets in
+            Serve.State.warm st;
+            let d = start st in
+            let cl = Serve.Client.connect path in
+            let first =
+              Serve.Protocol.encode_response
+                (Serve.Client.request cl (List.hd probe))
+            in
+            recovered_identical := first = List.hd expected;
+            handle := Some (d, cl)
+        | _ -> prerr_endline "webdep bench: chaos snapshot failed to load")
+  in
+  (match !handle with
+  | None -> ()
+  | Some (d, cl) ->
+      let got =
+        List.map
+          (fun r ->
+            Serve.Protocol.encode_response (Serve.Client.request cl r))
+          (List.tl probe)
+      in
+      recovered_identical := !recovered_identical && got = List.tl expected;
+      (match Serve.Client.request cl Serve.Protocol.Shutdown with
+      | Serve.Protocol.Bye -> ()
+      | _ -> prerr_endline "webdep bench: recovered server did not answer Bye");
+      Serve.Client.close cl;
+      Domain.join d);
+  Sys.remove snap;
+  let speedup = build_s /. (if recovery_s > 0.0 then recovery_s else 1e-9) in
+  chaos_json :=
+    [
+      ("c", Json.Int chaos_c);
+      ("requests", Json.Int chaos_n);
+      ("build_s", Json.Float build_s);
+      ("storm_s", Json.Float storm_s);
+      ("replies", Json.Int !replies);
+      ("injected", Json.Int !injected);
+      ("refused", Json.Int !refused);
+      ("broken", Json.Int !broken);
+      ("mismatched", Json.Int !mismatched);
+      ("availability", Json.Float availability);
+      ("recovery_s", Json.Float recovery_s);
+      ("recovery_speedup", Json.Float speedup);
+      ("recovered_identical", Json.Bool !recovered_identical);
+    ];
+  Printf.printf
+    "c=%d build %.2fs | storm: %d calls in %.3fs — %d replies / %d injected \
+     / %d refused / %d broken / %d mismatched | availability %.4f\n\
+     crash recovery: %.3fs from snapshot (%.0fx faster than the %.2fs \
+     re-sweep) | byte-identical after restart: %s\n%!"
+    chaos_c build_s chaos_n storm_s !replies !injected !refused !broken
+    !mismatched availability recovery_s speedup build_s
+    (if !recovered_identical then "yes" else "NO")
+
+(* ========================================================================
    main
    ======================================================================== *)
 
@@ -1948,9 +2105,10 @@ let serve_phase () =
    what each table/figure consumed from the pipeline and simulators. *)
 let phase_counters : (string * (string * int) list) list ref = ref []
 
-(* BENCH_obs.json, schema webdep-bench/8 (upgrades /7: the new "serve"
-   object and the "serve" entry in phases_s / phases_minor_words —
-   query-daemon throughput/latency gated by --compare like any phase):
+(* BENCH_obs.json, schema webdep-bench/9 (upgrades /8: the new "chaos"
+   object and the "chaos" entry in phases_s / phases_minor_words — wire
+   fault availability and crash-recovery time gated by --compare like
+   any phase):
    - phases_s:        bench-locally recorded per-phase wall seconds
                       (includes world_create / measure_all / the 2025
                       measurement inside "longitudinal")
@@ -1985,7 +2143,13 @@ let phase_counters : (string * (string * int) list) list ref = ref []
                       server-side latency p50/p99/p999 (interpolated
                       histogram quantiles), queue-depth / batch-size
                       stats, cache hit/miss and shed totals, and the
-                      wire-vs-local byte-identity verdict *)
+                      wire-vs-local byte-identity verdict
+   - chaos:           crash-safety telemetry — deterministic wire-fault
+                      storm taxonomy (replies/injected/refused/broken/
+                      mismatched) with the availability ratio over owed
+                      replies, and the snapshot crash-recovery time
+                      versus the cold two-epoch re-sweep with the
+                      after-restart byte-identity verdict *)
 let write_bench_json path =
   let phases =
     List.rev_map (fun (name, s) -> (name, Json.Float s)) !recorded_phases
@@ -2021,7 +2185,7 @@ let write_bench_json path =
   let doc =
     Json.Obj
       ([
-         ("schema", Json.String "webdep-bench/8");
+         ("schema", Json.String "webdep-bench/9");
          ("c", Json.Int c);
          ("seed", Json.Int seed);
          ("jobs", Json.Int jobs);
@@ -2037,6 +2201,7 @@ let write_bench_json path =
           ("faults", Json.Obj !faults_json);
           ("scale", Json.Obj !scale_json);
           ("serve", Json.Obj !serve_json);
+          ("chaos", Json.Obj !chaos_json);
           ("metrics", measure_metrics);
         ])
   in
@@ -2095,13 +2260,14 @@ let () =
       ("ablation_c_sensitivity", ablation_c_sensitivity);
     ];
   if Sys.getenv_opt "WEBDEP_BENCH_SKIP_TIMINGS" = None then phase "timings" timings;
-  (* The kernels, store, faults, scale and serve phases always run —
-     CI's BENCH diff asserts on them. *)
+  (* The kernels, store, faults, scale, serve and chaos phases always
+     run — CI's BENCH diff asserts on them. *)
   phase "kernels" kernels;
   phase "store" store_phase;
   phase "faults" faults;
   phase "scale" scale_phase;
   phase "serve" serve_phase;
+  phase "chaos" chaos_phase;
   let out =
     match Sys.getenv_opt "WEBDEP_BENCH_OUT" with
     | Some p when p <> "" -> p

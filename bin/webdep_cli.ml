@@ -658,22 +658,85 @@ let epoch_arg =
          ~doc:"Epoch a score/topk/ranking query refers to: 2023 or 2025 \
                (delta always compares both).")
 
-let serve_state ~seed ~c ?countries ?store () =
+let serve_epochs = [ World.May_2023; World.May_2025 ]
+
+(* Build the daemon's warm state.  With [?snapshot], try to restore the
+   measured datasets from the snapshot file first: a complete snapshot
+   skips the two-epoch measurement sweep entirely; a torn one (crash
+   mid-write on a non-atomic filesystem) contributes its intact shards
+   and only the missing (epoch, country) pairs are re-measured; a
+   rejected one (other world parameters, other country slice) falls back
+   to the full sweep. *)
+let serve_state ?snapshot ~seed ~c ?countries ?store () =
   let world = World.create ~c ~seed () in
   let fingerprint =
     Webdep_json.to_string
       (Webdep_json.Obj
          (Webdep_store.Fingerprint.to_meta (Measure.store_fingerprint world)))
   in
-  let ds23, ds25 =
-    with_store world store @@ fun store ->
-    ( Measure.measure_all ?countries ?store world,
-      Measure.measure_all ~epoch:World.May_2025 ?countries ?store world )
+  let expected =
+    match countries with Some l -> l | None -> World.countries world
   in
-  let st =
-    Serve.State.make ~fingerprint
-      [ (World.May_2023, ds23); (World.May_2025, ds25) ]
+  let full_measure () =
+    let ds23, ds25 =
+      with_store world store @@ fun store ->
+      ( Measure.measure_all ?countries ?store world,
+        Measure.measure_all ~epoch:World.May_2025 ?countries ?store world )
+    in
+    [ (World.May_2023, ds23); (World.May_2025, ds25) ]
   in
+  let datasets =
+    match snapshot with
+    | None -> full_measure ()
+    | Some path -> (
+        match Serve.Snapshot.load ~path ~fingerprint ~countries:expected with
+        | Serve.Snapshot.Absent -> full_measure ()
+        | Serve.Snapshot.Rejected ->
+            Printf.eprintf
+              "webdep serve: snapshot %s rejected (different world or \
+               countries), remeasuring\n\
+               %!"
+              path;
+            full_measure ()
+        | Serve.Snapshot.Loaded shards ->
+            Printf.eprintf "webdep serve: loaded snapshot %s (%d shards)\n%!"
+              path (List.length shards);
+            Serve.Snapshot.to_datasets ~epochs:serve_epochs ~countries:expected
+              ~fill:(fun _ _ -> assert false (* complete by construction *))
+              shards
+        | Serve.Snapshot.Torn shards ->
+            let have = Hashtbl.create 512 in
+            List.iter
+              (fun (s : Serve.Snapshot.shard) ->
+                Hashtbl.replace have
+                  (s.Serve.Snapshot.epoch, s.Serve.Snapshot.data.Webdep.Dataset.country)
+                  ())
+              shards;
+            let remeasured =
+              List.filter_map
+                (fun epoch ->
+                  let missing =
+                    List.filter (fun cc -> not (Hashtbl.mem have (epoch, cc))) expected
+                  in
+                  if missing = [] then None
+                  else
+                    Some
+                      ( epoch,
+                        with_store world store @@ fun store ->
+                        Measure.measure_all ~epoch ~countries:missing ?store world ))
+                serve_epochs
+            in
+            Printf.eprintf
+              "webdep serve: snapshot %s torn; kept %d intact shards, \
+               re-measured the rest\n\
+               %!"
+              path (List.length shards);
+            Serve.Snapshot.to_datasets ~epochs:serve_epochs ~countries:expected
+              ~fill:(fun epoch cc ->
+                Webdep.Dataset.country_exn (List.assoc epoch remeasured) cc)
+              shards)
+  in
+  let st = Serve.State.make ~fingerprint datasets in
   Serve.State.warm st;
   st
 
@@ -683,7 +746,7 @@ let query_pos =
                $(b,topk LAYER CC K), $(b,ranking LAYER K), \
                $(b,delta LAYER CC) or $(b,shutdown).")
 
-let run_query () epoch connect seed c countries store words =
+let run_query () epoch connect timeout max_retries seed c countries store words =
   match Serve.Protocol.parse_query ~epoch words with
   | Error msg ->
       Printf.eprintf "webdep query: %s\n" msg;
@@ -691,19 +754,12 @@ let run_query () epoch connect seed c countries store words =
   | Ok req -> (
       match connect with
       | Some spec -> (
-          try
-            let cl = Serve.Client.connect spec in
-            let resp = Serve.Client.request cl req in
-            Serve.Client.close cl;
-            print_string (Serve.Protocol.render resp)
-          with
-          | Unix.Unix_error (e, _, _) ->
-              Printf.eprintf "webdep query: cannot reach daemon at %s: %s\n"
-                spec (Unix.error_message e);
-              exit 1
-          | Serve.Protocol.Protocol_error msg ->
-              Printf.eprintf "webdep query: protocol error from %s: %s\n" spec msg;
-              exit 1)
+          match Serve.Client.call ~max_retries ~timeout_s:timeout spec req with
+          | Ok resp -> print_string (Serve.Protocol.render resp)
+          | Error msg ->
+              Printf.eprintf "webdep query: daemon at %s unavailable: %s\n"
+                spec msg;
+              exit 5)
       | None ->
           let st =
             serve_state ~seed ~c ?countries:(normalize_countries countries) ?store ()
@@ -716,25 +772,70 @@ let connect_arg =
                $(docv) (Unix-socket path or $(b,tcp:PORT)) instead of \
                measuring locally.  Answers are byte-identical either way.")
 
+let query_timeout_arg =
+  Arg.(value & opt float 10.0 & info [ "timeout" ] ~docv:"SECONDS"
+         ~doc:"Total deadline for a $(b,--connect) query, retries and \
+               backoff included.")
+
+let query_retries_arg =
+  Arg.(value & opt int 4 & info [ "max-retries" ] ~docv:"N"
+         ~doc:"Retries after the first attempt when the daemon refuses \
+               the connection, sheds the request ($(i,overloaded)), is \
+               draining, or resets mid-reply — e.g. while a supervised \
+               daemon restarts.  Backoff is exponential with \
+               deterministic jitter.")
+
 let query_cmd =
   let doc = "Answer one dependence query, locally or against a daemon." in
-  Cmd.v (Cmd.info "query" ~doc)
-    Term.(const run_query $ obs_term $ epoch_arg $ connect_arg $ seed_arg $ c_arg
-          $ countries_arg $ store_term $ query_pos)
+  let exits =
+    Cmd.Exit.info 5
+      ~doc:"the retry budget ($(b,--timeout)/$(b,--max-retries)) was \
+            exhausted without a daemon reply."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v (Cmd.info "query" ~doc ~exits)
+    Term.(const run_query $ obs_term $ epoch_arg $ connect_arg $ query_timeout_arg
+          $ query_retries_arg $ seed_arg $ c_arg $ countries_arg $ store_term
+          $ query_pos)
 
-let run_serve () listen seed c countries store max_queue batch_max par_threshold =
+let run_serve () listen seed c countries store max_queue batch_max par_threshold
+    snapshot supervise restart_limit restart_window =
   if max_queue < 1 || batch_max < 1 then begin
     Printf.eprintf "webdep serve: --max-queue and --batch-max must be >= 1\n";
     exit 124
   end;
-  let st = serve_state ~seed ~c ?countries:(normalize_countries countries) ?store () in
-  let cfg = Serve.Server.config ~max_queue ~batch_max ~par_threshold listen in
-  Serve.Server.run
-    ~on_ready:(fun () ->
-      Printf.printf "webdep serve: listening on %s (seed %d, c %d, epochs 2023-05 2025-05)\n"
-        listen seed c;
-      flush stdout)
-    cfg st
+  let serve_child () =
+    (* Deterministic crash switch for exercising the supervisor's
+       crash-loop detector from the outside (CI). *)
+    (match Sys.getenv_opt "WEBDEP_SERVE_CRASH_ON_START" with
+    | Some v when v <> "" && v <> "0" ->
+        prerr_endline "webdep serve: WEBDEP_SERVE_CRASH_ON_START set, aborting";
+        exit 70
+    | _ -> ());
+    let st =
+      serve_state ?snapshot ~seed ~c ?countries:(normalize_countries countries)
+        ?store ()
+    in
+    let cfg = Serve.Server.config ~max_queue ~batch_max ~par_threshold listen in
+    Serve.Server.run ~handle_signals:true ?snapshot
+      ~on_ready:(fun () ->
+        Printf.printf
+          "webdep serve: listening on %s (seed %d, c %d, epochs 2023-05 2025-05)\n"
+          listen seed c;
+        flush stdout)
+      cfg st
+  in
+  if supervise then begin
+    (* Fork before any state (and hence any domain) exists: OCaml 5
+       cannot fork a process with running domains, so the measurement
+       sweep and the Webdep_par pool belong to the child. *)
+    let policy =
+      { Serve.Supervisor.default_policy with
+        restart_limit; window_s = restart_window }
+    in
+    exit (Serve.Supervisor.supervise ~policy serve_child)
+  end
+  else serve_child ()
 
 let serve_cmd =
   let doc =
@@ -752,7 +853,17 @@ let serve_cmd =
           whose first byte is '{' speak newline-delimited JSON (debug \
           mode) instead of binary frames.";
       `P "Send the $(b,shutdown) query (e.g. $(b,webdep query --connect \
-          ADDR shutdown)) for a clean shutdown." ]
+          ADDR shutdown)) for a clean shutdown, or SIGTERM/SIGINT for a \
+          graceful drain: in-flight batches are answered, late requests \
+          get a $(i,draining) reply, and with $(b,--snapshot) the warm \
+          state is persisted before exit.";
+      `P "With $(b,--snapshot FILE), the daemon restores its warm state \
+          from $(docv) on start (checksummed, torn tails recovered shard \
+          by shard; a snapshot from different world parameters is \
+          rejected and remeasured) and rewrites it atomically on drain.  \
+          With $(b,--supervise), a parent process restarts the daemon \
+          after a crash with exponential backoff and gives up (exit 6) \
+          when it crash-loops." ]
   in
   let listen =
     Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"ADDR"
@@ -773,9 +884,38 @@ let serve_cmd =
            ~doc:"Cache misses in a batch before answering fans out over \
                  the --jobs worker pool.")
   in
-  Cmd.v (Cmd.info "serve" ~doc ~man)
+  let snapshot =
+    Arg.(value & opt (some string) None & info [ "snapshot" ] ~docv:"FILE"
+           ~doc:"Durable warm-state snapshot: restore from $(docv) on \
+                 start (milliseconds instead of the two-epoch sweep) and \
+                 rewrite it atomically on graceful drain or shutdown.")
+  in
+  let supervise =
+    Arg.(value & flag & info [ "supervise" ]
+           ~doc:"Run the daemon in a supervised child process: restart it \
+                 on abnormal exit with exponential backoff, give up with \
+                 exit 6 after $(b,--restart-limit) abnormal exits within \
+                 $(b,--restart-window) seconds.")
+  in
+  let restart_limit =
+    Arg.(value & opt int 5 & info [ "restart-limit" ] ~docv:"N"
+           ~doc:"Abnormal exits tolerated inside the crash-loop window \
+                 before the supervisor gives up.")
+  in
+  let restart_window =
+    Arg.(value & opt float 30.0 & info [ "restart-window" ] ~docv:"SECONDS"
+           ~doc:"Sliding window for crash-loop detection.")
+  in
+  let exits =
+    Cmd.Exit.info 6
+      ~doc:"the $(b,--supervise) parent detected a crash loop and stopped \
+            restarting the daemon."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man ~exits)
     Term.(const run_serve $ obs_term $ listen $ seed_arg $ c_arg $ countries_arg
-          $ store_term $ max_queue $ batch_max $ par_threshold)
+          $ store_term $ max_queue $ batch_max $ par_threshold $ snapshot
+          $ supervise $ restart_limit $ restart_window)
 
 (* --- countries ------------------------------------------------------------------------ *)
 

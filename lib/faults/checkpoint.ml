@@ -120,49 +120,27 @@ let entry_of_json v =
 let header_line meta =
   Json.to_string (Json.Obj (("schema", Json.String schema) :: meta))
 
-let read_lines path =
-  if not (Sys.file_exists path) then []
-  else begin
-    let ic = open_in path in
-    let rec go acc =
-      match input_line ic with
-      | line -> go (line :: acc)
-      | exception End_of_file -> close_in ic; List.rev acc
-    in
-    go []
-  end
-
-(* Entries from an existing file, in file order.  Stops at the first
-   line that fails to parse (mid-write kill); returns [] when the
-   header is absent or does not match the current sweep. *)
-let load_entries ~header path =
-  match read_lines path with
-  | [] -> []
-  | h :: rest when String.equal h header ->
-      let rec go acc = function
-        | [] -> List.rev acc
-        | line :: rest -> (
-            match entry_of_json (Json.parse line) with
-            | e -> go (e :: acc) rest
-            | exception (Bad _ | Json.Parse_error _) -> List.rev acc)
-      in
-      go [] rest
-  | _ :: _ -> []
+(* One line back into an entry; [None] marks the torn tail for
+   [Jsonl.load]. *)
+let entry_of_line line =
+  match entry_of_json (Json.parse line) with
+  | e -> Some e
+  | exception (Bad _ | Json.Parse_error _) -> None
 
 let open_ ~path ~meta =
   let header = header_line meta in
-  let entries = load_entries ~header path in
-  (* Rewrite the file from the intact prefix: drops corrupt trailing
-     lines and stale files from mismatched sweeps in one stroke. *)
-  let oc = open_out path in
-  output_string oc header;
-  output_char oc '\n';
-  List.iter
-    (fun e ->
-      output_string oc (Json.to_string (entry_to_json e));
-      output_char oc '\n')
-    entries;
-  flush oc;
+  let entries =
+    match Jsonl.load ~path ~header ~parse:entry_of_line with
+    | Jsonl.No_file | Jsonl.Header_mismatch -> []
+    | Jsonl.Loaded { entries; torn = _ } -> entries
+  in
+  (* Rewrite the file from the intact prefix (atomically, so a kill
+     during the rewrite cannot lose the recovered entries): drops
+     corrupt trailing lines and stale files from mismatched sweeps in
+     one stroke. *)
+  Jsonl.write_atomic ~path ~header
+    (List.map (fun e -> Json.to_string (entry_to_json e)) entries);
+  let oc = open_out_gen [ Open_append; Open_wronly ] 0o644 path in
   let loaded = Hashtbl.create 64 in
   List.iter (fun e -> Hashtbl.replace loaded e.country e) entries;
   { path; lock = Mutex.create (); oc; loaded }

@@ -67,3 +67,16 @@ val dns_faulty : t -> vantage:string -> qname:string -> bool
 
 val tls_faulty : t -> sni:string -> bool
 (** Same, for the TLS channel. *)
+
+(** {1 Hash primitives}
+
+    Building blocks for new fault channels (e.g. {!Wire}): pure draws
+    from the plan's keyed hash.  Both are deterministic in (plan seed,
+    tag, key) and consume no mutable state, so any channel built on them
+    inherits the jobs-invariance of the plan. *)
+
+val u01 : t -> string -> string -> float
+(** [u01 t tag key] — uniform draw in [0, 1). *)
+
+val pick_int : t -> string -> string -> int -> int
+(** [pick_int t tag key bound] — uniform draw in [0, bound). *)

@@ -1,0 +1,69 @@
+(* Shared JSON-lines file handling for the spill/checkpoint planes.
+
+   Both the measurement store's spill and the sweep checkpoint are a
+   header line (schema + parameters) followed by one JSON object per
+   line, and both must survive the writer being killed mid-write.  The
+   two invariants live here once:
+
+   - [write_atomic] never exposes a half-written file: the lines go to
+     a temp file in the same directory, the fd is fsynced, and the temp
+     is renamed over the target — a reader sees the old file or the new
+     one, nothing in between.
+
+   - [load] recovers from a torn tail: entries are read in order and
+     loading stops at the first line that fails to parse (the
+     kill-mid-write residue of a non-atomic appender), returning the
+     intact prefix plus a flag saying whether anything was dropped.  A
+     missing or mismatched header invalidates the whole file — its
+     entries belong to a different world/sweep. *)
+
+type 'a load =
+  | No_file
+  | Header_mismatch
+  | Loaded of { entries : 'a list; torn : bool }
+
+let load ~path ~header ~parse =
+  if not (Sys.file_exists path) then No_file
+  else begin
+    let ic = open_in path in
+    let result =
+      match input_line ic with
+      | exception End_of_file -> Header_mismatch
+      | h when not (String.equal h header) -> Header_mismatch
+      | _ ->
+          let rec go acc =
+            match input_line ic with
+            | exception End_of_file -> Loaded { entries = List.rev acc; torn = false }
+            | line -> (
+                match parse line with
+                | Some e -> go (e :: acc)
+                | None -> Loaded { entries = List.rev acc; torn = true })
+          in
+          go []
+    in
+    close_in ic;
+    result
+  end
+
+(* Write [header] then [lines] to a temp file beside [path], fsync, and
+   rename over [path].  The temp name carries the pid so two writers
+   cannot collide on it; rename within one directory is atomic. *)
+let write_atomic ~path ~header lines =
+  let tmp = Printf.sprintf "%s.tmp.%d" path (Unix.getpid ()) in
+  let oc = open_out tmp in
+  (try
+     output_string oc header;
+     output_char oc '\n';
+     List.iter
+       (fun line ->
+         output_string oc line;
+         output_char oc '\n')
+       lines;
+     flush oc;
+     Unix.fsync (Unix.descr_of_out_channel oc);
+     close_out oc
+   with exn ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise exn);
+  Unix.rename tmp path

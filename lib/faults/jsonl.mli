@@ -1,0 +1,29 @@
+(** Shared JSON-lines persistence: atomic whole-file writes and
+    torn-tail-tolerant loads.
+
+    One header line (schema tag + parameters) followed by one JSON
+    object per line — the format of the measurement-store spill and the
+    sweep checkpoint.  This module owns the two crash-safety invariants
+    both need: a writer killed mid-write never corrupts the target
+    ({!write_atomic} goes through temp + fsync + rename), and a reader
+    facing a torn tail (from a non-atomic appender killed mid-line)
+    recovers the intact prefix instead of failing ({!load}). *)
+
+type 'a load =
+  | No_file  (** [path] does not exist *)
+  | Header_mismatch
+      (** the first line is absent or differs from the expected header —
+          the file belongs to another world/sweep and must be ignored
+          wholesale *)
+  | Loaded of { entries : 'a list; torn : bool }
+      (** parsed entries in file order; [torn] is set when loading
+          stopped at an unparsable line and dropped the rest *)
+
+val load : path:string -> header:string -> parse:(string -> 'a option) -> 'a load
+(** Read [path], check the header, then parse each line with [parse]
+    until the first [None] (torn tail — everything after is suspect). *)
+
+val write_atomic : path:string -> header:string -> string list -> unit
+(** Write header + lines to [path] atomically: temp file in the same
+    directory, fsync, rename.  Readers see the old file or the complete
+    new one, never a prefix. *)

@@ -1,0 +1,86 @@
+(* Deterministic wire-level chaos verdicts.
+
+   The serving plane's chaos harness asks, per request key, how the
+   client side of the connection should misbehave.  Like every other
+   fault channel the answer is a pure hash of (plan seed, key): the same
+   seed replays the same torn frame at the same request index regardless
+   of client count or scheduling, which is what makes a chaos bench run
+   comparable across machines and --jobs values.
+
+   The actions model what a hostile or flaky network does to a framed
+   byte stream; the server must survive every one of them without
+   crashing, leaking an fd, or corrupting a neighbouring connection:
+
+   - Torn_frame       the frame stops mid-payload, then clean FIN
+   - Partial_write    the frame arrives in 1..3-byte dribbles
+   - Reset_mid_frame  the frame stops mid-payload, then RST
+   - Garbage_prefix   random bytes precede the frame (corrupt length)
+   - Delayed          a pause splits the frame in two *)
+
+type action =
+  | Clean
+  | Torn_frame
+  | Partial_write
+  | Reset_mid_frame
+  | Garbage_prefix
+  | Delayed
+
+let all_actions =
+  [ Torn_frame; Partial_write; Reset_mid_frame; Garbage_prefix; Delayed ]
+
+let action_name = function
+  | Clean -> "clean"
+  | Torn_frame -> "torn_frame"
+  | Partial_write -> "partial_write"
+  | Reset_mid_frame -> "reset_mid_frame"
+  | Garbage_prefix -> "garbage_prefix"
+  | Delayed -> "delayed"
+
+(* One injection counter per action, bound at module load so the names
+   are present (at zero) in every --metrics export. *)
+let m_torn = Webdep_obs.Metrics.counter "chaos.injected.torn_frame"
+let m_partial = Webdep_obs.Metrics.counter "chaos.injected.partial_write"
+let m_reset = Webdep_obs.Metrics.counter "chaos.injected.reset_mid_frame"
+let m_garbage = Webdep_obs.Metrics.counter "chaos.injected.garbage_prefix"
+let m_delayed = Webdep_obs.Metrics.counter "chaos.injected.delayed"
+
+let injected_counter = function
+  | Clean -> None
+  | Torn_frame -> Some m_torn
+  | Partial_write -> Some m_partial
+  | Reset_mid_frame -> Some m_reset
+  | Garbage_prefix -> Some m_garbage
+  | Delayed -> Some m_delayed
+
+(* Pure: the verdict for a key, with no counter side effect — the
+   qcheck determinism tests call this. *)
+let action_pure plan ~key =
+  if (not (Fault_plan.enabled plan)) || Fault_plan.rate plan <= 0.0 then Clean
+  else if Fault_plan.u01 plan "wire" key >= Fault_plan.rate plan then Clean
+  else
+    List.nth all_actions
+      (Fault_plan.pick_int plan "wire_kind" key (List.length all_actions))
+
+let action plan ~key =
+  let a = action_pure plan ~key in
+  (match injected_counter a with
+  | Some c -> Webdep_obs.Metrics.incr c
+  | None -> ());
+  a
+
+(* Where to cut a [len]-byte frame for torn/reset actions: always at
+   least one byte sent, always at least one byte withheld, so the
+   server genuinely observes a partial frame. *)
+let cut_point plan ~key ~len =
+  if len <= 1 then 1 else 1 + Fault_plan.pick_int plan "wire_cut" key (len - 1)
+
+(* Deterministic garbage for the prefix action.  The first byte is
+   forced >= 0x80 so the 4-byte big-endian length prefix the server
+   reads comes out negative — a corrupt frame header by construction,
+   never an accidental valid frame. *)
+let garbage plan ~key ~len =
+  String.init (Stdlib.max 1 len) (fun i ->
+      let b =
+        Fault_plan.pick_int plan "wire_garbage" (key ^ "#" ^ string_of_int i) 256
+      in
+      Char.chr (if i = 0 then 0x80 lor b else b))

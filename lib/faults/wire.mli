@@ -1,0 +1,36 @@
+(** Deterministic wire-level chaos verdicts for the serving plane.
+
+    Per request key, decides how the chaos harness's client socket
+    should misbehave: truncate the frame and FIN ({!Torn_frame}),
+    dribble it in tiny writes ({!Partial_write}), truncate and RST
+    ({!Reset_mid_frame}), prepend bytes that corrupt the length prefix
+    ({!Garbage_prefix}), or pause mid-frame ({!Delayed}).  Every
+    verdict is a pure hash of (plan seed, key) via
+    {!Fault_plan.u01}/{!Fault_plan.pick_int}: jobs-invariant and
+    replayable by seed, like every other fault channel. *)
+
+type action =
+  | Clean
+  | Torn_frame  (** frame truncated mid-payload, then clean close *)
+  | Partial_write  (** frame delivered in 1..3-byte chunks *)
+  | Reset_mid_frame  (** frame truncated mid-payload, then RST *)
+  | Garbage_prefix  (** corrupt bytes before the frame *)
+  | Delayed  (** a pause splits the frame in two *)
+
+val action_name : action -> string
+
+val action : Fault_plan.t -> key:string -> action
+(** Verdict for a request key; fires with the plan's rate.  Increments
+    the matching [chaos.injected.*] counter when non-{!Clean}. *)
+
+val action_pure : Fault_plan.t -> key:string -> action
+(** Same verdict, no counter side effect (for determinism tests). *)
+
+val cut_point : Fault_plan.t -> key:string -> len:int -> int
+(** Deterministic cut position in [1, len-1] (1 when [len <= 1]): at
+    least one byte sent, at least one withheld. *)
+
+val garbage : Fault_plan.t -> key:string -> len:int -> string
+(** [len] deterministic garbage bytes whose first byte has the top bit
+    set, so a server reading them as a frame length sees a corrupt
+    (negative) prefix, never an accidental valid frame. *)

@@ -81,3 +81,74 @@ let pipeline t reqs =
   List.map (fun _ -> recv t) reqs
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* --- retry/deadline budget ---------------------------------------------- *)
+
+module Retry = Webdep_faults.Retry
+
+let m_call_retries = Webdep_obs.Metrics.counter "client.call.retries"
+let m_call_exhausted = Webdep_obs.Metrics.counter "client.call.exhausted"
+
+(* One whole attempt: fresh connection, one request, one reply.  A fresh
+   connection per attempt is deliberate — the failure modes worth
+   retrying (server restarting, draining, connection reset mid-reply)
+   all leave the old connection useless. *)
+let attempt_once spec req =
+  match connect ~attempts:1 spec with
+  | exception Unix.Unix_error (e, _, _) ->
+      Error ("connect: " ^ Unix.error_message e)
+  | t -> (
+      match request t req with
+      | P.Overloaded ->
+          close t;
+          Error "overloaded"
+      | P.Draining ->
+          close t;
+          Error "draining"
+      | resp ->
+          close t;
+          Ok resp
+      | exception P.Protocol_error msg ->
+          close t;
+          Error msg
+      | exception Unix.Unix_error (e, _, _) ->
+          close t;
+          Error (Unix.error_message e))
+
+(* [call spec req] with a real (slept) retry budget: every failure a
+   restart or overload can cause — connection refused, socket gone,
+   reset mid-reply, an [Overloaded] shed or a [Draining] refusal — is
+   retried with exponential backoff and deterministic jitter (hash of
+   the request key, so two clients hammering the same server do not
+   retry in lockstep) until [max_retries] attempts or the [timeout_s]
+   deadline run out.  Returns the last failure as [Error]. *)
+let call ?(max_retries = 4) ?(timeout_s = 10.0) spec req =
+  let policy =
+    { (Retry.of_max_retries max_retries) with budget_ms = 0.0 }
+  in
+  let key = spec ^ "|" ^ P.encode_request req in
+  let deadline = Unix.gettimeofday () +. timeout_s in
+  let rec go attempt =
+    match attempt_once spec req with
+    | Ok resp -> Ok resp
+    | Error msg ->
+        if attempt + 1 >= policy.Retry.max_attempts then begin
+          Webdep_obs.Metrics.incr m_call_exhausted;
+          Error (Printf.sprintf "%s (after %d attempts)" msg (attempt + 1))
+        end
+        else begin
+          let delay_s =
+            Retry.backoff_ms policy ~key ~attempt:(attempt + 1) /. 1000.0
+          in
+          if Unix.gettimeofday () +. delay_s >= deadline then begin
+            Webdep_obs.Metrics.incr m_call_exhausted;
+            Error (Printf.sprintf "%s (deadline %.1fs exceeded)" msg timeout_s)
+          end
+          else begin
+            Webdep_obs.Metrics.incr m_call_retries;
+            Unix.sleepf delay_s;
+            go (attempt + 1)
+          end
+        end
+  in
+  go 0

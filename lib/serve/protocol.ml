@@ -37,6 +37,7 @@ type response =
   | Deltas of { old_s : float; new_s : float; delta : float }
   | Overloaded
   | Bye
+  | Draining
   | Error of string
 
 (* --- enum codes --------------------------------------------------------- *)
@@ -217,7 +218,8 @@ let encode_response resp =
   | Bye -> put_u8 b 6
   | Error msg ->
       put_u8 b 7;
-      put_str b msg);
+      put_str b msg
+  | Draining -> put_u8 b 8);
   Buffer.contents b
 
 let decode_response_exn payload =
@@ -257,6 +259,7 @@ let decode_response_exn payload =
     | 5 -> Overloaded
     | 6 -> Bye
     | 7 -> Error (get_str cur)
+    | 8 -> Draining
     | t -> fail "bad response tag %d" t
   in
   if cur.off <> String.length payload then fail "trailing bytes after response";
@@ -410,6 +413,7 @@ let response_to_json resp =
           ("delta", Float delta) ]
   | Overloaded -> Obj [ ("kind", String "overloaded") ]
   | Bye -> Obj [ ("kind", String "bye") ]
+  | Draining -> Obj [ ("kind", String "draining") ]
   | Error msg -> Obj [ ("kind", String "error"); ("message", String msg) ]
 
 let response_of_json j =
@@ -445,6 +449,7 @@ let response_of_json j =
         { old_s = json_float j "old"; new_s = json_float j "new"; delta = json_float j "delta" }
   | "overloaded" -> Overloaded
   | "bye" -> Bye
+  | "draining" -> Draining
   | "error" -> Error (json_str j "message")
   | kind -> fail "bad response kind %S" kind
 
@@ -513,5 +518,6 @@ let render resp =
         (Printf.sprintf "2023 %.6f -> 2025 %.6f, delta %+.6f\n" old_s new_s delta)
   | Overloaded -> Buffer.add_string b "overloaded\n"
   | Bye -> Buffer.add_string b "bye\n"
+  | Draining -> Buffer.add_string b "draining\n"
   | Error msg -> Buffer.add_string b (Printf.sprintf "error: %s\n" msg));
   Buffer.contents b

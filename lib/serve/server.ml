@@ -27,6 +27,9 @@ let m_cache_hits = M.counter "serve.cache.hits"
 let m_cache_misses = M.counter "serve.cache.misses"
 let m_proto_errors = M.counter "serve.protocol_errors"
 let m_conns = M.counter "serve.connections"
+let m_conn_reset = M.counter "serve.conn.reset"
+let m_conn_rejected = M.counter "serve.conn.rejected"
+let m_drain_replies = M.counter "serve.drain.replies"
 
 let latency_bounds =
   [| 1e-6; 2e-6; 5e-6; 1e-5; 2e-5; 5e-5; 1e-4; 2e-4; 5e-4; 1e-3; 2e-3; 5e-3;
@@ -157,6 +160,20 @@ let gbuf_add g s =
   Bytes.blit_string s 0 g.buf g.len n;
   g.len <- g.len + n
 
+(* --- drain -------------------------------------------------------------- *)
+
+(* Set from a signal handler (or a test) to ask the running server to
+   drain: finish the queued batches, answer everything still buffered,
+   reply [Draining] to new requests, then exit the loop cleanly.  A
+   global atomic rather than loop state because signal handlers cannot
+   reach into [run]'s closure; [run] re-arms it on entry so sequential
+   servers in one process (the tests) start undrained. *)
+let drain_requested = Atomic.make false
+let request_drain () = Atomic.set drain_requested true
+
+(* How long a drain may take before the loop gives up flushing. *)
+let drain_grace_s = 5.0
+
 type conn = {
   fd : Unix.file_descr;
   mutable rbuf : Bytes.t;  (* incoming partial frames, data always at 0 *)
@@ -165,6 +182,7 @@ type conn = {
   mutable json : bool;  (* JSON-lines debug mode (first byte was '{') *)
   mutable mode_known : bool;
   mutable alive : bool;  (* false: read side done, flush and close *)
+  mutable err : bool;  (* died on a read/write error, not a clean EOF *)
 }
 
 type item = { c : conn; payload : string; arrival : float }
@@ -191,7 +209,9 @@ let read_into c =
         c.rlen <- c.rlen + n;
         if n = read_chunk then go ()
     | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
-    | exception Unix.Unix_error (_, _, _) -> c.alive <- false
+    | exception Unix.Unix_error (_, _, _) ->
+        c.err <- true;
+        c.alive <- false
   in
   go ()
 
@@ -210,6 +230,7 @@ let write_pending c =
           else if w > 0 then go ()
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
       | exception Unix.Unix_error (_, _, _) ->
+          c.err <- true;
           c.alive <- false;
           g.off <- 0;
           g.len <- 0
@@ -218,8 +239,17 @@ let write_pending c =
 
 (* --- the select loop ----------------------------------------------------- *)
 
-let run ?on_ready cfg state =
+let run ?on_ready ?(handle_signals = false) ?snapshot cfg state =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Atomic.set drain_requested false;
+  let previous_handlers =
+    if handle_signals then
+      List.map
+        (fun sg ->
+          (sg, Sys.signal sg (Sys.Signal_handle (fun _ -> request_drain ()))))
+        [ Sys.sigterm; Sys.sigint ]
+    else []
+  in
   let eng = engine ~par_threshold:cfg.par_threshold state in
   let addr = Addr.of_spec cfg.listen in
   let lfd = Unix.socket (Addr.domain addr) Unix.SOCK_STREAM 0 in
@@ -249,13 +279,18 @@ let run ?on_ready cfg state =
     else gbuf_add c.out (P.frame payload)
   in
   let enqueue c payload =
-    if not !stop then begin
-      if Queue.length q >= cfg.max_queue then begin
-        M.incr m_shed;
-        respond c (P.encode_response P.Overloaded)
-      end
-      else Queue.add { c; payload; arrival = Unix.gettimeofday () } q
+    if !stop then begin
+      (* Draining: the request was read but will not be served; tell the
+         client explicitly so its retry budget can move to the next
+         attempt instead of timing out on silence. *)
+      M.incr m_drain_replies;
+      respond c (P.encode_response P.Draining)
     end
+    else if Queue.length q >= cfg.max_queue then begin
+      M.incr m_shed;
+      respond c (P.encode_response P.Overloaded)
+    end
+    else Queue.add { c; payload; arrival = Unix.gettimeofday () } q
   in
   let extract_binary c =
     match P.parse_frames c.rbuf c.rlen with
@@ -269,6 +304,7 @@ let run ?on_ready cfg state =
         (* A corrupt length prefix cannot be resynchronized: answer once
            and drop the connection after the flush. *)
         M.incr m_proto_errors;
+        M.incr m_conn_rejected;
         respond c (P.encode_response (P.Error msg));
         c.rlen <- 0;
         c.alive <- false
@@ -317,7 +353,8 @@ let run ?on_ready cfg state =
               out = gbuf_make 4096;
               json = false;
               mode_known = false;
-              alive = true }
+              alive = true;
+              err = false }
             :: !conns
       | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
           continue := false
@@ -352,46 +389,88 @@ let run ?on_ready cfg state =
       M.Local.flush lat
     end
   in
+  let close_conn c =
+    (* The single close site: every removal path funnels through here,
+       so a dead connection can neither leak its fd nor be counted
+       twice.  Unconsumed partial bytes at close mean the peer vanished
+       (or tore a frame) mid-message. *)
+    if c.err || c.rlen > 0 then M.incr m_conn_reset;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  in
   let finished () =
     !stop && Queue.is_empty q
     && List.for_all (fun c -> gbuf_avail c.out = 0) !conns
   in
-  while (not (finished ())) && Unix.gettimeofday () < !stop_deadline do
-    let rds =
-      if !stop then []
-      else lfd :: List.filter_map (fun c -> if c.alive then Some c.fd else None) !conns
-    in
-    let wrs = List.filter_map (fun c -> if gbuf_avail c.out > 0 then Some c.fd else None) !conns in
-    let timeout = if Queue.is_empty q then 0.1 else 0.0 in
-    let readable, _, _ =
-      if rds = [] && wrs = [] && not (finished ()) then begin
-        if timeout > 0.0 then ignore (Unix.select [] [] [] timeout);
-        ([], [], [])
-      end
-      else
-        try Unix.select rds wrs [] timeout
-        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
-    in
-    if (not !stop) && List.memq lfd readable then accept_loop ();
-    List.iter
-      (fun c ->
-        if c.alive && List.memq c.fd readable then begin
-          read_into c;
-          extract c
-        end)
-      !conns;
-    process_batch ();
-    List.iter (fun c -> if gbuf_avail c.out > 0 then write_pending c) !conns;
-    conns :=
-      List.filter
+  let loop () =
+    while (not (finished ())) && Unix.gettimeofday () < !stop_deadline do
+      (if Atomic.get drain_requested && not !stop then begin
+         (* Graceful drain: stop accepting, answer what is queued or
+            still readable (those get [Draining]), flush, exit. *)
+         stop := true;
+         stop_deadline := Unix.gettimeofday () +. drain_grace_s
+       end);
+      let rds =
+        (* Keep reading established connections while draining so late
+           requests are answered with [Draining] instead of silence;
+           only the listener goes quiet. *)
+        (if !stop then [] else [ lfd ])
+        @ List.filter_map (fun c -> if c.alive then Some c.fd else None) !conns
+      in
+      let wrs = List.filter_map (fun c -> if gbuf_avail c.out > 0 then Some c.fd else None) !conns in
+      let timeout = if Queue.is_empty q then 0.1 else 0.0 in
+      let readable, _, _ =
+        if rds = [] && wrs = [] && not (finished ()) then begin
+          if timeout > 0.0 then ignore (Unix.select [] [] [] timeout);
+          ([], [], [])
+        end
+        else
+          try Unix.select rds wrs [] timeout
+          with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      if (not !stop) && List.memq lfd readable then accept_loop ();
+      List.iter
         (fun c ->
-          if (not c.alive) && gbuf_avail c.out = 0 then begin
-            (try Unix.close c.fd with Unix.Unix_error _ -> ());
-            false
-          end
-          else true)
-        !conns
-  done;
-  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) !conns;
-  (try Unix.close lfd with Unix.Unix_error _ -> ());
-  Addr.unlink_if_unix addr
+          if c.alive && List.memq c.fd readable then begin
+            read_into c;
+            extract c
+          end)
+        !conns;
+      process_batch ();
+      List.iter (fun c -> if gbuf_avail c.out > 0 then write_pending c) !conns;
+      conns :=
+        List.filter
+          (fun c ->
+            if (not c.alive) && gbuf_avail c.out = 0 then begin
+              close_conn c;
+              false
+            end
+            else true)
+          !conns
+    done
+  in
+  (* Whatever takes the loop down — clean drain, shutdown request or an
+     unexpected exception — every fd is closed, the socket path is
+     unlinked and signal handlers are restored. *)
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter close_conn !conns;
+      conns := [];
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      Addr.unlink_if_unix addr;
+      List.iter (fun (sg, h) -> Sys.set_signal sg h) previous_handlers)
+    loop;
+  (* Reached only on a clean exit: persist the warm state so the next
+     start skips the two-epoch measurement sweep.  Best-effort — a full
+     disk must not turn a clean drain into a crash. *)
+  match snapshot with
+  | None -> ()
+  | Some path -> (
+      try
+        Snapshot.save ~path ~fingerprint:(State.fingerprint eng.state)
+          (State.datasets eng.state)
+      with
+      | Sys_error msg ->
+          Printf.eprintf "webdep serve: snapshot write failed: %s\n%!" msg
+      | Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "webdep serve: snapshot write failed: %s\n%!"
+            (Unix.error_message e))

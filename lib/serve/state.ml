@@ -17,6 +17,7 @@ type epoch_state = { inc_by_layer : (D.layer * Inc.t) list }
 type t = {
   fingerprint : string;  (* world/store fingerprint keying the response cache *)
   countries : string list;  (* dataset order *)
+  datasets : (World.epoch * D.t) list;  (* measured inputs, kept for snapshots *)
   epochs : (World.epoch * epoch_state) list;
 }
 
@@ -30,10 +31,11 @@ let make ~fingerprint datasets =
   let countries =
     match datasets with (_, ds) :: _ -> D.countries ds | [] -> []
   in
-  { fingerprint; countries; epochs }
+  { fingerprint; countries; datasets; epochs }
 
 let fingerprint t = t.fingerprint
 let countries t = t.countries
+let datasets t = t.datasets
 let epochs t = List.map fst t.epochs
 
 let inc t epoch layer =

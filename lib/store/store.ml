@@ -99,41 +99,34 @@ let save t path =
         Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.entries [])
   in
   let items = List.sort (fun (a, _) (b, _) -> String.compare a b) items in
-  let oc = open_out path in
-  output_string oc (header_line t.fingerprint);
-  output_char oc '\n';
-  List.iter
-    (fun (k, e) ->
-      match String.split_on_char '|' k with
-      | [ epoch; resolution; vantage; _domain ] ->
-          output_string oc (entry_line ~epoch ~resolution ~vantage e);
-          output_char oc '\n'
-      | _ -> assert false)
-    items;
-  close_out oc
+  let lines =
+    List.map
+      (fun (k, e) ->
+        match String.split_on_char '|' k with
+        | [ epoch; resolution; vantage; _domain ] ->
+            entry_line ~epoch ~resolution ~vantage e
+        | _ -> assert false)
+      items
+  in
+  (* Atomic replace: a sweep killed mid-save leaves the previous spill
+     intact instead of a truncated file. *)
+  Webdep_faults.Jsonl.write_atomic ~path ~header:(header_line t.fingerprint) lines
+
+let m_torn = Webdep_obs.Metrics.counter "store.spill.torn_recovered"
 
 let load ~path ~fingerprint =
   let t = create ~fingerprint () in
-  (if Sys.file_exists path then begin
-     let ic = open_in path in
-     let header = match input_line ic with h -> Some h | exception End_of_file -> None in
-     (match header with
-     | Some h when String.equal h (header_line fingerprint) ->
-         let rec go () =
-           match input_line ic with
-           | exception End_of_file -> ()
-           | line -> (
-               (* Stop at the first bad line: everything after a torn
-                  write is suspect, like checkpoint recovery. *)
-               match entry_of_line line with
-               | Some (k, e) ->
-                   Hashtbl.replace t.entries k e;
-                   go ()
-               | None -> ())
-         in
-         go ()
-     | Some _ -> Webdep_obs.Metrics.incr m_invalidated
-     | None -> ());
-     close_in ic
-   end);
+  (match
+     Webdep_faults.Jsonl.load ~path ~header:(header_line fingerprint)
+       ~parse:entry_of_line
+   with
+  | Webdep_faults.Jsonl.No_file -> ()
+  | Webdep_faults.Jsonl.Header_mismatch ->
+      if Sys.file_exists path then Webdep_obs.Metrics.incr m_invalidated
+  | Webdep_faults.Jsonl.Loaded { entries; torn } ->
+      (* A torn tail can only come from a pre-atomic spill (or a
+         filesystem that lost the rename); keep the intact prefix —
+         everything after the first bad line is suspect. *)
+      if torn then Webdep_obs.Metrics.incr m_torn;
+      List.iter (fun (k, e) -> Hashtbl.replace t.entries k e) entries);
   t

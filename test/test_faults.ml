@@ -392,6 +392,101 @@ let test_checkpoint_parameter_mismatch_discards () =
   Alcotest.(check bool) "result matches a checkpoint-free run" true
     (datasets_equal direct.Measure.dataset fresh.Measure.dataset)
 
+
+(* --- shared JSONL helper -------------------------------------------------- *)
+
+module Jsonl = Webdep_faults.Jsonl
+
+let temp_path () =
+  let p = Filename.temp_file "webdep_jsonl_test" ".jsonl" in
+  Sys.remove p;
+  p
+
+let jsonl_parse line = if String.length line > 0 && line.[0] = '#' then None else Some line
+
+let test_jsonl_roundtrip () =
+  let path = temp_path () in
+  let lines = [ "one"; "two"; "three" ] in
+  Jsonl.write_atomic ~path ~header:"H1" lines;
+  (match Jsonl.load ~path ~header:"H1" ~parse:jsonl_parse with
+  | Jsonl.Loaded { entries; torn } ->
+      Alcotest.(check (list string)) "entries round-trip" lines entries;
+      Alcotest.(check bool) "not torn" false torn
+  | _ -> Alcotest.fail "expected Loaded");
+  (* No stray temp files left behind by the atomic write. *)
+  let dir = Filename.dirname path and base = Filename.basename path in
+  Array.iter
+    (fun f ->
+      if String.length f > String.length base
+         && String.sub f 0 (String.length base) = base then
+        Alcotest.fail ("stray temp file " ^ f))
+    (Sys.readdir dir);
+  Sys.remove path
+
+let test_jsonl_torn_tail () =
+  let path = temp_path () in
+  Jsonl.write_atomic ~path ~header:"H1" [ "one"; "two" ];
+  (* Simulate a kill mid-append: a trailing line the parser rejects. *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "#corrupt-tail-without-newline";
+  close_out oc;
+  (match Jsonl.load ~path ~header:"H1" ~parse:jsonl_parse with
+  | Jsonl.Loaded { entries; torn } ->
+      Alcotest.(check (list string)) "intact prefix kept" [ "one"; "two" ] entries;
+      Alcotest.(check bool) "reported torn" true torn
+  | _ -> Alcotest.fail "expected Loaded with torn tail");
+  Sys.remove path
+
+let test_jsonl_header_mismatch_and_absent () =
+  let path = temp_path () in
+  (match Jsonl.load ~path ~header:"H1" ~parse:jsonl_parse with
+  | Jsonl.No_file -> ()
+  | _ -> Alcotest.fail "expected No_file");
+  Jsonl.write_atomic ~path ~header:"H1" [ "one" ];
+  (match Jsonl.load ~path ~header:"H2" ~parse:jsonl_parse with
+  | Jsonl.Header_mismatch -> ()
+  | _ -> Alcotest.fail "expected Header_mismatch");
+  Sys.remove path
+
+(* --- wire chaos verdicts -------------------------------------------------- *)
+
+module Wire = Webdep_faults.Wire
+
+let test_wire_deterministic () =
+  let p1 = Faults.make ~rate:0.5 ~seed:77 () in
+  let p2 = Faults.make ~rate:0.5 ~seed:77 () in
+  let seen_injected = ref 0 and seen_clean = ref 0 in
+  for i = 0 to 499 do
+    let key = Printf.sprintf "req-%d" i in
+    let a1 = Wire.action_pure p1 ~key and a2 = Wire.action_pure p2 ~key in
+    Alcotest.(check string) ("same verdict for " ^ key)
+      (Wire.action_name a1) (Wire.action_name a2);
+    (match a1 with Wire.Clean -> incr seen_clean | _ -> incr seen_injected);
+    (* cut points and garbage are deterministic and well-formed too *)
+    let c1 = Wire.cut_point p1 ~key ~len:40 and c2 = Wire.cut_point p2 ~key ~len:40 in
+    Alcotest.(check int) "same cut" c1 c2;
+    Alcotest.(check bool) "cut in (0, len)" true (c1 >= 1 && c1 < 40);
+    let g1 = Wire.garbage p1 ~key ~len:8 and g2 = Wire.garbage p2 ~key ~len:8 in
+    Alcotest.(check string) "same garbage" g1 g2;
+    Alcotest.(check bool) "garbage poisons the length prefix" true
+      (Char.code g1.[0] >= 0x80)
+  done;
+  Alcotest.(check bool) "rate 0.5 injects some" true (!seen_injected > 100);
+  Alcotest.(check bool) "rate 0.5 leaves some clean" true (!seen_clean > 100)
+
+let test_wire_disabled_and_rate_zero () =
+  let disabled = Faults.disabled in
+  let zero = Faults.make ~rate:0.0 ~seed:3 () in
+  for i = 0 to 99 do
+    let key = string_of_int i in
+    (match Wire.action_pure disabled ~key with
+    | Wire.Clean -> ()
+    | a -> Alcotest.fail ("disabled plan injected " ^ Wire.action_name a));
+    match Wire.action_pure zero ~key with
+    | Wire.Clean -> ()
+    | a -> Alcotest.fail ("rate-0 plan injected " ^ Wire.action_name a)
+  done
+
 let () =
   Alcotest.run "webdep_faults"
     [
@@ -438,6 +533,20 @@ let () =
             test_sweep_zero_rate_identical_to_legacy;
           Alcotest.test_case "coverage gating" `Quick test_coverage_threshold_gates;
           Alcotest.test_case "scores stay close" `Quick test_faulted_scores_stay_close;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "atomic write round-trip" `Quick test_jsonl_roundtrip;
+          Alcotest.test_case "torn tail recovery" `Quick test_jsonl_torn_tail;
+          Alcotest.test_case "header mismatch / absent" `Quick
+            test_jsonl_header_mismatch_and_absent;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "chaos verdicts deterministic" `Quick
+            test_wire_deterministic;
+          Alcotest.test_case "disabled and rate-0 stay clean" `Quick
+            test_wire_disabled_and_rate_zero;
         ] );
       ( "checkpoint",
         [

@@ -10,6 +10,11 @@ module P = Webdep_serve.Protocol
 module State = Webdep_serve.State
 module Server = Webdep_serve.Server
 module Client = Webdep_serve.Client
+module Snapshot = Webdep_serve.Snapshot
+module Chaos = Webdep_serve.Chaos
+module Supervisor = Webdep_serve.Supervisor
+module FP = Webdep_faults.Fault_plan
+module Wire = Webdep_faults.Wire
 module World = Webdep_worldgen.World
 module Measure = Webdep_pipeline.Measure
 module D = Webdep.Dataset
@@ -52,6 +57,7 @@ let response_gen =
       [ return P.Pong;
         return P.Overloaded;
         return P.Bye;
+        return P.Draining;
         map (fun msg -> P.Error msg) (small_string ~gen:printable);
         map3 (fun s hhi insularity -> P.Scores { s; hhi; insularity }) float_gen float_gen
           float_gen;
@@ -308,13 +314,15 @@ let temp_socket () =
   Sys.remove path;
   path
 
-let start_server ?(max_queue = 64) ?(batch_max = 16) ?(drain_delay_s = 0.0) path =
+let start_server ?(max_queue = 64) ?(batch_max = 16) ?(drain_delay_s = 0.0)
+    ?snapshot path =
   let st = Lazy.force state in
   let ready = Atomic.make false in
   let d =
     Domain.spawn (fun () ->
         Server.run
           ~on_ready:(fun () -> Atomic.set ready true)
+          ?snapshot
           (Server.config ~max_queue ~batch_max ~drain_delay_s path)
           st)
   in
@@ -391,6 +399,305 @@ let test_json_lines_mode () =
   Client.close cl;
   Domain.join d
 
+(* --- protocol fuzz: mutated and truncated bytes --------------------------- *)
+
+(* The decoder's contract under hostile bytes: a clean [Error], never an
+   unexpected exception, never accepting a mutant as some other valid
+   request whose re-encoding it is not.  (Bit flips CAN produce another
+   valid encoding — e.g. a flipped country byte — so acceptance is fine;
+   what is checked is decode/encode consistency.) *)
+let qcheck_mutation_fuzz =
+  QCheck.Test.make ~count:1000 ~name:"mutated payloads never crash the decoder"
+    QCheck.(triple request_arb small_nat small_nat)
+    (fun (req, pos_seed, byte_seed) ->
+      let payload = Bytes.of_string (P.encode_request req) in
+      let len = Bytes.length payload in
+      let pos = pos_seed mod len in
+      Bytes.set payload pos
+        (Char.chr ((Char.code (Bytes.get payload pos) + 1 + byte_seed) land 0xff));
+      let mutant = Bytes.to_string payload in
+      match P.decode_request mutant with
+      | Error _ -> true
+      | Ok req' -> String.equal (P.encode_request req') mutant
+      | exception _ -> false)
+
+(* Framing layer under a mutated stream: parse_frames either returns
+   with a bounded consumed count or raises Protocol_error — nothing
+   else — and never consumes past what it was given. *)
+let qcheck_frame_fuzz =
+  QCheck.Test.make ~count:500 ~name:"mutated frame streams never over-consume"
+    QCheck.(triple (small_list request_arb) small_nat small_nat)
+    (fun (reqs, pos_seed, cut_seed) ->
+      let stream =
+        String.concat "" (List.map (fun r -> P.frame (P.encode_request r)) reqs)
+      in
+      QCheck.assume (String.length stream > 0);
+      let b = Bytes.of_string stream in
+      let pos = pos_seed mod Bytes.length b in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x80));
+      let keep = 1 + (cut_seed mod Bytes.length b) in
+      match P.parse_frames b keep with
+      | _, consumed -> consumed >= 0 && consumed <= keep
+      | exception P.Protocol_error _ -> true
+      | exception _ -> false)
+
+(* --- snapshots ------------------------------------------------------------ *)
+
+let snapshot_path () =
+  let p = Filename.temp_file "webdep_snap_test" ".bin" in
+  Sys.remove p;
+  p
+
+let answers st reqs = List.map (fun r -> P.encode_response (State.answer st r)) reqs
+
+let test_snapshot_roundtrip () =
+  let st = Lazy.force state in
+  let path = snapshot_path () in
+  Snapshot.save ~path ~fingerprint:"test-world-60" (State.datasets st);
+  (match Snapshot.load ~path ~fingerprint:"test-world-60" ~countries:test_countries with
+  | Snapshot.Loaded shards ->
+      Alcotest.(check int) "2 epochs x 4 countries" 8 (List.length shards);
+      let datasets =
+        Snapshot.to_datasets
+          ~epochs:[ World.May_2023; World.May_2025 ]
+          ~countries:test_countries
+          ~fill:(fun _ _ -> Alcotest.fail "complete snapshot must not re-measure")
+          shards
+      in
+      let st' = State.make ~fingerprint:"test-world-60" datasets in
+      State.warm st';
+      let reqs = List.filter (fun r -> r <> P.Shutdown) (sample_requests ()) in
+      Alcotest.(check (list string))
+        "restored state answers byte-identical" (answers st reqs) (answers st' reqs)
+  | _ -> Alcotest.fail "expected Loaded");
+  Sys.remove path
+
+let test_snapshot_rejects () =
+  let st = Lazy.force state in
+  let path = snapshot_path () in
+  Alcotest.(check bool) "absent"
+    true
+    (Snapshot.load ~path ~fingerprint:"test-world-60" ~countries:test_countries
+     = Snapshot.Absent);
+  Snapshot.save ~path ~fingerprint:"test-world-60" (State.datasets st);
+  Alcotest.(check bool) "fingerprint mismatch rejected" true
+    (Snapshot.load ~path ~fingerprint:"other-world" ~countries:test_countries
+     = Snapshot.Rejected);
+  Alcotest.(check bool) "countries mismatch rejected" true
+    (Snapshot.load ~path ~fingerprint:"test-world-60" ~countries:[ "US"; "DE" ]
+     = Snapshot.Rejected);
+  (* A file that is not a snapshot at all. *)
+  let oc = open_out path in
+  output_string oc "this is not a snapshot";
+  close_out oc;
+  Alcotest.(check bool) "garbage file rejected" true
+    (Snapshot.load ~path ~fingerprint:"test-world-60" ~countries:test_countries
+     = Snapshot.Rejected);
+  Sys.remove path
+
+let test_snapshot_torn_tail () =
+  let st = Lazy.force state in
+  let path = snapshot_path () in
+  Snapshot.save ~path ~fingerprint:"test-world-60" (State.datasets st);
+  let full = In_channel.with_open_bin path In_channel.input_all in
+  (* Truncate to 60%: the header and a prefix of shards survive. *)
+  let cut = String.length full * 6 / 10 in
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (String.sub full 0 cut));
+  (match Snapshot.load ~path ~fingerprint:"test-world-60" ~countries:test_countries with
+  | Snapshot.Torn shards ->
+      Alcotest.(check bool) "some shards recovered" true (List.length shards > 0);
+      Alcotest.(check bool) "not all shards recovered" true (List.length shards < 8);
+      (* Every recovered shard is bit-identical to the original data. *)
+      let orig = State.datasets (Lazy.force state) in
+      List.iter
+        (fun (sh : Snapshot.shard) ->
+          let ds = List.assoc sh.Snapshot.epoch orig in
+          Alcotest.(check bool)
+            ("shard intact: " ^ sh.Snapshot.data.D.country)
+            true
+            (D.country_exn ds sh.Snapshot.data.D.country = sh.Snapshot.data))
+        shards
+  | _ -> Alcotest.fail "expected Torn");
+  (* Flip one byte mid-file: CRC catches it, the poisoned suffix is
+     dropped, the prefix survives. *)
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc full);
+  let b = Bytes.of_string full in
+  let mid = Bytes.length b / 2 in
+  Bytes.set b mid (Char.chr (Char.code (Bytes.get b mid) lxor 0x40));
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (Bytes.to_string b));
+  (match Snapshot.load ~path ~fingerprint:"test-world-60" ~countries:test_countries with
+  | Snapshot.Torn _ -> ()
+  | Snapshot.Loaded _ -> Alcotest.fail "flipped byte must not load clean"
+  | _ -> Alcotest.fail "expected Torn after bit flip");
+  Sys.remove path
+
+(* --- graceful drain ------------------------------------------------------- *)
+
+let test_drain () =
+  let st = Lazy.force state in
+  let path = temp_socket () in
+  let snap = snapshot_path () in
+  let d = start_server ~snapshot:snap path in
+  let cl = Client.connect path in
+  (match Client.request cl P.Ping with
+  | P.Pong -> ()
+  | _ -> Alcotest.fail "ping before drain");
+  Server.request_drain ();
+  (* The loop notices the drain within one select timeout; late requests
+     are answered with Draining, not silence. *)
+  let rec drain_reply n =
+    match Client.request cl P.Ping with
+    | P.Draining -> ()
+    | P.Pong when n > 0 ->
+        ignore (Unix.select [] [] [] 0.02);
+        drain_reply (n - 1)
+    | r ->
+        Alcotest.fail
+          ("expected draining, got " ^ String.trim (P.render r)
+          ^ if n = 0 then " (drain never took effect)" else "")
+  in
+  drain_reply 100;
+  Domain.join d;
+  Client.close cl;
+  Alcotest.(check bool) "socket removed after drain" false (Sys.file_exists path);
+  (* The drain persisted a loadable snapshot. *)
+  (match Snapshot.load ~path:snap ~fingerprint:"test-world-60" ~countries:test_countries with
+  | Snapshot.Loaded shards -> Alcotest.(check int) "snapshot complete" 8 (List.length shards)
+  | _ -> Alcotest.fail "drain must write a loadable snapshot");
+  Sys.remove snap;
+  ignore st
+
+(* --- client retry budget -------------------------------------------------- *)
+
+let test_client_call_retry () =
+  let path = temp_socket () in
+  (* No server: the budget must be exhausted, quickly and with an error. *)
+  let t0 = Unix.gettimeofday () in
+  (match Client.call ~max_retries:2 ~timeout_s:5.0 path P.Ping with
+  | Ok _ -> Alcotest.fail "no server must not answer"
+  | Error msg ->
+      Alcotest.(check bool) "error mentions attempts" true
+        (String.length msg > 0));
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool) "retries backed off but stayed bounded" true
+    (elapsed < 4.0);
+  (* Against a live server the same call succeeds. *)
+  let d = start_server path in
+  (match Client.call ~max_retries:2 ~timeout_s:5.0 path P.Ping with
+  | Ok P.Pong -> ()
+  | Ok r -> Alcotest.fail ("expected pong, got " ^ String.trim (P.render r))
+  | Error msg -> Alcotest.fail ("live server call failed: " ^ msg));
+  (* Draining replies are retried — and eventually reported, not hidden. *)
+  let cl = Client.connect path in
+  (match Client.request cl P.Shutdown with P.Bye -> () | _ -> Alcotest.fail "bye");
+  Client.close cl;
+  Domain.join d
+
+(* --- wire chaos ----------------------------------------------------------- *)
+
+let count_fds () = Array.length (Sys.readdir "/proc/self/fd")
+
+let test_chaos_storm () =
+  let st = Lazy.force state in
+  let path = temp_socket () in
+  let d = start_server path in
+  (* Let the accept/close churn settle before taking the baseline. *)
+  let warm = Client.connect path in
+  (match Client.request warm P.Ping with P.Pong -> () | _ -> Alcotest.fail "warmup");
+  Client.close warm;
+  ignore (Unix.select [] [] [] 0.1);
+  let fd_baseline = count_fds () in
+  let plan = FP.make ~rate:0.6 ~seed:4242 () in
+  let reqs = List.filter (fun r -> r <> P.Shutdown) (sample_requests ()) in
+  let n = ref 0 and replies = ref 0 and injected = ref 0 and broken = ref [] in
+  for i = 0 to 199 do
+    let req = List.nth reqs (i mod List.length reqs) in
+    let key = Printf.sprintf "chaos-%d" i in
+    let act, out = Chaos.call plan ~key path req in
+    incr n;
+    match out with
+    | Chaos.Reply resp ->
+        incr replies;
+        (* Any reply owed must be byte-identical to the local answer. *)
+        (match act with
+        | Wire.Clean | Wire.Partial_write | Wire.Delayed ->
+            if
+              not
+                (String.equal
+                   (P.encode_response resp)
+                   (P.encode_response (State.answer st req)))
+            then broken := (key ^ ": reply differs") :: !broken
+        | _ -> ())
+    | Chaos.Injected -> incr injected
+    | Chaos.Refused msg -> broken := (key ^ ": refused: " ^ msg) :: !broken
+    | Chaos.Broken msg -> broken := (key ^ ": " ^ msg) :: !broken
+  done;
+  Alcotest.(check (list string)) "no broken exchanges" [] !broken;
+  Alcotest.(check bool) "storm injected faults" true (!injected > 30);
+  Alcotest.(check bool) "storm still served replies" true (!replies > 30);
+  (* The server survived: a clean query still answers correctly. *)
+  let cl = Client.connect path in
+  (match Client.request cl P.Ping with
+  | P.Pong -> ()
+  | _ -> Alcotest.fail "server broken after chaos storm");
+  (* No fd leak: once the dead connections are reaped, the process is
+     back to its baseline.  The one live verification connection counts
+     twice — client end plus the server's accepted end, since the server
+     domain shares this process. *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  let rec settle () =
+    let now_fds = count_fds () in
+    if now_fds <= fd_baseline + 2 then ()
+    else if Unix.gettimeofday () > deadline then
+      Alcotest.failf "fd leak: %d fds vs baseline %d" now_fds fd_baseline
+    else begin
+      ignore (Unix.select [] [] [] 0.05);
+      settle ()
+    end
+  in
+  settle ();
+  (match Client.request cl P.Shutdown with P.Bye -> () | _ -> Alcotest.fail "bye");
+  Client.close cl;
+  Domain.join d
+
+let test_chaos_deterministic_outcomes () =
+  (* The planned action sequence is a pure function of (seed, key):
+     replaying the keys yields the same taxonomy without any server. *)
+  let p1 = FP.make ~rate:0.35 ~seed:99 () in
+  let p2 = FP.make ~rate:0.35 ~seed:99 () in
+  let keys = List.init 300 (fun i -> Printf.sprintf "k%d" i) in
+  let acts p = List.map (fun k -> Wire.action_name (Wire.action_pure p ~key:k)) keys in
+  Alcotest.(check (list string)) "same plan, same storm" (acts p1) (acts p2)
+
+(* --- supervisor policy ---------------------------------------------------- *)
+
+let test_supervisor_decide () =
+  let policy =
+    { Supervisor.default_policy with restart_limit = 3; window_s = 10.0 }
+  in
+  let now = 1000.0 in
+  (* Old failures outside the window are forgotten. *)
+  (match Supervisor.decide ~policy ~now [ now; 900.0; 800.0; 700.0 ] with
+  | Supervisor.Restart d -> Alcotest.(check bool) "backoff positive" true (d >= 0.0)
+  | Supervisor.Give_up -> Alcotest.fail "stale failures must not give up");
+  (* More than restart_limit recent failures: give up. *)
+  (match Supervisor.decide ~policy ~now [ now; now -. 1.0; now -. 2.0; now -. 3.0 ] with
+  | Supervisor.Give_up -> ()
+  | Supervisor.Restart _ -> Alcotest.fail "crash loop must give up");
+  (* Backoff grows with the number of recent failures, deterministically. *)
+  let delay fails =
+    match Supervisor.decide ~policy ~now fails with
+    | Supervisor.Restart d -> d
+    | Supervisor.Give_up -> Alcotest.fail "unexpected give-up"
+  in
+  let d1 = delay [ now ] in
+  let d2 = delay [ now; now -. 1.0 ] in
+  let d3 = delay [ now; now -. 1.0; now -. 2.0 ] in
+  Alcotest.(check bool) "exponential growth" true (d1 < d2 && d2 < d3);
+  Alcotest.(check (float 1e-9)) "deterministic" d1 (delay [ now ])
+
 (* --- suite ---------------------------------------------------------------- *)
 
 let () =
@@ -422,5 +729,28 @@ let () =
           Alcotest.test_case "daemon = one-shot round-trip" `Quick test_server_roundtrip;
           Alcotest.test_case "load shedding" `Quick test_load_shedding;
           Alcotest.test_case "json-lines debug mode" `Quick test_json_lines_mode;
+          Alcotest.test_case "graceful drain + snapshot" `Quick test_drain;
         ] );
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest qcheck_mutation_fuzz;
+          QCheck_alcotest.to_alcotest qcheck_frame_fuzz;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "round-trip" `Quick test_snapshot_roundtrip;
+          Alcotest.test_case "rejects" `Quick test_snapshot_rejects;
+          Alcotest.test_case "torn tail" `Quick test_snapshot_torn_tail;
+        ] );
+      ( "client",
+        [ Alcotest.test_case "retry budget" `Quick test_client_call_retry ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "storm: no crash, no leak, exact replies" `Quick
+            test_chaos_storm;
+          Alcotest.test_case "verdicts deterministic" `Quick
+            test_chaos_deterministic_outcomes;
+        ] );
+      ( "supervisor",
+        [ Alcotest.test_case "crash-loop policy" `Quick test_supervisor_decide ] );
     ]
