@@ -1806,7 +1806,7 @@ let serve_clients = env_int "WEBDEP_BENCH_SERVE_CLIENTS" (max 2 (min 4 jobs))
    state's country list — the same stream regardless of client count. *)
 let serve_mix countries n offset =
   let layers = [| D.Hosting; D.Dns; D.Ca; D.Tld |] in
-  let epochs = [| World.May_2023; World.May_2025 |] in
+  let epochs = [| "2023-05"; "2025-05" |] in
   let ccs = Array.of_list countries in
   List.init n (fun j ->
       let i = offset + j in
@@ -1817,7 +1817,9 @@ let serve_mix countries n offset =
       | 0 -> Serve.Protocol.Score { epoch; layer; country }
       | 1 -> Serve.Protocol.Top_shares { epoch; layer; country; k = 10 }
       | 2 -> Serve.Protocol.Ranking { epoch; layer; k = 20 }
-      | 3 -> Serve.Protocol.Delta { layer; country }
+      | 3 ->
+          Serve.Protocol.Delta
+            { layer; country; old_epoch = "2023-05"; new_epoch = "2025-05" }
       | _ -> Serve.Protocol.Ping)
 
 let serve_json : (string * Json.t) list ref = ref []
@@ -1833,7 +1835,7 @@ let serve_phase () =
         let ds25 = Measure.measure_all ~epoch:World.May_2025 ~jobs sw in
         let st =
           Serve.State.make ~fingerprint:"bench-serve"
-            [ (World.May_2023, ds23); (World.May_2025, ds25) ]
+            [ ("2023-05", ds23); ("2025-05", ds25) ]
         in
         Serve.State.warm st;
         st)
@@ -1961,11 +1963,15 @@ let chaos_json : (string * Json.t) list ref = ref []
       is forbidden in OCaml 5; CI exercises the real kill -9 path. *)
 let chaos_phase () =
   section "Chaos" "deterministic wire faults, crash, restart from snapshot";
-  let epochs = [ World.May_2023; World.May_2025 ] in
+  let epochs =
+    [ ("2023-05", World.May_2023); ("2025-05", World.May_2025) ]
+  in
   let build () =
     let sw = World.create ~c:chaos_c ~seed () in
     let ds =
-      List.map (fun e -> (e, Measure.measure_all ~epoch:e ~jobs sw)) epochs
+      List.map
+        (fun (name, e) -> (name, Measure.measure_all ~epoch:e ~jobs sw))
+        epochs
     in
     let st = Serve.State.make ~fingerprint:"bench-chaos" ds in
     Serve.State.warm st;
@@ -2038,7 +2044,7 @@ let chaos_phase () =
         with
         | Serve.Snapshot.Loaded shards ->
             let datasets =
-              Serve.Snapshot.to_datasets ~epochs ~countries
+              Serve.Snapshot.to_datasets ~epochs:(List.map fst epochs) ~countries
                 ~fill:(fun _ _ ->
                   failwith "bench chaos: complete snapshot must not re-measure")
                 shards
@@ -2098,6 +2104,149 @@ let chaos_phase () =
     (if !recovered_identical then "yes" else "NO")
 
 (* ========================================================================
+   Epoch churn-log replay (always runs): O(churn) per-epoch rescoring
+   versus a full re-sweep at every epoch, compaction ratio, and the
+   warm-start flatness claim — a compacted long history restarts as fast
+   as a genuinely short one.  CI asserts on the "epoch" object.
+   ======================================================================== *)
+
+module Epoch = Webdep_epoch
+
+let epoch_c = env_int "WEBDEP_BENCH_EPOCH_C" 300
+let epoch_n = env_int "WEBDEP_BENCH_EPOCH_N" 24
+let epoch_churn = 0.02
+let epoch_json : (string * Json.t) list ref = ref []
+
+let epoch_phase () =
+  section "Epoch"
+    "churn-log replay: O(churn) rescoring vs per-epoch full re-sweeps";
+  let sw = World.create ~c:epoch_c ~seed () in
+  let ds23 = Measure.measure_all ~jobs sw in
+  let ds25 = Measure.measure_all ~epoch:World.May_2025 ~jobs sw in
+  let base = List.map (D.country_exn ds23) (D.countries ds23) in
+  let donors =
+    List.map
+      (fun cc -> (cc, Array.of_list (D.country_exn ds25 cc).D.sites))
+      (D.countries ds25)
+  in
+  let events =
+    Epoch.Synth.generate ~seed ~fraction:epoch_churn ~epochs:epoch_n
+      ~base_epoch:0 ~base ~donors
+  in
+  let log_path = Filename.temp_file "webdep_bench_epoch" ".log" in
+  let (), append_s =
+    Span.timed ~name:"bench.epoch.append" (fun () ->
+        Epoch.Log.create ~path:log_path ~base_epoch:0 ~base ();
+        List.iter
+          (fun (ev : Epoch.Log.event) ->
+            Epoch.Log.append ~path:log_path ~epoch:ev.Epoch.Log.epoch
+              ev.Epoch.Log.changes)
+          events)
+  in
+  let log =
+    match Epoch.Log.load ~path:log_path with
+    | Epoch.Log.Loaded l -> l
+    | _ -> failwith "bench epoch: freshly written log must load"
+  in
+  (* Incremental side: fold each epoch through the per-layer tallies and
+     read every country's hosting score — O(churn + countries)/epoch. *)
+  let inc_scores = ref [] in
+  let _, replay_s =
+    Span.timed ~name:"bench.epoch.replay" (fun () ->
+        Epoch.Replay.replay
+          ~observe:(fun r ->
+            inc_scores := Epoch.Replay.scores ~jobs:1 r D.Hosting :: !inc_scores)
+          log)
+  in
+  let inc_scores = List.rev !inc_scores in
+  (* Cold side: what the no-log pipeline would do — rebuild the full
+     dataset at every epoch and re-tally every country from scratch. *)
+  let cold_scores = ref [] in
+  let _, full_s =
+    Span.timed ~name:"bench.epoch.full" (fun () ->
+        Epoch.Replay.replay
+          ~observe:(fun r ->
+            let ds = D.of_country_data (Epoch.Replay.materialize r) in
+            cold_scores := Metrics.all_scores ds D.Hosting :: !cold_scores)
+          log)
+  in
+  let cold_scores = List.rev !cold_scores in
+  (* Every epoch's scores must agree bit-for-bit (the cold list is
+     rank-sorted, the incremental one is in baseline order). *)
+  let by_cc l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
+  let identical =
+    List.length inc_scores = List.length cold_scores
+    && List.for_all2
+         (fun a b ->
+           let a = by_cc a and b = by_cc b in
+           List.length a = List.length b
+           && List.for_all2
+                (fun (cc1, s1) (cc2, s2) ->
+                  String.equal cc1 cc2
+                  && Int64.equal (Int64.bits_of_float s1) (Int64.bits_of_float s2))
+                a b)
+         inc_scores cold_scores
+  in
+  let speedup = full_s /. (if replay_s > 0.0 then replay_s else 1e-9) in
+  (* Compaction: collapse all but the last 4 epochs; the file shrinks and
+     a warm start costs what a genuinely 4-epoch history costs. *)
+  let raw_bytes = (Unix.stat log_path).Unix.st_size in
+  let compacted = Epoch.Replay.compact log ~keep_last:4 in
+  let compact_path = Filename.temp_file "webdep_bench_epoch" ".compact.log" in
+  Epoch.Log.write ~path:compact_path compacted;
+  let compacted_bytes = (Unix.stat compact_path).Unix.st_size in
+  let short_path = Filename.temp_file "webdep_bench_epoch" ".short.log" in
+  let rec take k = function
+    | x :: rest when k > 0 -> x :: take (k - 1) rest
+    | _ -> []
+  in
+  Epoch.Log.create ~path:short_path ~base_epoch:0 ~base ();
+  List.iter
+    (fun (ev : Epoch.Log.event) ->
+      Epoch.Log.append ~path:short_path ~epoch:ev.Epoch.Log.epoch
+        ev.Epoch.Log.changes)
+    (take 4 events);
+  let warm_start path =
+    snd
+      (Span.timed ~name:"bench.epoch.warm" (fun () ->
+           match Epoch.Log.load ~path with
+           | Epoch.Log.Loaded l -> ignore (Epoch.Replay.replay l)
+           | _ -> failwith "bench epoch: warm-start log must load"))
+  in
+  let warm_short_s = warm_start short_path in
+  let warm_compacted_s = warm_start compact_path in
+  let warm_ratio =
+    warm_compacted_s /. (if warm_short_s > 0.0 then warm_short_s else 1e-9)
+  in
+  Sys.remove log_path;
+  Sys.remove compact_path;
+  Sys.remove short_path;
+  epoch_json :=
+    [
+      ("c", Json.Int epoch_c);
+      ("epochs", Json.Int epoch_n);
+      ("churn", Json.Float epoch_churn);
+      ("append_s", Json.Float append_s);
+      ("replay_s", Json.Float replay_s);
+      ("full_s", Json.Float full_s);
+      ("speedup", Json.Float speedup);
+      ("identical", Json.Bool identical);
+      ("raw_bytes", Json.Int raw_bytes);
+      ("compacted_bytes", Json.Int compacted_bytes);
+      ("warm_short_s", Json.Float warm_short_s);
+      ("warm_compacted_s", Json.Float warm_compacted_s);
+      ("warm_ratio", Json.Float warm_ratio);
+    ];
+  Printf.printf
+    "epoch c=%d: %d epochs at %.0f%% churn | append %.3fs, replay %.3fs vs \
+     full %.3fs (%.1fx) | scores bit-identical at every epoch: %s\n\
+     compaction: %d -> %d bytes | warm start: 4-epoch %.3fs vs compacted \
+     %d-epoch %.3fs (ratio %.2f)\n%!"
+    epoch_c epoch_n (100.0 *. epoch_churn) append_s replay_s full_s speedup
+    (if identical then "yes" else "NO")
+    raw_bytes compacted_bytes warm_short_s epoch_n warm_compacted_s warm_ratio
+
+(* ========================================================================
    main
    ======================================================================== *)
 
@@ -2105,10 +2254,10 @@ let chaos_phase () =
    what each table/figure consumed from the pipeline and simulators. *)
 let phase_counters : (string * (string * int) list) list ref = ref []
 
-(* BENCH_obs.json, schema webdep-bench/9 (upgrades /8: the new "chaos"
-   object and the "chaos" entry in phases_s / phases_minor_words — wire
-   fault availability and crash-recovery time gated by --compare like
-   any phase):
+(* BENCH_obs.json, schema webdep-bench/10 (upgrades /9: the new "epoch"
+   object and the "epoch" entry in phases_s / phases_minor_words —
+   churn-log replay speedup, per-epoch score bit-identity, compaction
+   ratio and warm-start flatness, gated by --compare like any phase):
    - phases_s:        bench-locally recorded per-phase wall seconds
                       (includes world_create / measure_all / the 2025
                       measurement inside "longitudinal")
@@ -2149,7 +2298,12 @@ let phase_counters : (string * (string * int) list) list ref = ref []
                       mismatched) with the availability ratio over owed
                       replies, and the snapshot crash-recovery time
                       versus the cold two-epoch re-sweep with the
-                      after-restart byte-identity verdict *)
+                      after-restart byte-identity verdict
+   - epoch:           churn-log replay telemetry — append/replay wall
+                      clock versus a full per-epoch re-sweep (speedup),
+                      per-epoch score bit-identity, raw-vs-compacted log
+                      bytes, and warm-start seconds for a genuinely
+                      short history versus a compacted long one *)
 let write_bench_json path =
   let phases =
     List.rev_map (fun (name, s) -> (name, Json.Float s)) !recorded_phases
@@ -2185,7 +2339,7 @@ let write_bench_json path =
   let doc =
     Json.Obj
       ([
-         ("schema", Json.String "webdep-bench/9");
+         ("schema", Json.String "webdep-bench/10");
          ("c", Json.Int c);
          ("seed", Json.Int seed);
          ("jobs", Json.Int jobs);
@@ -2202,6 +2356,7 @@ let write_bench_json path =
           ("scale", Json.Obj !scale_json);
           ("serve", Json.Obj !serve_json);
           ("chaos", Json.Obj !chaos_json);
+          ("epoch", Json.Obj !epoch_json);
           ("metrics", measure_metrics);
         ])
   in
@@ -2260,14 +2415,15 @@ let () =
       ("ablation_c_sensitivity", ablation_c_sensitivity);
     ];
   if Sys.getenv_opt "WEBDEP_BENCH_SKIP_TIMINGS" = None then phase "timings" timings;
-  (* The kernels, store, faults, scale, serve and chaos phases always
-     run — CI's BENCH diff asserts on them. *)
+  (* The kernels, store, faults, scale, serve, chaos and epoch phases
+     always run — CI's BENCH diff asserts on them. *)
   phase "kernels" kernels;
   phase "store" store_phase;
   phase "faults" faults;
   phase "scale" scale_phase;
   phase "serve" serve_phase;
   phase "chaos" chaos_phase;
+  phase "epoch" epoch_phase;
   let out =
     match Sys.getenv_opt "WEBDEP_BENCH_OUT" with
     | Some p when p <> "" -> p

@@ -11,7 +11,8 @@
      paper        print the embedded Appendix-F reference table
      countries    list the 150 dataset countries
      serve        long-running batched dependence-query daemon
-     query        one dependence query, locally or against a daemon *)
+     query        one dependence query, locally or against a daemon
+     epochs       build/replay/verify/compact a multi-epoch churn log *)
 
 open Cmdliner
 
@@ -645,20 +646,18 @@ let scale_cmd =
 
 module Serve = Webdep_serve
 
-let epoch_conv =
-  let parse s =
-    match Serve.Protocol.epoch_of_name s with
-    | Some e -> Ok e
-    | None -> Error (`Msg (Printf.sprintf "unknown epoch %S (2023|2025)" s))
-  in
-  Arg.conv (parse, fun fmt e -> Format.pp_print_string fmt (World.epoch_name e))
-
 let epoch_arg =
-  Arg.(value & opt epoch_conv World.May_2023 & info [ "epoch" ] ~docv:"EPOCH"
-         ~doc:"Epoch a score/topk/ranking query refers to: 2023 or 2025 \
-               (delta always compares both).")
+  Arg.(value & opt string "2023" & info [ "epoch" ] ~docv:"EPOCH"
+         ~doc:"Epoch a score/topk/ranking query refers to: 2023, 2025, or a \
+               churn-log epoch name the daemon has loaded (list them with the \
+               $(b,epochs) query).")
 
-let serve_epochs = [ World.May_2023; World.May_2025 ]
+let serve_epochs = [ "2023-05"; "2025-05" ]
+
+let measured_epoch name =
+  match Serve.Protocol.epoch_of_name name with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "not a measured epoch: %s" name)
 
 (* Build the daemon's warm state.  With [?snapshot], try to restore the
    measured datasets from the snapshot file first: a complete snapshot
@@ -667,7 +666,51 @@ let serve_epochs = [ World.May_2023; World.May_2025 ]
    and only the missing (epoch, country) pairs are re-measured; a
    rejected one (other world parameters, other country slice) falls back
    to the full sweep. *)
-let serve_state ?snapshot ~seed ~c ?countries ?store () =
+(* Replay a churn transaction log into scores-only epochs ("e<k>"), one
+   per committed epoch: a few floats per (layer, country) — cheap enough
+   to keep every epoch addressable — answering score/ranking/delta while
+   tally-backed queries keep needing a warmed epoch.  Scored epochs ride
+   alongside the measured ones and stay out of snapshots. *)
+let scored_epochs_of_log path =
+  match Webdep_epoch.Log.load ~path with
+  | Webdep_epoch.Log.Absent ->
+      Printf.eprintf "webdep serve: epoch log %s absent, ignoring\n%!" path;
+      []
+  | Webdep_epoch.Log.Mismatch msg ->
+      Printf.eprintf "webdep serve: epoch log %s unusable (%s), ignoring\n%!"
+        path msg;
+      []
+  | Webdep_epoch.Log.Loaded log ->
+      let module R = Webdep_epoch.Replay in
+      let acc = ref [] in
+      let observe r =
+        let rows =
+          List.map
+            (fun l ->
+              ( l,
+                List.filter_map
+                  (fun cc ->
+                    match R.score r l cc with
+                    | s ->
+                        Some
+                          ( cc,
+                            { Serve.State.s;
+                              hhi = R.hhi r l cc;
+                              insularity = R.insularity r l cc } )
+                    | exception Not_found -> None)
+                  (R.countries r) ))
+            [ D.Hosting; D.Dns; D.Ca; D.Tld ]
+        in
+        acc := (Printf.sprintf "e%d" (R.epoch r), rows) :: !acc
+      in
+      ignore (R.replay ~observe log);
+      Printf.eprintf "webdep serve: epoch log %s: %d scored epochs (e%d..e%d)\n%!"
+        path
+        (List.length !acc)
+        log.Webdep_epoch.Log.base_epoch log.Webdep_epoch.Log.head;
+      List.rev !acc
+
+let serve_state ?snapshot ?epoch_log ~seed ~c ?countries ?store () =
   let world = World.create ~c ~seed () in
   let fingerprint =
     Webdep_json.to_string
@@ -683,7 +726,7 @@ let serve_state ?snapshot ~seed ~c ?countries ?store () =
       ( Measure.measure_all ?countries ?store world,
         Measure.measure_all ~epoch:World.May_2025 ?countries ?store world )
     in
-    [ (World.May_2023, ds23); (World.May_2025, ds25) ]
+    [ ("2023-05", ds23); ("2025-05", ds25) ]
   in
   let datasets =
     match snapshot with
@@ -714,16 +757,17 @@ let serve_state ?snapshot ~seed ~c ?countries ?store () =
               shards;
             let remeasured =
               List.filter_map
-                (fun epoch ->
+                (fun name ->
                   let missing =
-                    List.filter (fun cc -> not (Hashtbl.mem have (epoch, cc))) expected
+                    List.filter (fun cc -> not (Hashtbl.mem have (name, cc))) expected
                   in
                   if missing = [] then None
                   else
                     Some
-                      ( epoch,
+                      ( name,
                         with_store world store @@ fun store ->
-                        Measure.measure_all ~epoch ~countries:missing ?store world ))
+                        Measure.measure_all ~epoch:(measured_epoch name)
+                          ~countries:missing ?store world ))
                 serve_epochs
             in
             Printf.eprintf
@@ -736,17 +780,38 @@ let serve_state ?snapshot ~seed ~c ?countries ?store () =
                 Webdep.Dataset.country_exn (List.assoc epoch remeasured) cc)
               shards)
   in
-  let st = Serve.State.make ~fingerprint datasets in
+  let scored =
+    match epoch_log with None -> [] | Some path -> scored_epochs_of_log path
+  in
+  let st = Serve.State.make ~fingerprint ~scored datasets in
   Serve.State.warm st;
   st
+
+let epoch_log_arg =
+  Arg.(value & opt (some string) None & info [ "epoch-log" ] ~docv:"FILE"
+         ~doc:"Also load the churn transaction log $(docv) (see $(b,webdep \
+               epochs)) and serve each committed epoch as a scores-only \
+               epoch named $(b,eK): score, ranking and delta answer from \
+               the replayed tables; list them with the $(b,epochs) query.")
 
 let query_pos =
   Arg.(value & pos_all string [] & info [] ~docv:"QUERY"
          ~doc:"Query words: $(b,ping), $(b,score LAYER CC), \
                $(b,topk LAYER CC K), $(b,ranking LAYER K), \
-               $(b,delta LAYER CC) or $(b,shutdown).")
+               $(b,delta LAYER CC [OLD NEW]), $(b,epochs) or $(b,shutdown).")
 
-let run_query () epoch connect timeout max_retries seed c countries store words =
+(* Render the response; an [Error] answer (unknown epoch, scores-only
+   epoch, missing country) is an operator-visible failure, not a result,
+   so it goes to stderr and exits 1. *)
+let finish_query resp =
+  match resp with
+  | Serve.Protocol.Error msg ->
+      Printf.eprintf "webdep query: %s\n" msg;
+      exit 1
+  | _ -> print_string (Serve.Protocol.render resp)
+
+let run_query () epoch connect timeout max_retries seed c countries store
+    epoch_log words =
   match Serve.Protocol.parse_query ~epoch words with
   | Error msg ->
       Printf.eprintf "webdep query: %s\n" msg;
@@ -755,16 +820,17 @@ let run_query () epoch connect timeout max_retries seed c countries store words 
       match connect with
       | Some spec -> (
           match Serve.Client.call ~max_retries ~timeout_s:timeout spec req with
-          | Ok resp -> print_string (Serve.Protocol.render resp)
+          | Ok resp -> finish_query resp
           | Error msg ->
               Printf.eprintf "webdep query: daemon at %s unavailable: %s\n"
                 spec msg;
               exit 5)
       | None ->
           let st =
-            serve_state ~seed ~c ?countries:(normalize_countries countries) ?store ()
+            serve_state ?epoch_log ~seed ~c
+              ?countries:(normalize_countries countries) ?store ()
           in
-          print_string (Serve.Protocol.render (Serve.State.answer st req)))
+          finish_query (Serve.State.answer st req))
 
 let connect_arg =
   Arg.(value & opt (some string) None & info [ "connect" ] ~docv:"ADDR"
@@ -796,10 +862,10 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc ~exits)
     Term.(const run_query $ obs_term $ epoch_arg $ connect_arg $ query_timeout_arg
           $ query_retries_arg $ seed_arg $ c_arg $ countries_arg $ store_term
-          $ query_pos)
+          $ epoch_log_arg $ query_pos)
 
 let run_serve () listen seed c countries store max_queue batch_max par_threshold
-    snapshot supervise restart_limit restart_window =
+    snapshot epoch_log supervise restart_limit restart_window =
   if max_queue < 1 || batch_max < 1 then begin
     Printf.eprintf "webdep serve: --max-queue and --batch-max must be >= 1\n";
     exit 124
@@ -813,8 +879,8 @@ let run_serve () listen seed c countries store max_queue batch_max par_threshold
         exit 70
     | _ -> ());
     let st =
-      serve_state ?snapshot ~seed ~c ?countries:(normalize_countries countries)
-        ?store ()
+      serve_state ?snapshot ?epoch_log ~seed ~c
+        ?countries:(normalize_countries countries) ?store ()
     in
     let cfg = Serve.Server.config ~max_queue ~batch_max ~par_threshold listen in
     Serve.Server.run ~handle_signals:true ?snapshot
@@ -915,7 +981,181 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc ~man ~exits)
     Term.(const run_serve $ obs_term $ listen $ seed_arg $ c_arg $ countries_arg
           $ store_term $ max_queue $ batch_max $ par_threshold $ snapshot
-          $ supervise $ restart_limit $ restart_window)
+          $ epoch_log_arg $ supervise $ restart_limit $ restart_window)
+
+(* --- epochs --------------------------------------------------------------------------- *)
+
+(* Multi-epoch churn streams: build a synthetic many-epoch trajectory
+   from the two measured snapshots (2023 baseline, 2025 donor pool),
+   persist it as an append-only churn transaction log, replay it in
+   O(churn) per epoch and print per-country S trends.  --verify checks
+   the replayed head bit-for-bit against a cold recomputation of the
+   materialized dataset; --compact collapses old epochs into a new
+   baseline without changing any replayed score. *)
+
+module Epoch = Webdep_epoch
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let run_epochs () log_path n_epochs churn layer verify compact_keep rebuild
+    seed c countries store =
+  let countries = normalize_countries countries in
+  if churn <= 0.0 || churn >= 1.0 then begin
+    Printf.eprintf "webdep epochs: --churn must be within (0, 1) (got %g)\n" churn;
+    exit 124
+  end;
+  if rebuild && Sys.file_exists log_path then Sys.remove log_path;
+  if not (Sys.file_exists log_path) then begin
+    let world = World.create ~c ~seed () in
+    let ds23, ds25 =
+      with_store world store @@ fun store ->
+      ( Measure.measure_all ?countries ?store world,
+        Measure.measure_all ~epoch:World.May_2025 ?countries ?store world )
+    in
+    let base = List.map (D.country_exn ds23) (D.countries ds23) in
+    let donors =
+      List.map
+        (fun cc -> (cc, Array.of_list (D.country_exn ds25 cc).D.sites))
+        (D.countries ds25)
+    in
+    let events =
+      Epoch.Synth.generate ~seed ~fraction:churn ~epochs:n_epochs ~base_epoch:0
+        ~base ~donors
+    in
+    Epoch.Log.create ~path:log_path
+      ~meta:
+        [ ("seed", Webdep_json.Int seed);
+          ("c", Webdep_json.Int c);
+          ("churn", Webdep_json.Float churn) ]
+      ~base_epoch:0 ~base ();
+    (* Epoch-at-a-time appends — the same O(churn) path a live feed
+       would use, not one big rewrite. *)
+    List.iter
+      (fun (ev : Epoch.Log.event) ->
+        Epoch.Log.append ~path:log_path ~epoch:ev.Epoch.Log.epoch
+          ev.Epoch.Log.changes)
+      events;
+    Printf.printf "built %s: %d-country baseline + %d epochs at %.1f%% churn\n"
+      log_path (List.length base) n_epochs (100.0 *. churn)
+  end;
+  match Epoch.Log.load ~path:log_path with
+  | Epoch.Log.Absent ->
+      Printf.eprintf "webdep epochs: log %s does not exist\n" log_path;
+      exit 1
+  | Epoch.Log.Mismatch msg ->
+      Printf.eprintf "webdep epochs: log %s unusable: %s\n" log_path msg;
+      exit 1
+  | Epoch.Log.Loaded log ->
+      if log.Epoch.Log.dropped then
+        Printf.eprintf
+          "webdep epochs: %s: torn or uncommitted tail dropped, head is e%d\n"
+          log_path log.Epoch.Log.head;
+      Printf.printf "log %s: base e%d, head e%d, %d committed epochs, layer %s\n"
+        log_path log.Epoch.Log.base_epoch log.Epoch.Log.head
+        (List.length log.Epoch.Log.events)
+        (Scores.layer_name layer);
+      let head, trend = Epoch.Trend.of_log log layer in
+      print_string (Epoch.Trend.render trend);
+      if verify then begin
+        (* Bit-identity of the replayed head against a cold sweep of the
+           materialized dataset, all four layers. *)
+        let ds = D.of_country_data (Epoch.Replay.materialize head) in
+        let mismatches = ref 0 in
+        List.iter
+          (fun l ->
+            List.iter
+              (fun (cc, cold) ->
+                let warm = Epoch.Replay.score head l cc in
+                if Int64.bits_of_float warm <> Int64.bits_of_float cold then begin
+                  incr mismatches;
+                  Printf.eprintf "verify: %s %s replay %.17g <> cold %.17g\n"
+                    (Scores.layer_name l) cc warm cold
+                end)
+              (Webdep.Metrics.all_scores ds l))
+          [ D.Hosting; D.Dns; D.Ca; D.Tld ];
+        if !mismatches > 0 then begin
+          Printf.eprintf "webdep epochs: %d score mismatches at head e%d\n"
+            !mismatches log.Epoch.Log.head;
+          exit 2
+        end;
+        Printf.printf
+          "verify: head e%d bit-identical to cold recompute (4 layers, %d countries)\n"
+          log.Epoch.Log.head
+          (List.length (Epoch.Replay.countries head))
+      end;
+      (match compact_keep with
+      | None -> ()
+      | Some keep ->
+          let raw_bytes = file_size log_path in
+          let compacted = Epoch.Replay.compact log ~keep_last:keep in
+          Epoch.Log.write ~path:log_path compacted;
+          Printf.printf
+            "compacted to base e%d + %d epochs: %d -> %d bytes\n"
+            compacted.Epoch.Log.base_epoch
+            (List.length compacted.Epoch.Log.events)
+            raw_bytes (file_size log_path))
+
+let epochs_cmd =
+  let doc =
+    "Build, replay, verify and compact a multi-epoch churn transaction log."
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Derives a many-epoch churn trajectory from the two measured \
+          snapshots: the 2023 sweep seeds the baseline and each epoch \
+          retires a deterministic fraction of every country's sites, \
+          admitting replacements drawn from the 2025 sweep.  The log is \
+          an append-only JSON-lines segment (dictionary-compressed \
+          baseline, per-epoch churn records, commit markers) that \
+          recovers from torn tails and half-appended epochs.";
+      `P "Replay folds each epoch through the per-layer incremental \
+          tallies, so advancing an epoch costs O(churn) rather than a \
+          full re-sweep, and prints per-country score trends \
+          (first/last S, least-squares slope, rank churn per \
+          transition).  $(b,--verify) recomputes the head cold and \
+          demands bit-identity; $(b,--compact) collapses history into \
+          a new baseline, keeping replayed scores unchanged." ]
+  in
+  let log_arg =
+    Arg.(required & opt (some string) None & info [ "log" ] ~docv:"FILE"
+           ~doc:"Churn log file; built from the measured snapshots when \
+                 absent, replayed when present.")
+  in
+  let epochs_n =
+    Arg.(value & opt int 12 & info [ "epochs" ] ~docv:"N"
+           ~doc:"Epochs to synthesize when building a fresh log.")
+  in
+  let churn_arg =
+    Arg.(value & opt float 0.02 & info [ "churn" ] ~docv:"F"
+           ~doc:"Per-epoch churn fraction of each country's toplist when \
+                 building a fresh log.")
+  in
+  let verify_flag =
+    Arg.(value & flag & info [ "verify" ]
+           ~doc:"Recompute the replayed head cold (materialize + full \
+                 sweep) and fail (exit 2) unless every per-country score \
+                 in all four layers is bit-identical.")
+  in
+  let compact_arg =
+    Arg.(value & opt (some int) None & info [ "compact" ] ~docv:"K"
+           ~doc:"After replaying, collapse all but the last $(docv) \
+                 epochs into the baseline and rewrite the log \
+                 atomically.")
+  in
+  let rebuild_flag =
+    Arg.(value & flag & info [ "rebuild" ]
+           ~doc:"Discard an existing log file and synthesize it afresh.")
+  in
+  let exits =
+    Cmd.Exit.info 2
+      ~doc:"$(b,--verify) found a replayed score that differs from the \
+            cold recomputation."
+    :: Cmd.Exit.defaults
+  in
+  Cmd.v (Cmd.info "epochs" ~doc ~man ~exits)
+    Term.(const run_epochs $ obs_term $ log_arg $ epochs_n $ churn_arg
+          $ layer_arg $ verify_flag $ compact_arg $ rebuild_flag $ seed_arg
+          $ c_arg $ countries_arg $ store_term)
 
 (* --- countries ------------------------------------------------------------------------ *)
 
@@ -940,4 +1180,4 @@ let () =
           [ scores_cmd; report_cmd; insularity_cmd; classify_cmd; usage_cmd;
             longitudinal_cmd; validate_cmd; paper_cmd; countries_cmd; export_cmd;
             language_cmd; redundancy_cmd; tld_cmd; report_md_cmd; profile_cmd;
-            scale_cmd; serve_cmd; query_cmd ]))
+            scale_cmd; serve_cmd; query_cmd; epochs_cmd ]))

@@ -52,3 +52,20 @@ val compare_incremental :
 
 val largest_increase : comparison -> country_delta
 val largest_decrease : comparison -> country_delta
+
+(** {2 Trend primitives}
+
+    Shared by the multi-epoch churn-log replay ([webdep_epoch]): a
+    many-epoch score series reduces to a per-country least-squares slope
+    and a per-transition rank-churn figure. *)
+
+val slope : float array -> float
+(** Least-squares slope of the series against epoch index [0..n-1];
+    NaN entries (country absent from an epoch) are skipped, and fewer
+    than two finite points yield [0.0]. *)
+
+val rank_displacement : (string * float) list -> (string * float) list -> int
+(** Total absolute rank movement between two (country, score) rankings:
+    both are ordered score-descending (ties by country code, the same
+    order the serve plane uses) and the displacements of countries
+    present in both are summed. *)

@@ -1,0 +1,60 @@
+(** Append-only churn transaction log: a dictionary-compressed baseline
+    snapshot (the compacted head) followed by per-epoch churn records,
+    each epoch closed by a commit marker.
+
+    The on-disk format is a self-describing JSON-lines segment sharing
+    the crash-safety machinery of {!Webdep_faults.Jsonl}: whole-file
+    writes are atomic (temp + fsync + rename), appends are
+    epoch-at-a-time with the commit marker last, and {!load} recovers
+    from both a torn trailing line and a committed-marker-less suffix by
+    dropping everything after the last committed epoch. *)
+
+type churn = {
+  country : string;
+  removed : string list;  (** domains leaving the country's toplist *)
+  added : Webdep.Dataset.site list;  (** fully-measured arriving sites *)
+}
+
+type event = { epoch : int; changes : churn list }
+
+type t = {
+  meta : (string * Webdep_json.t) list;
+      (** caller metadata from the header (world seed, size, ...) *)
+  base_epoch : int;
+  base : Webdep.Dataset.country_data list;  (** baseline, canonical country order *)
+  events : event list;  (** committed epochs, ascending *)
+  head : int;  (** last committed epoch; [base_epoch] when no events *)
+  dropped : bool;  (** a torn tail or uncommitted epoch was discarded *)
+}
+
+type verdict = Absent | Mismatch of string | Loaded of t
+
+val schema : string
+
+val create :
+  path:string ->
+  ?meta:(string * Webdep_json.t) list ->
+  base_epoch:int ->
+  base:Webdep.Dataset.country_data list ->
+  unit ->
+  unit
+(** Write a fresh log holding only the baseline, atomically. *)
+
+val append : path:string -> epoch:int -> churn list -> unit
+(** Append one committed epoch — churn lines, then the commit marker,
+    then fsync.  O(churn), independent of log length.  A crash before
+    the marker reaches disk leaves the epoch invisible to {!load}.
+    [epoch] must exceed the log's current head (checked on load). *)
+
+val write : path:string -> t -> unit
+(** Atomic whole-log rewrite — how compaction publishes its result. *)
+
+val load : path:string -> verdict
+(** Parse the log back, keeping the longest committed prefix.  [Mismatch]
+    reports a foreign or unreadable header;  [dropped] on the loaded log
+    flags recovered-over damage. *)
+
+val lines : t -> string list
+(** The entry lines [write] would emit (sans header) — exposed so tests
+    can check the dictionary round-trip and tamper with specific
+    lines. *)

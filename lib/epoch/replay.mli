@@ -1,0 +1,58 @@
+(** Replay a churn log epoch by epoch, maintaining per-layer
+    {!Webdep_store.Incremental} state so every advance costs O(churn)
+    and every score read is bit-identical to a cold recomputation over
+    the materialized dataset. *)
+
+type t
+
+val start : Log.t -> t
+(** State at the log's base epoch: per-country site tables (domain →
+    sequence-numbered site) plus one Incremental per layer, tallied from
+    the baseline. *)
+
+val replay : ?observe:(t -> unit) -> Log.t -> t
+(** {!start}, then {!apply} every committed event in order.  [observe]
+    runs on the state after the baseline and after each epoch — the hook
+    for trend collection and per-epoch verification. *)
+
+val apply : t -> Log.event -> unit
+(** Advance one epoch: O(churn) site-table edits folded through the four
+    per-layer Incrementals (closed-form rescore where the provider
+    support is unchanged, full distribution rebuild only where it
+    changed).
+    @raise Invalid_argument on an unknown country, a removal of an
+    absent domain, an addition of a present one, or a non-increasing
+    epoch number. *)
+
+val epoch : t -> int
+(** Current (last applied) epoch. *)
+
+val countries : t -> string list
+(** Baseline country order. *)
+
+val inc : t -> Webdep.Dataset.layer -> Webdep_store.Incremental.t
+(** The live per-layer Incremental — the serve plane's head state. *)
+
+val score : t -> Webdep.Dataset.layer -> string -> float
+(** Centralization 𝒮 of one country at the current epoch.
+    @raise Not_found when the country has no labelled site. *)
+
+val hhi : t -> Webdep.Dataset.layer -> string -> float
+val insularity : t -> Webdep.Dataset.layer -> string -> float
+
+val scores : ?jobs:int -> t -> Webdep.Dataset.layer -> (string * float) list
+(** Every country's 𝒮 in baseline order (scoreless countries skipped),
+    fanned out across the shared pool — byte-identical at any [jobs]. *)
+
+val materialize : t -> Webdep.Dataset.country_data list
+(** The current epoch's full site lists in canonical order (baseline
+    order, additions in arrival order) — what a cold sweep of this epoch
+    would have produced.  O(n log n); only verification, compaction and
+    snapshot paths pay it. *)
+
+val compact : Log.t -> keep_last:int -> Log.t
+(** Collapse every epoch up to [head - keep_last] into a new
+    dictionary-compressed baseline, keeping the trailing events.
+    Replaying the compacted log yields bit-identical datasets and scores
+    to the raw one; warm-start cost becomes O(world + keep_last·churn)
+    however long the history was. *)

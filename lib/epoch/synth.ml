@@ -1,0 +1,97 @@
+(* Deterministic churn synthesis: turn two measured snapshots into a
+   many-epoch trajectory.
+
+   The baseline is one measured dataset; the donor pool is another (the
+   toolkit feeds the 2023 and 2025 measured worlds in).  Each synthetic
+   epoch removes a deterministic ~fraction of every country's current
+   sites and admits the same number of donor sites under epoch-minted
+   domains, so the per-epoch churn matches the paper's observed toplist
+   turnover shape while every site added is a fully-measured record.
+
+   All choices flow through a [Webdep_stats.Rng] child stream keyed by
+   (epoch, country), so the generated trajectory is a pure function of
+   the seed — independent of evaluation order and of [--jobs]. *)
+
+module D = Webdep.Dataset
+module Rng = Webdep_stats.Rng
+
+(* k distinct indices out of [0, n), by partial Fisher–Yates. *)
+let sample_indices rng ~n ~k =
+  let idx = Array.init n Fun.id in
+  for i = 0 to min k n - 1 do
+    let j = i + Rng.int rng (n - i) in
+    let t = idx.(i) in
+    idx.(i) <- idx.(j);
+    idx.(j) <- t
+  done;
+  Array.sub idx 0 (min k n)
+
+(* A donor renamed under an epoch-minted domain, probed until the name
+   is absent from the country's current site set. *)
+let mint exists ~epoch ~slot (donor : D.site) =
+  let rec fresh name = if exists name then fresh ("x" ^ name) else name in
+  { donor with D.domain = fresh (Printf.sprintf "e%d-%d-%s" epoch slot donor.D.domain) }
+
+let plan_country rng ~fraction ~epoch ~country ~sites ~donors =
+  let n = List.length sites in
+  let k =
+    if n = 0 then 0
+    else max 1 (int_of_float (Float.round (fraction *. float_of_int n)))
+  in
+  if k = 0 || Array.length donors = 0 then None
+  else begin
+    let rng = Rng.split_named rng (Printf.sprintf "epoch-%d-%s" epoch country) in
+    let arr = Array.of_list sites in
+    let victims = sample_indices rng ~n ~k in
+    let removed =
+      Array.to_list (Array.map (fun i -> arr.(i).D.domain) victims)
+    in
+    let removed_set = List.sort_uniq String.compare removed in
+    let present name =
+      (not (List.mem name removed_set))
+      && List.exists (fun (s : D.site) -> String.equal s.D.domain name) sites
+    in
+    let start = Rng.int rng (Array.length donors) in
+    let added =
+      List.init (Array.length victims) (fun i ->
+          mint present ~epoch ~slot:i
+            donors.((start + i) mod Array.length donors))
+    in
+    Some { Log.country; removed; added }
+  end
+
+(* One epoch's churn over the current state. *)
+let plan rng ~fraction ~epoch ~current ~donors =
+  List.filter_map
+    (fun (country, sites) ->
+      match List.assoc_opt country donors with
+      | None -> None
+      | Some pool -> plan_country rng ~fraction ~epoch ~country ~sites ~donors:pool)
+    current
+
+let apply_plain current changes =
+  List.map
+    (fun (country, sites) ->
+      match
+        List.find_opt (fun (c : Log.churn) -> String.equal c.Log.country country) changes
+      with
+      | None -> (country, sites)
+      | Some c ->
+          let kept =
+            List.filter
+              (fun (s : D.site) -> not (List.mem s.D.domain c.Log.removed))
+              sites
+          in
+          (country, kept @ c.Log.added))
+    current
+
+let generate ~seed ~fraction ~epochs ~base_epoch ~base ~donors =
+  let rng = Rng.create seed in
+  let current =
+    ref (List.map (fun (cd : D.country_data) -> (cd.D.country, cd.D.sites)) base)
+  in
+  List.init epochs (fun i ->
+      let epoch = base_epoch + i + 1 in
+      let changes = plan rng ~fraction ~epoch ~current:!current ~donors in
+      current := apply_plain !current changes;
+      { Log.epoch; changes })

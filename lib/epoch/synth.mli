@@ -1,0 +1,18 @@
+(** Deterministic churn synthesis: a many-epoch trajectory from two
+    measured snapshots.  Every choice flows through a
+    {!Webdep_stats.Rng} child stream keyed by (epoch, country), so the
+    result is a pure function of the seed. *)
+
+val generate :
+  seed:int ->
+  fraction:float ->
+  epochs:int ->
+  base_epoch:int ->
+  base:Webdep.Dataset.country_data list ->
+  donors:(string * Webdep.Dataset.site array) list ->
+  Log.event list
+(** [epochs] consecutive events after [base_epoch]: each removes a
+    deterministic ~[fraction] of every country's current sites and
+    admits the same number of donor sites (from the country's pool in
+    [donors]) under epoch-minted unique domains.  Countries without a
+    donor pool are left untouched. *)

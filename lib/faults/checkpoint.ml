@@ -129,20 +129,34 @@ let entry_of_line line =
 
 let open_ ~path ~meta =
   let header = header_line meta in
-  let entries =
-    match Jsonl.load ~path ~header ~parse:entry_of_line with
-    | Jsonl.No_file | Jsonl.Header_mismatch -> []
-    | Jsonl.Loaded { entries; torn = _ } -> entries
+  (* Stream the intact prefix straight into the resume table — one line
+     live at a time, no intermediate entry list — remembering country
+     order so the rewrite below reproduces file order. *)
+  let loaded = Hashtbl.create 64 in
+  let order =
+    let f acc line =
+      match entry_of_line line with
+      | Some e ->
+          let acc = if Hashtbl.mem loaded e.country then acc else e.country :: acc in
+          Hashtbl.replace loaded e.country e;
+          Some acc
+      | None -> None
+    in
+    match Jsonl.fold ~path ~header ~init:[] ~f with
+    | Jsonl.Fold_no_file | Jsonl.Fold_header_mismatch ->
+        Hashtbl.reset loaded;
+        []
+    | Jsonl.Folded { acc; torn = _ } -> List.rev acc
   in
   (* Rewrite the file from the intact prefix (atomically, so a kill
      during the rewrite cannot lose the recovered entries): drops
      corrupt trailing lines and stale files from mismatched sweeps in
      one stroke. *)
   Jsonl.write_atomic ~path ~header
-    (List.map (fun e -> Json.to_string (entry_to_json e)) entries);
+    (List.map
+       (fun cc -> Json.to_string (entry_to_json (Hashtbl.find loaded cc)))
+       order);
   let oc = open_out_gen [ Open_append; Open_wronly ] 0o644 path in
-  let loaded = Hashtbl.create 64 in
-  List.iter (fun e -> Hashtbl.replace loaded e.country e) entries;
   { path; lock = Mutex.create (); oc; loaded }
 
 let find t country =

@@ -22,28 +22,45 @@ type 'a load =
   | Header_mismatch
   | Loaded of { entries : 'a list; torn : bool }
 
-let load ~path ~header ~parse =
-  if not (Sys.file_exists path) then No_file
+type 'acc folded =
+  | Fold_no_file
+  | Fold_header_mismatch
+  | Folded of { acc : 'acc; torn : bool }
+
+(* Streaming fold over the entry lines: only one line is live at a time,
+   so replaying an arbitrarily long segment keeps peak heap bounded by
+   whatever the caller accumulates.  [f] returning [None] marks the torn
+   tail — folding stops and the accumulator so far is returned with
+   [torn] set, exactly like [load] dropping the suspect suffix. *)
+let fold ~path ~header ~init ~f =
+  if not (Sys.file_exists path) then Fold_no_file
   else begin
     let ic = open_in path in
     let result =
       match input_line ic with
-      | exception End_of_file -> Header_mismatch
-      | h when not (String.equal h header) -> Header_mismatch
+      | exception End_of_file -> Fold_header_mismatch
+      | h when not (String.equal h header) -> Fold_header_mismatch
       | _ ->
           let rec go acc =
             match input_line ic with
-            | exception End_of_file -> Loaded { entries = List.rev acc; torn = false }
+            | exception End_of_file -> Folded { acc; torn = false }
             | line -> (
-                match parse line with
-                | Some e -> go (e :: acc)
-                | None -> Loaded { entries = List.rev acc; torn = true })
+                match f acc line with
+                | Some acc -> go acc
+                | None -> Folded { acc; torn = true })
           in
-          go []
+          go init
     in
     close_in ic;
     result
   end
+
+let load ~path ~header ~parse =
+  let f acc line = Option.map (fun e -> e :: acc) (parse line) in
+  match fold ~path ~header ~init:[] ~f with
+  | Fold_no_file -> No_file
+  | Fold_header_mismatch -> Header_mismatch
+  | Folded { acc; torn } -> Loaded { entries = List.rev acc; torn }
 
 (* Write [header] then [lines] to a temp file beside [path], fsync, and
    rename over [path].  The temp name carries the pid so two writers

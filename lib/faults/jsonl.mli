@@ -19,9 +19,30 @@ type 'a load =
       (** parsed entries in file order; [torn] is set when loading
           stopped at an unparsable line and dropped the rest *)
 
+type 'acc folded =
+  | Fold_no_file  (** [path] does not exist *)
+  | Fold_header_mismatch  (** absent or foreign header — ignore the file *)
+  | Folded of { acc : 'acc; torn : bool }
+      (** the accumulator after the last good line; [torn] is set when
+          folding stopped at a line the caller rejected *)
+
+val fold :
+  path:string ->
+  header:string ->
+  init:'acc ->
+  f:('acc -> string -> 'acc option) ->
+  'acc folded
+(** Streaming iteration over the entry lines of [path]: check the
+    header, then feed each line to [f] in file order.  Only one line is
+    ever materialized, so replaying a long segment keeps peak heap
+    bounded by the accumulator — this is what tlog replay and the spill
+    loader fold through.  [f] returning [None] marks a torn tail:
+    folding stops and everything after the bad line is dropped. *)
+
 val load : path:string -> header:string -> parse:(string -> 'a option) -> 'a load
 (** Read [path], check the header, then parse each line with [parse]
-    until the first [None] (torn tail — everything after is suspect). *)
+    until the first [None] (torn tail — everything after is suspect).
+    Implemented on {!fold}, materializing the entries. *)
 
 val write_atomic : path:string -> header:string -> string list -> unit
 (** Write header + lines to [path] atomically: temp file in the same

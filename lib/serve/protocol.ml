@@ -19,13 +19,22 @@ let fail fmt = Printf.ksprintf (fun msg -> raise (Protocol_error msg)) fmt
 
 (* --- message types ------------------------------------------------------ *)
 
+(* Epochs travel as names (u16-length-prefixed strings), not enum codes:
+   the serving plane is no longer limited to the two measured worlds —
+   a churn-log replay registers one epoch per committed log entry. *)
 type request =
   | Ping
-  | Score of { epoch : World.epoch; layer : D.layer; country : string }
-  | Top_shares of { epoch : World.epoch; layer : D.layer; country : string; k : int }
-  | Ranking of { epoch : World.epoch; layer : D.layer; k : int }
-  | Delta of { layer : D.layer; country : string }
+  | Score of { epoch : string; layer : D.layer; country : string }
+  | Top_shares of { epoch : string; layer : D.layer; country : string; k : int }
+  | Ranking of { epoch : string; layer : D.layer; k : int }
+  | Delta of {
+      layer : D.layer;
+      country : string;
+      old_epoch : string;
+      new_epoch : string;
+    }
   | Shutdown
+  | Epochs
 
 type share = { provider : string; home : string; share : float }
 
@@ -34,10 +43,17 @@ type response =
   | Scores of { s : float; hhi : float; insularity : float }
   | Shares of share list
   | Ranks of (string * float) list
-  | Deltas of { old_s : float; new_s : float; delta : float }
+  | Deltas of {
+      old_epoch : string;
+      new_epoch : string;
+      old_s : float;
+      new_s : float;
+      delta : float;
+    }
   | Overloaded
   | Bye
   | Draining
+  | Epoch_list of string list
   | Error of string
 
 (* --- enum codes --------------------------------------------------------- *)
@@ -65,16 +81,19 @@ let layer_of_name s =
   | "tld" -> Some D.Tld
   | _ -> None
 
-let epoch_code = function World.May_2023 -> 0 | World.May_2025 -> 1
-let epoch_of_code = function
-  | 0 -> World.May_2023
-  | 1 -> World.May_2025
-  | c -> fail "bad epoch code %d" c
-
 let epoch_of_name = function
   | "2023" | "2023-05" -> Some World.May_2023
   | "2025" | "2025-05" -> Some World.May_2025
   | _ -> None
+
+(* Short forms of the two measured worlds normalize to their canonical
+   names; anything else (a churn-log epoch like "e7") passes through
+   verbatim and is resolved — or rejected with the loaded-epoch list —
+   by the server. *)
+let canonical_epoch name =
+  match epoch_of_name name with
+  | Some e -> World.epoch_name e
+  | None -> name
 
 (* --- binary encoding ---------------------------------------------------- *)
 
@@ -126,25 +145,28 @@ let encode_request req =
   | Ping -> put_u8 b 0
   | Score { epoch; layer; country } ->
       put_u8 b 1;
-      put_u8 b (epoch_code epoch);
+      put_str b epoch;
       put_u8 b (layer_code layer);
       put_str b country
   | Top_shares { epoch; layer; country; k } ->
       put_u8 b 2;
-      put_u8 b (epoch_code epoch);
+      put_str b epoch;
       put_u8 b (layer_code layer);
       put_str b country;
       put_u16 b k
   | Ranking { epoch; layer; k } ->
       put_u8 b 3;
-      put_u8 b (epoch_code epoch);
+      put_str b epoch;
       put_u8 b (layer_code layer);
       put_u16 b k
-  | Delta { layer; country } ->
+  | Delta { layer; country; old_epoch; new_epoch } ->
       put_u8 b 4;
       put_u8 b (layer_code layer);
-      put_str b country
-  | Shutdown -> put_u8 b 5);
+      put_str b country;
+      put_str b old_epoch;
+      put_str b new_epoch
+  | Shutdown -> put_u8 b 5
+  | Epochs -> put_u8 b 6);
   Buffer.contents b
 
 let decode_request_exn payload =
@@ -153,26 +175,29 @@ let decode_request_exn payload =
     match get_u8 cur with
     | 0 -> Ping
     | 1 ->
-        let epoch = epoch_of_code (get_u8 cur) in
+        let epoch = get_str cur in
         let layer = layer_of_code (get_u8 cur) in
         let country = get_str cur in
         Score { epoch; layer; country }
     | 2 ->
-        let epoch = epoch_of_code (get_u8 cur) in
+        let epoch = get_str cur in
         let layer = layer_of_code (get_u8 cur) in
         let country = get_str cur in
         let k = get_u16 cur in
         Top_shares { epoch; layer; country; k }
     | 3 ->
-        let epoch = epoch_of_code (get_u8 cur) in
+        let epoch = get_str cur in
         let layer = layer_of_code (get_u8 cur) in
         let k = get_u16 cur in
         Ranking { epoch; layer; k }
     | 4 ->
         let layer = layer_of_code (get_u8 cur) in
         let country = get_str cur in
-        Delta { layer; country }
+        let old_epoch = get_str cur in
+        let new_epoch = get_str cur in
+        Delta { layer; country; old_epoch; new_epoch }
     | 5 -> Shutdown
+    | 6 -> Epochs
     | t -> fail "bad request tag %d" t
   in
   if cur.off <> String.length payload then fail "trailing bytes after request";
@@ -209,8 +234,10 @@ let encode_response resp =
           put_str b cc;
           put_f64 b s)
         ranks
-  | Deltas { old_s; new_s; delta } ->
+  | Deltas { old_epoch; new_epoch; old_s; new_s; delta } ->
       put_u8 b 4;
+      put_str b old_epoch;
+      put_str b new_epoch;
       put_f64 b old_s;
       put_f64 b new_s;
       put_f64 b delta
@@ -219,7 +246,11 @@ let encode_response resp =
   | Error msg ->
       put_u8 b 7;
       put_str b msg
-  | Draining -> put_u8 b 8);
+  | Draining -> put_u8 b 8
+  | Epoch_list epochs ->
+      put_u8 b 9;
+      put_u16 b (List.length epochs);
+      List.iter (fun e -> put_str b e) epochs);
   Buffer.contents b
 
 let decode_response_exn payload =
@@ -252,14 +283,19 @@ let decode_response_exn payload =
         in
         Ranks ranks
     | 4 ->
+        let old_epoch = get_str cur in
+        let new_epoch = get_str cur in
         let old_s = get_f64 cur in
         let new_s = get_f64 cur in
         let delta = get_f64 cur in
-        Deltas { old_s; new_s; delta }
+        Deltas { old_epoch; new_epoch; old_s; new_s; delta }
     | 5 -> Overloaded
     | 6 -> Bye
     | 7 -> Error (get_str cur)
     | 8 -> Draining
+    | 9 ->
+        let n = get_u16 cur in
+        Epoch_list (List.init n (fun _ -> get_str cur))
     | t -> fail "bad response tag %d" t
   in
   if cur.off <> String.length payload then fail "trailing bytes after response";
@@ -307,28 +343,31 @@ let request_to_json req =
   | Score { epoch; layer; country } ->
       Obj
         [ ("kind", String "score");
-          ("epoch", String (World.epoch_name epoch));
+          ("epoch", String epoch);
           ("layer", String (layer_name layer));
           ("country", String country) ]
   | Top_shares { epoch; layer; country; k } ->
       Obj
         [ ("kind", String "topk");
-          ("epoch", String (World.epoch_name epoch));
+          ("epoch", String epoch);
           ("layer", String (layer_name layer));
           ("country", String country);
           ("k", Int k) ]
   | Ranking { epoch; layer; k } ->
       Obj
         [ ("kind", String "ranking");
-          ("epoch", String (World.epoch_name epoch));
+          ("epoch", String epoch);
           ("layer", String (layer_name layer));
           ("k", Int k) ]
-  | Delta { layer; country } ->
+  | Delta { layer; country; old_epoch; new_epoch } ->
       Obj
         [ ("kind", String "delta");
           ("layer", String (layer_name layer));
-          ("country", String country) ]
+          ("country", String country);
+          ("old_epoch", String old_epoch);
+          ("new_epoch", String new_epoch) ]
   | Shutdown -> Obj [ ("kind", String "shutdown") ]
+  | Epochs -> Obj [ ("kind", String "epochs") ]
 
 let json_str j key =
   match Json.member key j with
@@ -346,9 +385,7 @@ let json_float j key =
   | Some (Json.Int i) -> float_of_int i
   | _ -> fail "missing float field %S" key
 
-let json_epoch j =
-  let s = json_str j "epoch" in
-  match epoch_of_name s with Some e -> e | None -> fail "bad epoch %S" s
+let json_epoch j = canonical_epoch (json_str j "epoch")
 
 let json_layer j =
   let s = json_str j "layer" in
@@ -366,8 +403,23 @@ let request_of_json j =
           country = json_str j "country";
           k = json_int j "k" }
   | "ranking" -> Ranking { epoch = json_epoch j; layer = json_layer j; k = json_int j "k" }
-  | "delta" -> Delta { layer = json_layer j; country = json_str j "country" }
+  | "delta" ->
+      (* Epoch-range form; the range defaults to the paper's 2023→2025
+         pair when the fields are absent. *)
+      let epoch_field key default =
+        match Json.member key j with
+        | Some (Json.String s) -> canonical_epoch s
+        | _ -> default
+      in
+      Delta
+        {
+          layer = json_layer j;
+          country = json_str j "country";
+          old_epoch = epoch_field "old_epoch" (World.epoch_name World.May_2023);
+          new_epoch = epoch_field "new_epoch" (World.epoch_name World.May_2025);
+        }
   | "shutdown" -> Shutdown
+  | "epochs" -> Epochs
   | kind -> fail "bad request kind %S" kind
 
 let request_of_json_string line =
@@ -405,15 +457,21 @@ let response_to_json resp =
               (List.map
                  (fun (cc, s) -> Obj [ ("country", String cc); ("s", Float s) ])
                  ranks) ) ]
-  | Deltas { old_s; new_s; delta } ->
+  | Deltas { old_epoch; new_epoch; old_s; new_s; delta } ->
       Obj
         [ ("kind", String "delta");
+          ("old_epoch", String old_epoch);
+          ("new_epoch", String new_epoch);
           ("old", Float old_s);
           ("new", Float new_s);
           ("delta", Float delta) ]
   | Overloaded -> Obj [ ("kind", String "overloaded") ]
   | Bye -> Obj [ ("kind", String "bye") ]
   | Draining -> Obj [ ("kind", String "draining") ]
+  | Epoch_list epochs ->
+      Obj
+        [ ("kind", String "epochs");
+          ("epochs", List (List.map (fun e -> String e) epochs)) ]
   | Error msg -> Obj [ ("kind", String "error"); ("message", String msg) ]
 
 let response_of_json j =
@@ -446,18 +504,37 @@ let response_of_json j =
       Ranks (List.map (fun item -> (json_str item "country", json_float item "s")) items)
   | "delta" ->
       Deltas
-        { old_s = json_float j "old"; new_s = json_float j "new"; delta = json_float j "delta" }
+        {
+          old_epoch = json_str j "old_epoch";
+          new_epoch = json_str j "new_epoch";
+          old_s = json_float j "old";
+          new_s = json_float j "new";
+          delta = json_float j "delta";
+        }
   | "overloaded" -> Overloaded
   | "bye" -> Bye
   | "draining" -> Draining
+  | "epochs" ->
+      let items =
+        match Json.member "epochs" j with
+        | Some (Json.List l) -> l
+        | _ -> fail "missing epochs list"
+      in
+      Epoch_list
+        (List.map
+           (function Json.String s -> s | _ -> fail "epoch list entry not a string")
+           items)
   | "error" -> Error (json_str j "message")
   | kind -> fail "bad response kind %S" kind
 
 (* --- query-language front end ------------------------------------------- *)
 
 (* The positional syntax shared by [webdep query] (one-shot and
-   [--connect] client): layer and country are words, k is a count. *)
+   [--connect] client): layer and country are words, k is a count, and
+   delta optionally names an epoch range (defaulting to the paper's
+   2023→2025 pair). *)
 let parse_query ~epoch words =
+  let epoch = canonical_epoch epoch in
   let layer s =
     match layer_of_name s with
     | Some l -> Ok l
@@ -472,6 +549,7 @@ let parse_query ~epoch words =
   match words with
   | [ "ping" ] -> Ok Ping
   | [ "shutdown" ] -> Ok Shutdown
+  | [ "epochs" ] -> Ok Epochs
   | [ "score"; l; cc ] ->
       let* layer = layer l in
       Ok (Score { epoch; layer; country = String.uppercase_ascii cc })
@@ -485,11 +563,28 @@ let parse_query ~epoch words =
       Ok (Ranking { epoch; layer; k })
   | [ "delta"; l; cc ] ->
       let* layer = layer l in
-      Ok (Delta { layer; country = String.uppercase_ascii cc })
+      Ok
+        (Delta
+           {
+             layer;
+             country = String.uppercase_ascii cc;
+             old_epoch = World.epoch_name World.May_2023;
+             new_epoch = World.epoch_name World.May_2025;
+           })
+  | [ "delta"; l; cc; old_e; new_e ] ->
+      let* layer = layer l in
+      Ok
+        (Delta
+           {
+             layer;
+             country = String.uppercase_ascii cc;
+             old_epoch = canonical_epoch old_e;
+             new_epoch = canonical_epoch new_e;
+           })
   | _ ->
       Result.Error
-        "usage: ping | score LAYER CC | topk LAYER CC K | ranking LAYER K | \
-         delta LAYER CC | shutdown"
+        "usage: ping | epochs | score LAYER CC | topk LAYER CC K | \
+         ranking LAYER K | delta LAYER CC [OLD_EPOCH NEW_EPOCH] | shutdown"
 
 (* Human rendering shared by the one-shot CLI and the [--connect]
    client, so daemon answers are byte-identical to local ones. *)
@@ -513,11 +608,14 @@ let render resp =
         (fun i (cc, s) ->
           Buffer.add_string b (Printf.sprintf "%-3d %-4s %10.4f\n" (i + 1) cc s))
         ranks
-  | Deltas { old_s; new_s; delta } ->
+  | Deltas { old_epoch; new_epoch; old_s; new_s; delta } ->
       Buffer.add_string b
-        (Printf.sprintf "2023 %.6f -> 2025 %.6f, delta %+.6f\n" old_s new_s delta)
+        (Printf.sprintf "%s %.6f -> %s %.6f, delta %+.6f\n" old_epoch old_s
+           new_epoch new_s delta)
   | Overloaded -> Buffer.add_string b "overloaded\n"
   | Bye -> Buffer.add_string b "bye\n"
   | Draining -> Buffer.add_string b "draining\n"
+  | Epoch_list epochs ->
+      List.iter (fun e -> Buffer.add_string b (e ^ "\n")) epochs
   | Error msg -> Buffer.add_string b (Printf.sprintf "error: %s\n" msg));
   Buffer.contents b

@@ -28,17 +28,20 @@
    country codes are written once per shard rather than once per site. *)
 
 module D = Webdep.Dataset
-module World = Webdep_worldgen.World
 module P = Protocol
 
-let schema = "webdep-snapshot/1"
+(* /2: epochs are names (length-prefixed strings) rather than u8 enum
+   codes — the serving plane is keyed by epoch name since the churn-log
+   generalization, and a snapshot must round-trip whatever the state
+   holds. *)
+let schema = "webdep-snapshot/2"
 
 let m_saved = Webdep_obs.Metrics.counter "serve.snapshot.saved"
 let m_loaded = Webdep_obs.Metrics.counter "serve.snapshot.loaded"
 let m_rejected = Webdep_obs.Metrics.counter "serve.snapshot.rejected"
 let m_torn = Webdep_obs.Metrics.counter "serve.snapshot.torn_recovered"
 
-type shard = { epoch : World.epoch; data : D.country_data }
+type shard = { epoch : string; data : D.country_data }
 
 type load =
   | Absent
@@ -137,7 +140,7 @@ let encode_shard { epoch; data } =
         lor if s.D.ns_anycast then 2 else 0))
     data.D.sites;
   let b = Buffer.create (Buffer.length body + 1024) in
-  P.put_u8 b (P.epoch_code epoch);
+  P.put_str b epoch;
   P.put_str b data.D.country;
   P.put_u16 b tb.n;
   List.iter (fun s -> P.put_str b s) (table_strings tb);
@@ -177,7 +180,7 @@ let get_opt_str strings cur =
 
 let decode_shard payload =
   let cur = { P.data = payload; off = 0 } in
-  let epoch = P.epoch_of_code (P.get_u8 cur) in
+  let epoch = P.get_str cur in
   let country = P.get_str cur in
   let nstrings = P.get_u16 cur in
   let strings = read_array nstrings (fun () -> P.get_str cur) in
@@ -220,14 +223,14 @@ let encode_header ~fingerprint ~countries ~epochs ~shard_count =
   P.put_u16 b (List.length countries);
   List.iter (fun cc -> P.put_str b cc) countries;
   P.put_u8 b (List.length epochs);
-  List.iter (fun e -> P.put_u8 b (P.epoch_code e)) epochs;
+  List.iter (fun e -> P.put_str b e) epochs;
   put_u32 b shard_count;
   Buffer.contents b
 
 type header = {
   h_fingerprint : string;
   h_countries : string list;
-  h_epochs : World.epoch list;
+  h_epochs : string list;
   h_shards : int;
 }
 
@@ -239,7 +242,7 @@ let decode_header payload =
   let nc = P.get_u16 cur in
   let h_countries = read_list nc (fun () -> P.get_str cur) in
   let ne = P.get_u8 cur in
-  let h_epochs = read_list ne (fun () -> P.epoch_of_code (P.get_u8 cur)) in
+  let h_epochs = read_list ne (fun () -> P.get_str cur) in
   let h_shards = get_u32 cur in
   if cur.P.off <> String.length payload then P.fail "trailing bytes in header";
   { h_fingerprint; h_countries; h_epochs; h_shards }

@@ -116,17 +116,24 @@ let m_torn = Webdep_obs.Metrics.counter "store.spill.torn_recovered"
 
 let load ~path ~fingerprint =
   let t = create ~fingerprint () in
+  (* Stream the spill straight into the table — one line live at a time,
+     so loading a large spill never materializes the whole segment. *)
+  let f () line =
+    match entry_of_line line with
+    | Some (k, e) ->
+        Hashtbl.replace t.entries k e;
+        Some ()
+    | None -> None
+  in
   (match
-     Webdep_faults.Jsonl.load ~path ~header:(header_line fingerprint)
-       ~parse:entry_of_line
+     Webdep_faults.Jsonl.fold ~path ~header:(header_line fingerprint) ~init:() ~f
    with
-  | Webdep_faults.Jsonl.No_file -> ()
-  | Webdep_faults.Jsonl.Header_mismatch ->
+  | Webdep_faults.Jsonl.Fold_no_file -> ()
+  | Webdep_faults.Jsonl.Fold_header_mismatch ->
       if Sys.file_exists path then Webdep_obs.Metrics.incr m_invalidated
-  | Webdep_faults.Jsonl.Loaded { entries; torn } ->
+  | Webdep_faults.Jsonl.Folded { acc = (); torn } ->
       (* A torn tail can only come from a pre-atomic spill (or a
          filesystem that lost the rename); keep the intact prefix —
          everything after the first bad line is suspect. *)
-      if torn then Webdep_obs.Metrics.incr m_torn;
-      List.iter (fun (k, e) -> Hashtbl.replace t.entries k e) entries);
+      if torn then Webdep_obs.Metrics.incr m_torn);
   t

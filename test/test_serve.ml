@@ -22,7 +22,11 @@ module D = Webdep.Dataset
 (* --- generators --------------------------------------------------------- *)
 
 let layer_gen = QCheck.Gen.oneofl [ D.Hosting; D.Dns; D.Ca; D.Tld ]
-let epoch_gen = QCheck.Gen.oneofl [ World.May_2023; World.May_2025 ]
+
+(* Epoch names on the wire are free-form strings; stick to
+   canonical-stable ones (the JSON codec normalizes "2023" -> "2023-05",
+   which would break round-trip equality). *)
+let epoch_gen = QCheck.Gen.oneofl [ "2023-05"; "2025-05"; "e3"; "e17" ]
 
 let cc_gen =
   QCheck.Gen.(
@@ -47,7 +51,12 @@ let request_gen =
          let* k = k_gen in
          return (P.Top_shares { epoch; layer; country; k }));
         map3 (fun epoch layer k -> P.Ranking { epoch; layer; k }) epoch_gen layer_gen k_gen;
-        map2 (fun layer country -> P.Delta { layer; country }) layer_gen cc_gen ])
+        (let* layer = layer_gen in
+         let* country = cc_gen in
+         let* old_epoch = epoch_gen in
+         let* new_epoch = epoch_gen in
+         return (P.Delta { layer; country; old_epoch; new_epoch }));
+        return P.Epochs ])
 
 let float_gen = QCheck.Gen.float
 
@@ -67,9 +76,13 @@ let response_gen =
               (List.map (fun ((provider, home), share) -> { P.provider; home; share }) items))
           (small_list (pair (pair (small_string ~gen:printable) cc_gen) float_gen));
         map (fun items -> P.Ranks items) (small_list (pair cc_gen float_gen));
-        map3
-          (fun old_s new_s delta -> P.Deltas { old_s; new_s; delta })
-          float_gen float_gen float_gen ])
+        (let* old_epoch = epoch_gen in
+         let* new_epoch = epoch_gen in
+         let* old_s = float_gen in
+         let* new_s = float_gen in
+         let* delta = float_gen in
+         return (P.Deltas { old_epoch; new_epoch; old_s; new_s; delta }));
+        map (fun names -> P.Epoch_list names) (small_list epoch_gen) ])
 
 let request_arb = QCheck.make ~print:(fun r -> Webdep_json.to_string (P.request_to_json r)) request_gen
 let response_arb = QCheck.make ~print:(fun r -> Webdep_json.to_string (P.response_to_json r)) response_gen
@@ -96,7 +109,9 @@ let response_eq a b =
            (fun (c1, s1) (c2, s2) -> String.equal c1 c2 && float_eq s1 s2)
            a b
   | P.Deltas a, P.Deltas b ->
-      float_eq a.old_s b.old_s && float_eq a.new_s b.new_s && float_eq a.delta b.delta
+      String.equal a.old_epoch b.old_epoch
+      && String.equal a.new_epoch b.new_epoch
+      && float_eq a.old_s b.old_s && float_eq a.new_s b.new_s && float_eq a.delta b.delta
   | a, b -> a = b
 
 (* --- protocol round-trips ----------------------------------------------- *)
@@ -146,7 +161,7 @@ let qcheck_response_json_roundtrip =
             List.for_all Float.is_finite [ s; hhi; insularity ]
         | P.Shares l -> List.for_all (fun (x : P.share) -> Float.is_finite x.share) l
         | P.Ranks l -> List.for_all (fun (_, s) -> Float.is_finite s) l
-        | P.Deltas { old_s; new_s; delta } ->
+        | P.Deltas { old_s; new_s; delta; _ } ->
             List.for_all Float.is_finite [ old_s; new_s; delta ]
         | _ -> true
       in
@@ -171,10 +186,22 @@ let test_framing () =
       ignore (P.parse_frames bad (Bytes.length bad)))
 
 let test_parse_query () =
-  let epoch = World.May_2023 in
+  let epoch = "2023" in
   (match P.parse_query ~epoch [ "score"; "hosting"; "us" ] with
-  | Ok (P.Score { country = "US"; layer = D.Hosting; _ }) -> ()
-  | _ -> Alcotest.fail "score query");
+  | Ok (P.Score { country = "US"; layer = D.Hosting; epoch = "2023-05" }) -> ()
+  | _ -> Alcotest.fail "score query (epoch canonicalized)");
+  (match P.parse_query ~epoch [ "epochs" ] with
+  | Ok P.Epochs -> ()
+  | _ -> Alcotest.fail "epochs query");
+  (match P.parse_query ~epoch [ "delta"; "hosting"; "br" ] with
+  | Ok (P.Delta { country = "BR"; old_epoch = "2023-05"; new_epoch = "2025-05"; _ }) -> ()
+  | _ -> Alcotest.fail "delta defaults to the two measured epochs");
+  (match P.parse_query ~epoch [ "delta"; "hosting"; "br"; "e2"; "e9" ] with
+  | Ok (P.Delta { old_epoch = "e2"; new_epoch = "e9"; _ }) -> ()
+  | _ -> Alcotest.fail "delta epoch range");
+  (match P.parse_query ~epoch:"e7" [ "score"; "dns"; "de" ] with
+  | Ok (P.Score { epoch = "e7"; _ }) -> ()
+  | _ -> Alcotest.fail "churn-log epoch passes through");
   (match P.parse_query ~epoch [ "topk"; "dns"; "de"; "7" ] with
   | Ok (P.Top_shares { k = 7; layer = D.Dns; country = "DE"; _ }) -> ()
   | _ -> Alcotest.fail "topk query");
@@ -196,30 +223,36 @@ let state =
      let ds25 = Measure.measure_all ~epoch:World.May_2025 ~countries:test_countries world in
      let st =
        State.make ~fingerprint:"test-world-60"
-         [ (World.May_2023, ds23); (World.May_2025, ds25) ]
+         [ ("2023-05", ds23); ("2025-05", ds25) ]
      in
      State.warm st;
      st)
 
 let sample_requests () =
   [ P.Ping;
-    P.Score { epoch = World.May_2023; layer = D.Hosting; country = "US" };
-    P.Score { epoch = World.May_2025; layer = D.Ca; country = "DE" };
-    P.Top_shares { epoch = World.May_2023; layer = D.Hosting; country = "JP"; k = 5 };
-    P.Ranking { epoch = World.May_2023; layer = D.Dns; k = 4 };
-    P.Delta { layer = D.Hosting; country = "BR" };
-    P.Score { epoch = World.May_2023; layer = D.Tld; country = "XX" } ]
+    P.Epochs;
+    P.Score { epoch = "2023-05"; layer = D.Hosting; country = "US" };
+    P.Score { epoch = "2025-05"; layer = D.Ca; country = "DE" };
+    P.Top_shares { epoch = "2023-05"; layer = D.Hosting; country = "JP"; k = 5 };
+    P.Ranking { epoch = "2023-05"; layer = D.Dns; k = 4 };
+    P.Delta
+      { layer = D.Hosting; country = "BR";
+        old_epoch = "2023-05"; new_epoch = "2025-05" };
+    P.Score { epoch = "2023-05"; layer = D.Tld; country = "XX" } ]
 
 let test_answer_kinds () =
   let st = Lazy.force state in
   (match State.answer st P.Ping with P.Pong -> () | _ -> Alcotest.fail "ping");
-  (match State.answer st (P.Score { epoch = World.May_2023; layer = D.Hosting; country = "US" }) with
+  (match State.answer st P.Epochs with
+  | P.Epoch_list [ "2023-05"; "2025-05" ] -> ()
+  | _ -> Alcotest.fail "epochs listing");
+  (match State.answer st (P.Score { epoch = "2023-05"; layer = D.Hosting; country = "US" }) with
   | P.Scores { s; hhi; insularity } ->
       Alcotest.(check bool) "s finite" true (Float.is_finite s);
       Alcotest.(check bool) "hhi >= s" true (hhi >= s);
       Alcotest.(check bool) "insularity in [0,1]" true (insularity >= 0.0 && insularity <= 1.0)
   | _ -> Alcotest.fail "score");
-  (match State.answer st (P.Top_shares { epoch = World.May_2023; layer = D.Hosting; country = "US"; k = 3 }) with
+  (match State.answer st (P.Top_shares { epoch = "2023-05"; layer = D.Hosting; country = "US"; k = 3 }) with
   | P.Shares shares ->
       Alcotest.(check int) "k shares" 3 (List.length shares);
       Alcotest.(check bool) "descending shares" true
@@ -229,17 +262,33 @@ let test_answer_kinds () =
          in
          mono shares)
   | _ -> Alcotest.fail "topk");
-  (match State.answer st (P.Ranking { epoch = World.May_2023; layer = D.Hosting; k = 10 }) with
+  (match State.answer st (P.Ranking { epoch = "2023-05"; layer = D.Hosting; k = 10 }) with
   | P.Ranks ranks ->
       Alcotest.(check int) "all four countries ranked" 4 (List.length ranks)
   | _ -> Alcotest.fail "ranking");
-  (match State.answer st (P.Delta { layer = D.Hosting; country = "US" }) with
-  | P.Deltas { old_s; new_s; delta } ->
+  (match
+     State.answer st
+       (P.Delta
+          { layer = D.Hosting; country = "US";
+            old_epoch = "2023-05"; new_epoch = "2025-05" })
+   with
+  | P.Deltas { old_epoch = "2023-05"; new_epoch = "2025-05"; old_s; new_s; delta } ->
       Alcotest.(check (float 1e-12)) "delta = new - old" (new_s -. old_s) delta
   | _ -> Alcotest.fail "delta");
-  match State.answer st (P.Score { epoch = World.May_2023; layer = D.Hosting; country = "XX" }) with
+  (match State.answer st (P.Score { epoch = "2023-05"; layer = D.Hosting; country = "XX" }) with
   | P.Error _ -> ()
-  | _ -> Alcotest.fail "unknown country must be an error"
+  | _ -> Alcotest.fail "unknown country must be an error");
+  (* Unknown epoch: the error enumerates what is actually loaded. *)
+  match State.answer st (P.Score { epoch = "e99"; layer = D.Hosting; country = "US" }) with
+  | P.Error msg ->
+      Alcotest.(check bool) "error lists loaded epochs" true
+        (let has sub =
+           let n = String.length sub and m = String.length msg in
+           let rec go i = i + n <= m && (String.sub msg i n = sub || go (i + 1)) in
+           go 0
+         in
+         has "2023-05" && has "2025-05")
+  | _ -> Alcotest.fail "unknown epoch must be an error"
 
 (* Scores served from the warm tallies must be bit-identical to the cold
    per-dataset computation. *)
@@ -250,7 +299,7 @@ let test_answer_matches_cold () =
   List.iter
     (fun cc ->
       match
-        State.answer st (P.Score { epoch = World.May_2023; layer = D.Hosting; country = cc })
+        State.answer st (P.Score { epoch = "2023-05"; layer = D.Hosting; country = cc })
       with
       | P.Scores { s; hhi; insularity } ->
           Alcotest.(check bool) "S bit-identical" true
@@ -263,13 +312,57 @@ let test_answer_matches_cold () =
       | _ -> Alcotest.fail ("score " ^ cc))
     test_countries
 
+(* Scored (churn-log) epochs ride alongside the warm ones: score,
+   ranking and delta answer from the per-country float tables; queries
+   that need provider tallies error clearly instead of lying. *)
+let test_scored_epochs () =
+  let st0 = Lazy.force state in
+  let rows =
+    [ ( "e2",
+        [ ( D.Hosting,
+            [ ("US", { State.s = 0.5; hhi = 0.6; insularity = 0.25 });
+              ("DE", { State.s = 0.4; hhi = 0.5; insularity = 0.5 }) ] ) ] ) ]
+  in
+  let st =
+    State.make ~fingerprint:"test-world-60" ~scored:rows (State.datasets st0)
+  in
+  (match State.answer st P.Epochs with
+  | P.Epoch_list names ->
+      Alcotest.(check bool) "scored epoch listed" true (List.mem "e2" names)
+  | _ -> Alcotest.fail "epochs");
+  (match State.answer st (P.Score { epoch = "e2"; layer = D.Hosting; country = "US" }) with
+  | P.Scores { s; hhi; insularity } ->
+      Alcotest.(check (float 0.0)) "s" 0.5 s;
+      Alcotest.(check (float 0.0)) "hhi" 0.6 hhi;
+      Alcotest.(check (float 0.0)) "insularity" 0.25 insularity
+  | _ -> Alcotest.fail "scored score");
+  (match State.answer st (P.Ranking { epoch = "e2"; layer = D.Hosting; k = 10 }) with
+  | P.Ranks [ ("US", 0.5); ("DE", 0.4) ] -> ()
+  | _ -> Alcotest.fail "scored ranking");
+  (match
+     State.answer st
+       (P.Delta
+          { layer = D.Hosting; country = "US";
+            old_epoch = "2023-05"; new_epoch = "e2" })
+   with
+  | P.Deltas { new_s = 0.5; old_s; delta; _ } ->
+      Alcotest.(check (float 1e-12)) "mixed-epoch delta" (0.5 -. old_s) delta
+  | _ -> Alcotest.fail "mixed warm/scored delta");
+  match
+    State.answer st (P.Top_shares { epoch = "e2"; layer = D.Hosting; country = "US"; k = 3 })
+  with
+  | P.Error msg ->
+      Alcotest.(check bool) "topk on scored epoch explains itself" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "topk on a scored epoch must error"
+
 (* --- engine cache -------------------------------------------------------- *)
 
 let test_engine_cache () =
   let st = Lazy.force state in
   let eng = Server.engine st in
   let payload =
-    P.encode_request (P.Score { epoch = World.May_2023; layer = D.Hosting; country = "US" })
+    P.encode_request (P.Score { epoch = "2023-05"; layer = D.Hosting; country = "US" })
   in
   let r1 = Server.answer_payload eng payload in
   Alcotest.(check int) "one cached entry" 1 (Server.cache_size eng);
@@ -281,7 +374,7 @@ let test_engine_cache () =
   (* Different fingerprint: invalidated. *)
   let st' =
     State.make ~fingerprint:"other-world"
-      [ (World.May_2023, Measure.measure_all ~countries:[ "US" ] (World.create ~c:60 ~seed:7 ())) ]
+      [ ("2023-05", Measure.measure_all ~countries:[ "US" ] (World.create ~c:60 ~seed:7 ())) ]
   in
   Server.set_state eng st';
   Alcotest.(check int) "fingerprint change clears cache" 0 (Server.cache_size eng);
@@ -459,7 +552,7 @@ let test_snapshot_roundtrip () =
       Alcotest.(check int) "2 epochs x 4 countries" 8 (List.length shards);
       let datasets =
         Snapshot.to_datasets
-          ~epochs:[ World.May_2023; World.May_2025 ]
+          ~epochs:[ "2023-05"; "2025-05" ]
           ~countries:test_countries
           ~fill:(fun _ _ -> Alcotest.fail "complete snapshot must not re-measure")
           shards
@@ -718,6 +811,7 @@ let () =
         [
           Alcotest.test_case "answer kinds" `Quick test_answer_kinds;
           Alcotest.test_case "warm = cold, bit-identical" `Quick test_answer_matches_cold;
+          Alcotest.test_case "scored churn-log epochs" `Quick test_scored_epochs;
         ] );
       ( "engine",
         [
